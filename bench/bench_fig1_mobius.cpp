@@ -1,0 +1,77 @@
+// Figure 1 — the Möbius-band network: the cycle-partition criterion (DCC)
+// correctly certifies coverage while the homology-group criterion (HGC)
+// reports a phantom hole. Prints the full comparison, including the
+// partition certificate that witnesses 3-partitionability.
+#include <cstdio>
+
+#include "tgcover/core/criterion.hpp"
+#include "tgcover/cycle/cycle.hpp"
+#include "tgcover/cycle/horton.hpp"
+#include "tgcover/gen/fixtures.hpp"
+#include "tgcover/topo/hgc.hpp"
+#include "tgcover/topo/homology.hpp"
+#include "tgcover/util/table.hpp"
+
+int main() {
+  using namespace tgc;
+
+  std::puts("Figure 1 reproduction: the Mobius-band network (Section IV-B)");
+  std::puts("");
+
+  const auto mobius = gen::mobius_band();
+  const auto annulus = gen::triangulated_annulus();
+
+  util::Table table({"network", "V", "E", "triangles", "b1(H1)",
+                     "HGC verdict", "CB 3-partitionable", "DCC verdict"});
+
+  auto row = [&](const char* name, const graph::Graph& g,
+                 const util::Gf2Vector& cb, const char* hgc_hole_label) {
+    const topo::RipsComplex complex(g);
+    const topo::HomologyInfo h = topo::homology(complex);
+    const bool hgc_ok = topo::hgc_verify(g);
+    const std::vector<bool> active(g.num_vertices(), true);
+    const bool part = core::criterion_holds(g, active, cb, 3);
+    table.add_row({name, std::to_string(g.num_vertices()),
+                   std::to_string(g.num_edges()),
+                   std::to_string(complex.num_triangles()),
+                   std::to_string(h.betti1),
+                   hgc_ok ? "covered" : hgc_hole_label,
+                   part ? "yes" : "no",
+                   part ? "covered" : "hole"});
+  };
+
+  const auto mobius_cb =
+      cycle::Cycle::from_vertex_sequence(mobius.graph, mobius.outer_cycle);
+  row("mobius-band", mobius.graph, mobius_cb.edges(),
+      "HOLE (false positive)");
+
+  auto annulus_cb =
+      cycle::Cycle::from_vertex_sequence(annulus.graph, annulus.outer_cycle);
+  annulus_cb.add(
+      cycle::Cycle::from_vertex_sequence(annulus.graph, annulus.inner_cycle));
+  row("annulus (control)", annulus.graph, annulus_cb.edges(),
+      "HOLE (inner boundary)");
+
+  table.print();
+  std::puts("");
+
+  // Witness: an explicit 3-partition of the Mobius outer boundary.
+  const std::vector<bool> active(mobius.graph.num_vertices(), true);
+  const auto parts =
+      core::find_partition(mobius.graph, active, mobius_cb.edges(), 3);
+  if (parts.has_value()) {
+    std::printf("Partition certificate: outer boundary = GF(2) sum of %zu "
+                "cycles of length <= 3\n",
+                parts->size());
+  }
+
+  const auto bounds = cycle::irreducible_cycle_bounds(mobius.graph);
+  std::printf("Irreducible cycle sizes of the Mobius band (Algorithm 1): "
+              "min=%zu max=%zu (cycle space dim %zu)\n",
+              bounds.min_size, bounds.max_size, bounds.cycle_space_dim);
+  std::puts("");
+  std::puts("Paper's claim: HGC's trivial-H1 test rejects this fully covered");
+  std::puts("network (the central circle cannot contract), while the cycle-");
+  std::puts("partition criterion accepts it at tau=3.");
+  return 0;
+}

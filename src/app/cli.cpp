@@ -1,0 +1,347 @@
+#include "tgcover/app/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tgcover/core/confine.hpp"
+#include "tgcover/core/criterion.hpp"
+#include "tgcover/core/distributed.hpp"
+#include "tgcover/core/pipeline.hpp"
+#include "tgcover/core/quality.hpp"
+#include "tgcover/core/repair.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/io/network_io.hpp"
+#include "tgcover/io/svg.hpp"
+#include "tgcover/trace/greenorbs.hpp"
+#include "tgcover/util/args.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::app {
+
+namespace {
+
+/// Rebuilds the Network wrapper (boundary ring, CB, target) for a loaded
+/// deployment — the CLI always re-derives these rather than persisting them,
+/// so saved files stay small and tool-agnostic.
+core::Network network_of(gen::Deployment dep, double band) {
+  return core::prepare_network(std::move(dep), band);
+}
+
+int cmd_generate(util::ArgParser& args, std::ostream& out) {
+  const std::string type =
+      args.get_string("type", "udg", "workload type: udg | quasi | strip");
+  const auto n =
+      static_cast<std::size_t>(args.get_int("nodes", 400, "node count"));
+  const double degree = args.get_double("degree", 25.0, "target avg degree");
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1, "random seed"));
+  const std::string path =
+      args.get_string("out", "network.tgc", "output network file");
+  const double alpha =
+      args.get_double("alpha", 0.7, "quasi-UDG certain-link fraction");
+  const double p_link =
+      args.get_double("p-link", 0.6, "quasi-UDG band link probability");
+  const double strip_aspect =
+      args.get_double("aspect", 4.0, "strip length/width ratio");
+  args.finish();
+
+  util::Rng rng(seed);
+  gen::Deployment dep;
+  if (type == "udg") {
+    dep = gen::random_connected_udg(
+        n, gen::side_for_average_degree(n, 1.0, degree), 1.0, rng);
+  } else if (type == "quasi") {
+    const double side = gen::side_for_average_degree(n, 1.0, degree);
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      TGC_CHECK_MSG(attempt < 64, "could not generate a connected quasi-UDG");
+      util::Rng r = rng.fork(attempt);
+      dep = gen::random_quasi_udg(n, side, 1.0, alpha, p_link, r);
+      if (graph::is_connected(dep.graph)) break;
+    }
+  } else if (type == "strip") {
+    const double area = static_cast<double>(n) * 3.1415926535 / degree;
+    const double width = std::sqrt(area / strip_aspect);
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      TGC_CHECK_MSG(attempt < 64, "could not generate a connected strip");
+      util::Rng r = rng.fork(attempt);
+      dep = gen::random_strip_udg(n, strip_aspect * width, width, 1.0, r);
+      if (graph::is_connected(dep.graph)) break;
+    }
+  } else {
+    out << "unknown --type '" << type << "'\n";
+    return 2;
+  }
+  io::save_deployment(dep, path);
+  out << "wrote " << path << ": " << dep.graph.num_vertices() << " nodes, "
+      << dep.graph.num_edges() << " links, avg degree "
+      << dep.graph.average_degree() << "\n";
+  return 0;
+}
+
+int cmd_schedule(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "network.tgc", "input network file");
+  const std::string out_path =
+      args.get_string("out", "schedule.tgc", "output awake-set mask");
+  const auto tau =
+      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
+  const double band = args.get_double("band", 1.0, "periphery band width");
+  args.finish();
+
+  const core::Network net = network_of(io::load_deployment(in_path), band);
+  core::DccConfig config;
+  config.tau = tau;
+  config.seed = seed;
+  const core::ScheduleSummary s = core::run_dcc(net, config);
+  io::save_mask(s.result.active, out_path);
+  out << "scheduled tau=" << tau << ": " << s.result.survivors << " of "
+      << net.dep.graph.num_vertices() << " nodes awake ("
+      << s.result.rounds << " rounds); wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_verify(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "network.tgc", "input network file");
+  const std::string schedule_path =
+      args.get_string("schedule", "", "awake-set mask (empty = all awake)");
+  const auto tau =
+      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+  const double band = args.get_double("band", 1.0, "periphery band width");
+  const std::string cert_path = args.get_string(
+      "certificate", "", "write the explicit cycle partition here");
+  args.finish();
+
+  const core::Network net = network_of(io::load_deployment(in_path), band);
+  std::vector<bool> active(net.dep.graph.num_vertices(), true);
+  if (!schedule_path.empty()) active = io::load_mask(schedule_path);
+  TGC_CHECK_MSG(active.size() == net.dep.graph.num_vertices(),
+                "schedule size does not match the network");
+  const bool ok = core::criterion_holds(net.dep.graph, active, net.cb, tau);
+  out << "cycle-partition criterion at tau=" << tau << ": "
+      << (ok ? "HOLDS — tau-confine coverage certified"
+             : "does not hold") << "\n";
+
+  if (ok && !cert_path.empty()) {
+    // The human-checkable witness: cycles of length ≤ τ whose GF(2) sum is
+    // the boundary cycle (Definition 2).
+    const auto parts = core::find_partition(net.dep.graph, active, net.cb, tau);
+    TGC_CHECK(parts.has_value());
+    std::ofstream cert(cert_path);
+    TGC_CHECK_MSG(cert.good(), "cannot open '" << cert_path << "'");
+    cert << "# cycle partition certificate: boundary = XOR of " << parts->size()
+         << " cycles, each of length <= " << tau << "\n";
+    for (const cycle::Cycle& c : *parts) {
+      cert << "cycle";
+      for (const graph::VertexId v :
+           cycle::cycle_vertices(net.dep.graph, c.edges())) {
+        cert << ' ' << v;
+      }
+      cert << "\n";
+    }
+    out << "wrote certificate with " << parts->size() << " cycles to "
+        << cert_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_quality(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "network.tgc", "input network file");
+  const std::string schedule_path =
+      args.get_string("schedule", "", "awake-set mask (empty = all awake)");
+  const auto cap =
+      static_cast<unsigned>(args.get_int("tau-cap", 16, "certificate search cap"));
+  const double band = args.get_double("band", 1.0, "periphery band width");
+  const double gamma =
+      args.get_double("gamma", 0.0, "sensing ratio for the Dmax bound (0 = skip)");
+  args.finish();
+
+  const core::Network net = network_of(io::load_deployment(in_path), band);
+  std::vector<bool> active(net.dep.graph.num_vertices(), true);
+  if (!schedule_path.empty()) active = io::load_mask(schedule_path);
+  const core::QualityReport q =
+      core::assess_quality(net.dep.graph, active, net.cb, cap);
+  out << "cycle space dimension: " << q.cycle_space_dim << "\n";
+  out << "void sizes (irreducible cycles): min " << q.min_void << ", max "
+      << q.max_void << "\n";
+  if (q.certifiable_tau == 0) {
+    out << "no confine-coverage certificate up to tau=" << cap << "\n";
+  } else {
+    out << "smallest certifiable confine size: tau=" << q.certifiable_tau
+        << "\n";
+    if (gamma > 0.0) {
+      out << "worst-case hole diameter bound at gamma=" << gamma << ": "
+          << core::paper_hole_diameter_bound(q.certifiable_tau, gamma, 1.0)
+          << " * Rc (Proposition 1)\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_render(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "network.tgc", "input network file");
+  const std::string schedule_path =
+      args.get_string("schedule", "", "awake-set mask (empty = all awake)");
+  const std::string out_path =
+      args.get_string("out", "network.svg", "output SVG file");
+  const double band = args.get_double("band", 1.0, "periphery band width");
+  args.finish();
+
+  const core::Network net = network_of(io::load_deployment(in_path), band);
+  std::vector<bool> active(net.dep.graph.num_vertices(), true);
+  if (!schedule_path.empty()) active = io::load_mask(schedule_path);
+  std::vector<io::NodeRole> roles(net.dep.graph.num_vertices());
+  for (graph::VertexId v = 0; v < roles.size(); ++v) {
+    roles[v] = net.boundary[v] ? io::NodeRole::kBoundary
+               : active[v]     ? io::NodeRole::kActive
+                               : io::NodeRole::kDeleted;
+  }
+  io::render_network_svg(net.dep.graph, net.dep.positions, roles, net.cb,
+                         out_path);
+  out << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_trace(util::ArgParser& args, std::ostream& out) {
+  trace::GreenOrbsOptions options;
+  options.nodes = static_cast<std::size_t>(
+      args.get_int("nodes", 296, "sensors in the forest strip"));
+  options.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2009, "workload seed"));
+  options.trace.epochs = static_cast<std::size_t>(
+      args.get_int("epochs", 288, "packet epochs accumulated"));
+  const std::string path =
+      args.get_string("out", "trace.tgc", "output network file");
+  args.finish();
+
+  const trace::GreenOrbsNetwork net = trace::build_greenorbs_network(options);
+  // Persist the thresholded trace graph with the ground-truth positions.
+  gen::Deployment dep = net.dep;
+  dep.graph = net.graph;
+  io::save_deployment(dep, path);
+  out << "trace pipeline: " << net.trace.packets << " packets, threshold "
+      << net.threshold_dbm << " dBm keeps " << net.graph.num_edges()
+      << " links (" << net.boundary_count() << "-node boundary ring); wrote "
+      << path << "\n";
+  return 0;
+}
+
+int cmd_distributed(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "network.tgc", "input network file");
+  const std::string out_path =
+      args.get_string("out", "schedule.tgc", "output awake-set mask");
+  const auto tau =
+      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
+  const double band = args.get_double("band", 1.0, "periphery band width");
+  args.finish();
+
+  const core::Network net = network_of(io::load_deployment(in_path), band);
+  core::DccConfig config;
+  config.tau = tau;
+  config.seed = seed;
+  const core::DccDistributedResult result =
+      core::dcc_schedule_distributed(net.dep.graph, net.internal, config);
+  io::save_mask(result.schedule.active, out_path);
+  out << "distributed DCC (tau=" << tau
+      << "): " << result.schedule.survivors << " nodes awake after "
+      << result.schedule.rounds << " deletion rounds; radio cost "
+      << result.traffic.messages << " messages / "
+      << result.traffic.payload_bytes() / 1024 << " KiB over "
+      << result.traffic.rounds << " engine rounds; wrote " << out_path
+      << "\n";
+  return 0;
+}
+
+int cmd_repair(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "network.tgc", "input network file");
+  const std::string schedule_path =
+      args.get_string("schedule", "schedule.tgc", "current awake-set mask");
+  const std::string failed_path =
+      args.get_string("failed", "failed.tgc", "mask of crashed nodes");
+  const std::string out_path =
+      args.get_string("out", "repaired.tgc", "output awake-set mask");
+  const auto tau =
+      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+  const double band = args.get_double("band", 1.0, "periphery band width");
+  args.finish();
+
+  const core::Network net = network_of(io::load_deployment(in_path), band);
+  const auto active = io::load_mask(schedule_path);
+  const auto failed = io::load_mask(failed_path);
+  TGC_CHECK_MSG(active.size() == net.dep.graph.num_vertices() &&
+                    failed.size() == net.dep.graph.num_vertices(),
+                "mask sizes do not match the network");
+  core::DccConfig config;
+  config.tau = tau;
+  const core::RepairResult result = core::dcc_repair(
+      net.dep.graph, net.internal, active, failed, net.cb, config);
+  io::save_mask(result.active, out_path);
+  out << "repair: woke " << result.woken << " sleepers (radius "
+      << result.final_radius << "), re-slept " << result.redeleted
+      << "; certificate "
+      << (result.criterion_restored ? "RESTORED" : "not restorable")
+      << "; wrote " << out_path << "\n";
+  return result.criterion_restored ? 0 : 1;
+}
+
+void print_help(std::ostream& out) {
+  out << "tgcover — distributed confine coverage (ICDCS'10 reproduction)\n"
+         "usage: tgcover <command> [--key value ...]\n\n"
+         "commands:\n"
+         "  generate   create a deployment (--type udg|quasi|strip --nodes N"
+         " --degree D --seed S --out FILE)\n"
+         "  schedule   run DCC (--in FILE --tau T --out MASK)\n"
+         "  verify     certify a schedule (--in FILE --schedule MASK --tau T)\n"
+         "  quality    void sizes + smallest certifiable tau (--in FILE"
+         " [--schedule MASK] [--gamma G])\n"
+         "  render     draw as SVG (--in FILE [--schedule MASK] --out SVG)\n"
+         "  trace      synthesize a GreenOrbs-style RSSI-trace network\n"
+         "  distributed run the real message-passing scheduler, report cost\n"
+         "  repair     wake sleepers around crashed nodes and re-certify\n"
+         "  help       this text\n";
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out) {
+  if (argc < 2) {
+    print_help(out);
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Re-pack so ArgParser sees "<prog> --k v ..." without the subcommand.
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  util::ArgParser args(static_cast<int>(rest.size()), rest.data());
+
+  if (command == "generate") return cmd_generate(args, out);
+  if (command == "schedule") return cmd_schedule(args, out);
+  if (command == "verify") return cmd_verify(args, out);
+  if (command == "quality") return cmd_quality(args, out);
+  if (command == "render") return cmd_render(args, out);
+  if (command == "trace") return cmd_trace(args, out);
+  if (command == "distributed") return cmd_distributed(args, out);
+  if (command == "repair") return cmd_repair(args, out);
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_help(out);
+    return 0;
+  }
+  out << "unknown command '" << command << "'\n";
+  print_help(out);
+  return 2;
+}
+
+}  // namespace tgc::app

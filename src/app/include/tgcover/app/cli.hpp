@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+
+namespace tgc::app {
+
+/// The `tgcover` command-line tool, as a testable library function.
+///
+/// Subcommands (see `tgcover help`):
+///   generate   create a deployment file (udg / quasi / strip workloads)
+///   schedule   run DCC on a deployment, write the awake-set mask
+///   verify     check the cycle-partition criterion for a schedule
+///   quality    report void sizes and the smallest certifiable τ
+///   render     draw a deployment (+ optional schedule) as SVG
+///
+/// Returns the process exit code; diagnostics go to `out` (stdout in the
+/// real binary, a capture stream in tests).
+int run_cli(int argc, const char* const* argv, std::ostream& out);
+
+}  // namespace tgc::app

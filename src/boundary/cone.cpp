@@ -1,0 +1,30 @@
+#include "tgcover/boundary/cone.hpp"
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::boundary {
+
+ConeFilledNetwork fill_cones(
+    const graph::Graph& g,
+    std::span<const std::vector<graph::VertexId>> inner_boundaries) {
+  ConeFilledNetwork out;
+  const std::size_t n = g.num_vertices();
+  graph::GraphBuilder builder(n + inner_boundaries.size());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    builder.add_edge(u, v);
+  }
+  for (std::size_t b = 0; b < inner_boundaries.size(); ++b) {
+    const auto apex = static_cast<graph::VertexId>(n + b);
+    TGC_CHECK_MSG(!inner_boundaries[b].empty(), "empty inner boundary " << b);
+    for (const graph::VertexId v : inner_boundaries[b]) {
+      TGC_CHECK(v < n);
+      builder.add_edge(apex, v);
+    }
+    out.apexes.push_back(apex);
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+}  // namespace tgc::boundary

@@ -1,0 +1,123 @@
+#include "tgcover/boundary/cycle_extract.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::boundary {
+
+namespace {
+
+using geom::Embedding;
+using geom::Point;
+using graph::Graph;
+using graph::VertexId;
+
+double angle_of(const Point& from, const Point& to) {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+/// The right-hand-rule successor: among eligible neighbors of `v`, the one
+/// whose direction is the first counterclockwise rotation from
+/// `reverse_incoming_angle`. Zero rotation (walking straight back along the
+/// incoming edge to `back`) is treated as a full turn so that dead ends
+/// backtrack as a last resort.
+VertexId next_by_right_hand(const Graph& g, const Embedding& emb,
+                            const std::vector<bool>& in_set, VertexId v,
+                            double reverse_incoming_angle, VertexId back) {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  VertexId best = graph::kInvalidVertex;
+  double best_rel = kTwoPi + 1.0;
+  for (const VertexId w : g.neighbors(v)) {
+    if (!in_set[w]) continue;
+    double rel =
+        std::fmod(angle_of(emb[v], emb[w]) - reverse_incoming_angle, kTwoPi);
+    if (rel < 0.0) rel += kTwoPi;
+    if (w == back && rel < 1e-12) rel = kTwoPi;  // backtracking is last resort
+    if (rel < best_rel) {
+      best_rel = rel;
+      best = w;
+    }
+  }
+  return best;
+}
+
+/// Walks the face starting at `start` with the given virtual reversed
+/// incoming direction and accumulates the traversed edges mod 2.
+util::Gf2Vector face_walk(const Graph& g, const Embedding& emb,
+                          const std::vector<bool>& in_set, VertexId start,
+                          double virtual_reverse_angle) {
+  util::Gf2Vector cycle(g.num_edges());
+  const VertexId first =
+      next_by_right_hand(g, emb, in_set, start, virtual_reverse_angle,
+                         graph::kInvalidVertex);
+  TGC_CHECK_MSG(first != graph::kInvalidVertex,
+                "boundary start node " << start << " has no in-set neighbor");
+
+  // The successor map on directed edges is deterministic, so the walk is
+  // eventually periodic; it closes when the first directed edge repeats.
+  std::unordered_set<std::uint64_t> seen_directed;
+  VertexId prev = start;
+  VertexId cur = first;
+  const std::size_t guard_limit = 4 * g.num_edges() + 8;
+  std::size_t steps = 0;
+  while (true) {
+    const std::uint64_t directed =
+        (static_cast<std::uint64_t>(prev) << 32) | cur;
+    if (!seen_directed.insert(directed).second) break;
+    const auto e = g.edge_between(prev, cur);
+    TGC_CHECK(e.has_value());
+    cycle.flip(*e);
+    const double reverse_angle = angle_of(emb[cur], emb[prev]);
+    const VertexId nxt =
+        next_by_right_hand(g, emb, in_set, cur, reverse_angle, prev);
+    TGC_CHECK(nxt != graph::kInvalidVertex);
+    prev = cur;
+    cur = nxt;
+    TGC_CHECK_MSG(++steps < guard_limit, "face walk failed to close");
+  }
+  return cycle;
+}
+
+}  // namespace
+
+util::Gf2Vector outer_boundary_cycle(const Graph& g, const Embedding& emb,
+                                     const std::vector<bool>& in_set) {
+  TGC_CHECK(emb.size() == g.num_vertices());
+  TGC_CHECK(in_set.size() == g.num_vertices());
+  // Bottommost (then leftmost) in-set node; the outer face lies below it.
+  VertexId start = graph::kInvalidVertex;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!in_set[v]) continue;
+    if (start == graph::kInvalidVertex || emb[v].y < emb[start].y ||
+        (emb[v].y == emb[start].y && emb[v].x < emb[start].x)) {
+      start = v;
+    }
+  }
+  TGC_CHECK_MSG(start != graph::kInvalidVertex, "empty boundary set");
+  // Virtual incoming edge from straight below: reversed direction points down.
+  return face_walk(g, emb, in_set, start, -std::numbers::pi / 2.0);
+}
+
+util::Gf2Vector hole_boundary_cycle(const Graph& g, const Embedding& emb,
+                                    const std::vector<bool>& in_set,
+                                    const Point& hole_center) {
+  TGC_CHECK(emb.size() == g.num_vertices());
+  TGC_CHECK(in_set.size() == g.num_vertices());
+  VertexId start = graph::kInvalidVertex;
+  double best = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!in_set[v]) continue;
+    const double d = geom::dist2(emb[v], hole_center);
+    if (start == graph::kInvalidVertex || d < best) {
+      best = d;
+      start = v;
+    }
+  }
+  TGC_CHECK_MSG(start != graph::kInvalidVertex, "empty boundary set");
+  return face_walk(g, emb, in_set, start, angle_of(emb[start], hole_center));
+}
+
+}  // namespace tgc::boundary

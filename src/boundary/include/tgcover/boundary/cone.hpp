@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::boundary {
+
+/// A network with one inner boundary repaired by cone filling (Section V-B):
+/// a virtual apex node is added and connected to every node of that
+/// boundary, turning the inner boundary's cycles into sums of apex triangles
+/// so the multiply-connected case reduces to the simply-connected one.
+struct ConeFilledNetwork {
+  graph::Graph graph;        ///< original vertices plus one apex per filled boundary
+  std::vector<graph::VertexId> apexes;
+};
+
+/// Fills cones onto each of the given inner boundaries. Per the paper, with
+/// n ≥ 2 boundaries, n-1 of them (the inner ones) are filled; nodes of
+/// repaired boundaries (and the apexes) must never be deleted by the
+/// scheduler — callers mark them non-internal.
+ConeFilledNetwork fill_cones(
+    const graph::Graph& g,
+    std::span<const std::vector<graph::VertexId>> inner_boundaries);
+
+}  // namespace tgc::boundary

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::boundary {
+
+/// Extracts the mod-2 edge set of a boundary cycle CB from the geometric
+/// drawing of the subgraph induced by the `in_set` nodes.
+///
+/// The walk follows the angular right-hand rule: arriving at v along (u, v),
+/// the next edge is the first eligible edge counterclockwise from the
+/// reversed incoming direction. On the drawing of the band subgraph this
+/// traces the face on the walk's outside; started from the bottommost node
+/// with a virtual incoming direction from below, it traces the outer
+/// boundary of the band.
+///
+/// The result is always an element of the cycle space (a closed walk has
+/// even mod-2 degree everywhere); repeated edges (bridges) cancel out.
+/// DCC itself never needs CB explicitly (boundary nodes simply never
+/// participate in deletion); the extracted cycle feeds the *verifier* of the
+/// cycle-partition criterion (Propositions 2/3) in tests and benches.
+util::Gf2Vector outer_boundary_cycle(const graph::Graph& g,
+                                     const geom::Embedding& emb,
+                                     const std::vector<bool>& in_set);
+
+/// Boundary cycle around a circular hole: the walk starts at the `in_set`
+/// node nearest the hole center with a virtual incoming direction from the
+/// center, tracing the face that contains the hole.
+util::Gf2Vector hole_boundary_cycle(const graph::Graph& g,
+                                    const geom::Embedding& emb,
+                                    const std::vector<bool>& in_set,
+                                    const geom::Point& hole_center);
+
+}  // namespace tgc::boundary

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/geom/min_circle.hpp"
+#include "tgcover/geom/point.hpp"
+
+namespace tgc::boundary {
+
+/// Ground-truth boundary-node labeling.
+///
+/// The paper assumes every node knows whether it is a boundary or an internal
+/// node ("a conventional assumption adopted by almost all existing
+/// connectivity-based methods", Section III-A), delegating the actual
+/// recognition to the fine-grained boundary algorithm of [13]. This module
+/// stands in for that black box with the geometric definition the paper gives:
+/// boundary nodes are the ones located in the periphery band of width `band`
+/// (at least Rc) along the edge of the deployed region.
+
+/// Nodes within `band` of the edge of the rectangular deployment area.
+std::vector<bool> label_outer_band(const geom::Embedding& positions,
+                                   const geom::Rect& area, double band);
+
+/// Nodes within `band` outside a circular forbidden region (an inner
+/// boundary of a multiply-connected target area).
+std::vector<bool> label_hole_band(const geom::Embedding& positions,
+                                  const geom::Circle& hole, double band);
+
+/// Union of label vectors.
+std::vector<bool> label_union(const std::vector<bool>& a,
+                              const std::vector<bool>& b);
+
+}  // namespace tgc::boundary

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::boundary {
+
+/// A thin connected boundary ring: the node set and the boundary cycle CB
+/// (mod-2 edge set of the stitched closed walk).
+///
+/// This emulates what fine-grained boundary recognition [13] hands to DCC: a
+/// *connected ring of boundary nodes containing a boundary cycle*, about one
+/// node thick — not the whole periphery band (the paper's trace network has
+/// 296 nodes and a 26-node boundary). Waypoints are placed along the
+/// rectangle inset by `inset`, one every `spacing`; the nearest eligible
+/// node joins the ring and consecutive ring nodes are stitched with
+/// shortest paths in the graph.
+struct BoundaryRing {
+  std::vector<bool> mask;          ///< nodes on the ring
+  util::Gf2Vector cb;              ///< boundary cycle over g's edge ids
+  std::vector<graph::VertexId> anchors;  ///< the waypoint-nearest nodes
+};
+
+/// @param eligible optional mask restricting which nodes may join the ring
+///                 (e.g. the main connected component); null = all nodes.
+BoundaryRing select_boundary_ring(const graph::Graph& g,
+                                  const geom::Embedding& positions,
+                                  const geom::Rect& area, double inset,
+                                  double spacing,
+                                  const std::vector<bool>* eligible = nullptr);
+
+/// Generic variant: the caller supplies the waypoint loop directly (e.g.
+/// geom::Polygon::inset_waypoints for non-rectangular deployment regions).
+BoundaryRing select_boundary_ring_waypoints(
+    const graph::Graph& g, const geom::Embedding& positions,
+    const std::vector<geom::Point>& waypoints,
+    const std::vector<bool>* eligible = nullptr);
+
+}  // namespace tgc::boundary

@@ -1,0 +1,36 @@
+#include "tgcover/boundary/label.hpp"
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::boundary {
+
+std::vector<bool> label_outer_band(const geom::Embedding& positions,
+                                   const geom::Rect& area, double band) {
+  TGC_CHECK(band > 0.0);
+  std::vector<bool> out(positions.size(), false);
+  for (std::size_t v = 0; v < positions.size(); ++v) {
+    out[v] = area.interior_clearance(positions[v]) <= band;
+  }
+  return out;
+}
+
+std::vector<bool> label_hole_band(const geom::Embedding& positions,
+                                  const geom::Circle& hole, double band) {
+  TGC_CHECK(band > 0.0);
+  std::vector<bool> out(positions.size(), false);
+  for (std::size_t v = 0; v < positions.size(); ++v) {
+    const double d = geom::dist(positions[v], hole.center);
+    out[v] = d >= hole.radius && d <= hole.radius + band;
+  }
+  return out;
+}
+
+std::vector<bool> label_union(const std::vector<bool>& a,
+                              const std::vector<bool>& b) {
+  TGC_CHECK(a.size() == b.size());
+  std::vector<bool> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] || b[i];
+  return out;
+}
+
+}  // namespace tgc::boundary

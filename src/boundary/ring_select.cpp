@@ -1,0 +1,91 @@
+#include "tgcover/boundary/ring_select.hpp"
+
+#include <cmath>
+
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::boundary {
+
+namespace {
+
+using geom::Point;
+using graph::VertexId;
+
+std::vector<Point> perimeter_waypoints(const geom::Rect& ring,
+                                       double spacing) {
+  std::vector<Point> waypoints;
+  auto emit_segment = [&](Point a, Point b, double len) {
+    const auto steps =
+        static_cast<std::size_t>(std::max(1.0, std::floor(len / spacing)));
+    for (std::size_t i = 0; i < steps; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(steps);
+      waypoints.push_back(Point{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)});
+    }
+  };
+  emit_segment({ring.xmin, ring.ymin}, {ring.xmax, ring.ymin}, ring.width());
+  emit_segment({ring.xmax, ring.ymin}, {ring.xmax, ring.ymax}, ring.height());
+  emit_segment({ring.xmax, ring.ymax}, {ring.xmin, ring.ymax}, ring.width());
+  emit_segment({ring.xmin, ring.ymax}, {ring.xmin, ring.ymin}, ring.height());
+  return waypoints;
+}
+
+}  // namespace
+
+BoundaryRing select_boundary_ring(const graph::Graph& g,
+                                  const geom::Embedding& positions,
+                                  const geom::Rect& area, double inset,
+                                  double spacing,
+                                  const std::vector<bool>* eligible) {
+  TGC_CHECK(spacing > 0.0);
+  return select_boundary_ring_waypoints(
+      g, positions, perimeter_waypoints(area.shrunk(inset), spacing),
+      eligible);
+}
+
+BoundaryRing select_boundary_ring_waypoints(
+    const graph::Graph& g, const geom::Embedding& positions,
+    const std::vector<geom::Point>& waypoints,
+    const std::vector<bool>* eligible) {
+  TGC_CHECK(positions.size() == g.num_vertices());
+  BoundaryRing ring;
+  for (const Point& w : waypoints) {
+    VertexId best = graph::kInvalidVertex;
+    double best_d = 0.0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (eligible != nullptr && !(*eligible)[v]) continue;
+      const double d = geom::dist2(positions[v], w);
+      if (best == graph::kInvalidVertex || d < best_d) {
+        best = v;
+        best_d = d;
+      }
+    }
+    TGC_CHECK_MSG(best != graph::kInvalidVertex, "no eligible boundary node");
+    if (ring.anchors.empty() || ring.anchors.back() != best) {
+      ring.anchors.push_back(best);
+    }
+  }
+  while (ring.anchors.size() > 1 && ring.anchors.front() == ring.anchors.back()) {
+    ring.anchors.pop_back();
+  }
+  TGC_CHECK_MSG(ring.anchors.size() >= 3, "boundary ring degenerated");
+
+  // Stitch consecutive anchors with shortest paths; the mod-2 edge set of
+  // the closed walk is CB, and every node on it joins the boundary.
+  ring.cb = util::Gf2Vector(g.num_edges());
+  ring.mask.assign(g.num_vertices(), false);
+  for (std::size_t i = 0; i < ring.anchors.size(); ++i) {
+    const VertexId from = ring.anchors[i];
+    const VertexId to = ring.anchors[(i + 1) % ring.anchors.size()];
+    const graph::ShortestPathTree spt(g, from);
+    TGC_CHECK_MSG(spt.reached(to), "boundary ring not connectable in graph");
+    for (VertexId u = to; u != from; u = spt.parent(u)) {
+      ring.cb.flip(spt.parent_edge(u));
+      ring.mask[u] = true;
+    }
+    ring.mask[from] = true;
+  }
+  return ring;
+}
+
+}  // namespace tgc::boundary

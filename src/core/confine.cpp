@@ -1,0 +1,59 @@
+#include "tgcover/core/confine.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::core {
+
+double blanket_gamma_threshold(unsigned tau) {
+  TGC_CHECK(tau >= 3);
+  return 2.0 * std::sin(std::numbers::pi / static_cast<double>(tau));
+}
+
+bool blanket_guaranteed(unsigned tau, double gamma) {
+  TGC_CHECK(gamma > 0.0);
+  return gamma <= blanket_gamma_threshold(tau) + 1e-12;
+}
+
+double paper_hole_diameter_bound(unsigned tau, double gamma, double rc) {
+  TGC_CHECK(tau >= 3 && rc > 0.0);
+  if (gamma > 2.0) return std::numeric_limits<double>::infinity();
+  if (blanket_guaranteed(tau, gamma)) return 0.0;
+  return static_cast<double>(tau - 2) * rc;
+}
+
+double refined_hole_diameter_bound(unsigned tau, double gamma, double rc) {
+  TGC_CHECK(tau >= 3 && rc > 0.0 && gamma > 0.0);
+  if (gamma > 2.0) return std::numeric_limits<double>::infinity();
+  if (blanket_guaranteed(tau, gamma)) return 0.0;
+  const double rs = rc / gamma;
+  const double h = std::sqrt(std::max(0.0, rs * rs - rc * rc / 4.0));
+  const double bound =
+      static_cast<double>(tau) * rc / 2.0 - std::numbers::pi * h;
+  return std::max(0.0, bound);
+}
+
+TauChoice max_admissible_tau(double gamma, double max_hole_diameter, double rc,
+                             unsigned tau_cap, bool use_refined_bound) {
+  TGC_CHECK(tau_cap >= 3);
+  TGC_CHECK(max_hole_diameter >= 0.0);
+  TauChoice choice;
+  for (unsigned tau = 3; tau <= tau_cap; ++tau) {
+    const bool blanket = blanket_guaranteed(tau, gamma);
+    const double bound = use_refined_bound
+                             ? refined_hole_diameter_bound(tau, gamma, rc)
+                             : paper_hole_diameter_bound(tau, gamma, rc);
+    const bool ok = blanket || bound <= max_hole_diameter + 1e-12;
+    if (ok && (tau > choice.tau || !choice.guaranteed)) {
+      choice.tau = tau;
+      choice.guaranteed = true;
+      choice.blanket = blanket;
+    }
+  }
+  return choice;
+}
+
+}  // namespace tgc::core

@@ -1,0 +1,112 @@
+#include "tgcover/core/distributed.hpp"
+
+#include <unordered_set>
+
+#include "tgcover/sim/khop.hpp"
+#include "tgcover/sim/mis.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::core {
+
+namespace {
+
+using graph::VertexId;
+
+constexpr std::uint32_t kMsgDeleted = 20;
+
+/// k-hop flood of the deleted node ids; every node that hears an id removes
+/// that node from its local view. Runs while the deleted nodes are still
+/// active so the notices propagate over the pre-deletion topology — exactly
+/// the set of nodes whose views mention them.
+void flood_deletions(sim::RoundEngine& engine,
+                     const std::vector<bool>& selected, unsigned k,
+                     std::vector<sim::LocalView>& views) {
+  const std::size_t n = engine.graph().num_vertices();
+  std::vector<std::unordered_set<VertexId>> heard(n);
+
+  for (unsigned round = 0; round <= k; ++round) {
+    engine.run_round([&](VertexId node, std::span<const sim::Message> inbox,
+                         sim::Mailer& mailer) {
+      std::vector<std::uint32_t> learned;
+      for (const sim::Message& msg : inbox) {
+        if (msg.type != kMsgDeleted) continue;
+        for (const std::uint32_t who : msg.payload) {
+          if (heard[node].insert(who).second) learned.push_back(who);
+        }
+      }
+      std::vector<std::uint32_t> to_send = std::move(learned);
+      if (round == 0 && selected[node]) to_send.push_back(node);
+      if (round < k && !to_send.empty()) {
+        mailer.broadcast(kMsgDeleted, to_send);
+      }
+    });
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (selected[v]) continue;  // about to power down anyway
+    for (const VertexId who : heard[v]) views[v].erase_node(who);
+  }
+}
+
+}  // namespace
+
+DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
+                                              const std::vector<bool>& internal,
+                                              const DccConfig& config) {
+  TGC_CHECK(internal.size() == g.num_vertices());
+  TGC_CHECK(config.tau >= 3);
+  TGC_CHECK_MSG(config.mis_priorities.empty(),
+                "custom MIS priorities are oracle-only");
+  const VptConfig vpt = config.vpt();
+  const unsigned k = vpt.effective_k();
+
+  DccDistributedResult out;
+  out.schedule.active.assign(g.num_vertices(), true);
+
+  sim::RoundEngine engine(g);
+  // Phase 0: every node collects its k-hop neighbourhood.
+  std::vector<sim::LocalView> views = sim::collect_k_hop_views(engine, k);
+
+  while (out.schedule.rounds < config.max_rounds) {
+    // Phase 1: local VPT verdicts — no communication needed.
+    std::vector<bool> candidate(g.num_vertices(), false);
+    std::size_t num_candidates = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!out.schedule.active[v] || !internal[v]) continue;
+      ++out.schedule.vpt_tests;
+      if (vpt_vertex_deletable_local(views[v], vpt)) {
+        candidate[v] = true;
+        ++num_candidates;
+      }
+    }
+    if (num_candidates == 0) break;
+    ++out.schedule.rounds;
+
+    // Phase 2: m-hop MIS election among candidates.
+    const std::uint64_t round_seed =
+        util::splitmix64(config.seed + out.schedule.rounds);
+    const sim::MisOutcome mis = sim::elect_mis_distributed(
+        engine, candidate, vpt.mis_radius(), round_seed);
+    out.mis_subrounds += mis.subrounds;
+
+    // Phase 3: deletion announcements, then power-down.
+    flood_deletions(engine, mis.selected, k, views);
+    std::size_t num_selected = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!mis.selected[v]) continue;
+      engine.deactivate(v);
+      out.schedule.active[v] = false;
+      ++out.schedule.deleted;
+      ++num_selected;
+    }
+    out.schedule.per_round.push_back(
+        DccRoundInfo{num_candidates, num_selected});
+  }
+
+  out.schedule.survivors = g.num_vertices() - out.schedule.deleted;
+  out.traffic = engine.stats();
+  return out;
+}
+
+}  // namespace tgc::core

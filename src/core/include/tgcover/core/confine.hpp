@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tgc::core {
+
+/// Proposition 1 — the coverage guarantees of τ-confine coverage as a
+/// function of the sensing ratio γ = Rc/Rs:
+///
+///   * blanket coverage (max hole diameter 0)      if γ ≤ 2·sin(π/τ);
+///   * partial coverage with Dmax ≤ (τ-2)·Rc       if 2·sin(π/τ) < γ ≤ 2;
+///   * no connectivity-based guarantee             if γ > 2.
+
+/// The largest sensing ratio for which every ≤τ-hop cycle is hole-free in
+/// any valid embedding: 2·sin(π/τ). (τ=3 → √3, τ=4 → √2, τ=6 → 1.)
+double blanket_gamma_threshold(unsigned tau);
+
+/// True iff τ-confine coverage guarantees full blanket coverage at ratio γ.
+bool blanket_guaranteed(unsigned tau, double gamma);
+
+/// The paper's worst-case hole-diameter bound for τ-confine coverage,
+/// (τ-2)·Rc, valid for γ ≤ 2. Returns +inf for γ > 2 (no guarantee).
+double paper_hole_diameter_bound(unsigned tau, double gamma, double rc);
+
+/// A tighter γ-aware diameter bound used only as a *selection policy* in the
+/// Fig. 4 bench (never as a correctness claim): a hole confined by a τ-hop
+/// cycle lies inside a closed polyline of perimeter ≤ τ·Rc and keeps a
+/// clearance h = sqrt(Rs² − Rc²/4) from it (for γ ≤ 2 every boundary point
+/// is within Rc/2 of a cycle node), giving Dmax ≤ τ·Rc/2 − π·h. See
+/// EXPERIMENTS.md for the discussion.
+double refined_hole_diameter_bound(unsigned tau, double gamma, double rc);
+
+/// τ-selection for a coverage requirement.
+struct TauChoice {
+  unsigned tau = 3;
+  /// Whether the requirement is actually guaranteed at this τ; false means
+  /// no τ in range satisfies it and `tau` is the best-effort fallback (3).
+  bool guaranteed = false;
+  bool blanket = false;  ///< guarantee comes from the blanket branch
+};
+
+/// The largest admissible confine size for a required maximum hole diameter
+/// `max_hole_diameter` (0 = blanket) at sensing ratio γ: the largest
+/// τ ∈ [3, tau_cap] whose Proposition-1 guarantee meets the requirement.
+/// Larger τ admits sparser coverage sets (Section III-C), so DCC always
+/// prefers the largest admissible τ. With `use_refined_bound` the selection
+/// additionally admits τ via the refined γ-aware diameter bound.
+TauChoice max_admissible_tau(double gamma, double max_hole_diameter, double rc,
+                             unsigned tau_cap, bool use_refined_bound = false);
+
+}  // namespace tgc::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "tgcover/core/scheduler.hpp"
+#include "tgcover/sim/engine.hpp"
+
+namespace tgc::core {
+
+struct DccDistributedResult {
+  DccResult schedule;            ///< same fields as the oracle result
+  sim::TrafficStats traffic;     ///< messages/words/engine-rounds consumed
+  std::size_t mis_subrounds = 0; ///< total Luby iterations across the run
+};
+
+/// DCC executed as a real distributed protocol on the message-passing
+/// simulator (Section V-B):
+///
+///   0.  k-round neighbourhood collection — every node gathers Γ^k(v);
+///   1.  every internal node tests VPT deletability *locally*;
+///   2.  candidates elect an m-hop MIS by randomized priorities;
+///   3.  MIS nodes announce deletion (k-hop flood so every holder of a stale
+///       view hears it), then power down; repeat from 1 until no candidates.
+///
+/// For equal configs this computes the *identical* surviving set as the
+/// oracle `dcc_schedule` (asserted by integration tests): verdicts are pure
+/// functions of local views kept consistent by the deletion floods, and MIS
+/// priorities derive from the same seed.
+DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
+                                              const std::vector<bool>& internal,
+                                              const DccConfig& config);
+
+}  // namespace tgc::core

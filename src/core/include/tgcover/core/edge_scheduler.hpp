@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/core/scheduler.hpp"
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::core {
+
+/// Link pruning with the τ-VPT *edge* operator.
+///
+/// Definition 5 defines the void-preserving transformation over both vertex
+/// and edge deletions; DCC's node scheduling uses only the vertex operator.
+/// This pass completes the picture: after (or instead of) node scheduling it
+/// iteratively removes communication links whose punctured neighbourhood is
+/// connected with all irreducible cycles ≤ τ — thinning the communication
+/// topology (less interference, fewer listeners per broadcast) while
+/// preserving the τ-partitionability of the boundary cycles (same Theorem-5
+/// argument: the edge operator is a VPT).
+struct EdgeScheduleResult {
+  std::vector<bool> edge_active;  ///< over g's edge ids
+  std::size_t kept = 0;
+  std::size_t pruned = 0;
+  std::size_t rounds = 0;
+  std::size_t vpt_tests = 0;
+};
+
+/// @param g            full topology
+/// @param node_active  awake nodes; links with a sleeping endpoint are
+///                     dropped up front (they do not exist physically)
+/// @param protected_edges edges that must survive (e.g. the boundary cycle
+///                     CB); may be empty for "protect nothing"
+EdgeScheduleResult dcc_schedule_edges(const graph::Graph& g,
+                                      const std::vector<bool>& node_active,
+                                      const util::Gf2Vector& protected_edges,
+                                      const DccConfig& config);
+
+}  // namespace tgc::core

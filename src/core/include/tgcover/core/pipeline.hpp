@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/core/scheduler.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::core {
+
+/// A deployment packaged with everything the scheduler and the verifier
+/// need: boundary labels (the paper's standing assumption, Section III-A),
+/// the deletable-node mask, the extracted boundary cycle CB, and the target
+/// area (the deployment area minus the periphery band).
+struct Network {
+  gen::Deployment dep;
+  std::vector<bool> boundary;
+  std::vector<bool> internal;
+  util::Gf2Vector cb;
+  geom::Rect target;
+};
+
+/// Labels the periphery band of width `band` (≥ Rc), extracts the outer
+/// boundary cycle from the drawing, and derives the target area. This is the
+/// standard simply-connected pipeline used by every bench and example.
+Network prepare_network(gen::Deployment dep, double band);
+
+/// Convenience wrapper: schedule + count the survivors among internal nodes.
+struct ScheduleSummary {
+  DccResult result;
+  std::size_t internal_survivors = 0;
+  std::size_t internal_total = 0;
+};
+
+ScheduleSummary run_dcc(const Network& net, const DccConfig& config);
+
+}  // namespace tgc::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::core {
+
+/// Connectivity-only quality-of-coverage assessment.
+///
+/// Section V-A: "Although the maximum size of irreducible cycles is mainly
+/// concerned to guarantee confine coverage, the minimum size of voids also
+/// beneficially reflects the quality of coverage". This report packages both
+/// (computed by Algorithm 1 on the active subgraph) together with the
+/// smallest confine size the network can actually certify — the effective
+/// QoC knob an application reads before choosing its τ.
+struct QualityReport {
+  std::size_t cycle_space_dim = 0;
+  /// Extremal irreducible (relevant) cycle sizes of the active subgraph;
+  /// 0 when the subgraph is a forest.
+  std::size_t min_void = 0;
+  std::size_t max_void = 0;
+  /// Smallest τ ∈ [3, tau_cap] for which CB is τ-partitionable in the active
+  /// subgraph — the tightest confine-coverage certificate available. 0 when
+  /// no τ up to the cap certifies.
+  unsigned certifiable_tau = 0;
+  /// Largest τ whose certificate is implied (= max(certifiable_tau, ...)):
+  /// any τ ≥ certifiable_tau certifies as well, so this is just the cap echo
+  /// for convenience when certifiable_tau > 0.
+  unsigned tau_cap = 0;
+
+  bool certifies(unsigned tau) const {
+    return certifiable_tau != 0 && tau >= certifiable_tau;
+  }
+};
+
+/// Assesses the active subgraph of `g` against the boundary cycle `cb`.
+/// `tau_cap` bounds the certificate search (barrier coverage corresponds to
+/// confine sizes of network scale — Section III-C — so pass a large cap to
+/// probe that regime).
+QualityReport assess_quality(const graph::Graph& g,
+                             const std::vector<bool>& active,
+                             const util::Gf2Vector& cb, unsigned tau_cap);
+
+}  // namespace tgc::core

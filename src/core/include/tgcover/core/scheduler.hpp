@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tgcover/core/vpt.hpp"
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::core {
+
+/// Configuration of a DCC scheduling run.
+struct DccConfig {
+  unsigned tau = 3;
+  /// Local radius override (0 → the minimum legal k = ⌈τ/2⌉).
+  unsigned k = 0;
+  /// Seed for the per-round MIS priorities. The oracle and distributed
+  /// executors produce identical schedules for identical seeds.
+  std::uint64_t seed = 1;
+  /// Safety cap on deletion rounds (the fixpoint terminates on its own).
+  std::size_t max_rounds = static_cast<std::size_t>(-1);
+  /// Disable the dirty-set verdict cache (re-test every node every round);
+  /// results are identical — exposed for the caching ablation bench.
+  bool disable_verdict_cache = false;
+  /// Optional fixed per-node MIS priorities (higher = deleted earlier),
+  /// overriding the seeded random ones. Used by the energy-aware lifetime
+  /// scheduler. Oracle executor only; must be empty for the distributed one.
+  std::vector<std::uint64_t> mis_priorities;
+
+  VptConfig vpt() const { return VptConfig{tau, k}; }
+};
+
+struct DccRoundInfo {
+  std::size_t candidates = 0;  ///< nodes whose VPT test passed this round
+  std::size_t deleted = 0;     ///< MIS size actually deleted
+};
+
+struct DccResult {
+  std::vector<bool> active;  ///< surviving nodes (the coverage set)
+  std::size_t survivors = 0;
+  std::size_t deleted = 0;
+  std::size_t rounds = 0;
+  std::vector<DccRoundInfo> per_round;
+  std::size_t vpt_tests = 0;  ///< VPT evaluations performed (cache ablation)
+};
+
+/// DCC — the paper's distributed confine-coverage scheduling (Section V-B) —
+/// executed by the centralized *oracle*: the exact deletion fixpoint of the
+/// distributed protocol (same VPT verdicts, same MIS priorities, same
+/// per-round deletions) computed without simulating messages. Use this for
+/// large parameter sweeps; `dcc_schedule_distributed` runs the real
+/// message-passing protocol and is proven equivalent by tests.
+///
+/// `internal[v]` marks deletable nodes; boundary nodes (and cone-filled
+/// boundary nodes / apexes in the multiply-connected case) must be false.
+DccResult dcc_schedule(const graph::Graph& g, const std::vector<bool>& internal,
+                       const DccConfig& config);
+
+/// Variant starting from a given awake set instead of the full network —
+/// nodes outside `initial_active` are treated as already asleep (they do not
+/// relay and are not counted as deleted). Powers incremental re-scheduling
+/// (see repair.hpp).
+DccResult dcc_schedule_from(const graph::Graph& g,
+                            const std::vector<bool>& internal,
+                            const std::vector<bool>& initial_active,
+                            const DccConfig& config);
+
+}  // namespace tgc::core

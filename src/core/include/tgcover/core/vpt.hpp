@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/sim/khop.hpp"
+
+namespace tgc::core {
+
+/// Parameters of the τ-void-preserving transformation (Definition 5).
+struct VptConfig {
+  unsigned tau = 3;
+  /// Local neighbourhood radius; 0 selects the minimum legal k = ⌈τ/2⌉.
+  unsigned k = 0;
+
+  unsigned effective_k() const { return k != 0 ? k : (tau + 1) / 2; }
+  /// MIS blocking radius: selected nodes end up pairwise ≥ k+1 = ⌈τ/2⌉+1 = m
+  /// hops apart, the independence distance of Section V-B.
+  unsigned mis_radius() const { return effective_k(); }
+};
+
+/// The τ-VPT vertex-deletability test (Definition 5): vertex `v` may be
+/// deleted iff its punctured k-hop neighbourhood Γ^k(v) — the subgraph
+/// induced by the nodes within k hops of v, v excluded — is connected and
+/// the maximum irreducible cycle of Γ^k(v) is bounded by τ. The second
+/// condition is evaluated as "cycles of length ≤ τ span Γ^k(v)'s cycle
+/// space" (equivalent; DESIGN.md §3), with early exit.
+///
+/// `active` masks the current topology; `v` must be active.
+bool vpt_vertex_deletable(const graph::Graph& g,
+                          const std::vector<bool>& active, graph::VertexId v,
+                          const VptConfig& config);
+
+/// Same test evaluated on a node's local view (the data a real node has
+/// after the k-hop collection protocol). Produces exactly the same verdict
+/// as the oracle variant on a consistent view — the distributed/oracle
+/// equivalence tests rely on this.
+bool vpt_vertex_deletable_local(const sim::LocalView& view,
+                                const VptConfig& config);
+
+/// The τ-VPT edge-deletability test: edge (u, v) may be deleted iff the
+/// k-hop neighbourhood of the edge (nodes within k hops of u or v) minus the
+/// edge itself is connected with maximum irreducible cycle ≤ τ. DCC
+/// schedules vertices; the edge operator completes Definition 5 and powers
+/// the link-pruning extension exercised in tests and ablations.
+bool vpt_edge_deletable(const graph::Graph& g, const std::vector<bool>& active,
+                        graph::EdgeId e, const VptConfig& config);
+
+}  // namespace tgc::core

@@ -1,0 +1,123 @@
+#include "tgcover/core/lifetime.hpp"
+
+#include <cmath>
+
+#include "tgcover/core/criterion.hpp"
+#include "tgcover/sim/mis.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::core {
+
+namespace {
+
+using graph::VertexId;
+
+/// Energy-aware deletion priorities: the lower a node's remaining energy,
+/// the earlier it should be put to sleep. The energy deficit occupies the
+/// high bits; a per-node hash breaks ties deterministically.
+std::vector<std::uint64_t> energy_priorities(const std::vector<double>& energy,
+                                             double initial,
+                                             std::uint64_t seed) {
+  std::vector<std::uint64_t> priorities(energy.size());
+  for (VertexId v = 0; v < energy.size(); ++v) {
+    const double deficit = std::max(0.0, initial - energy[v]);
+    const auto coarse =
+        static_cast<std::uint64_t>(std::llround(deficit * 1024.0));
+    priorities[v] = (coarse << 32) |
+                    (sim::mis_priority(seed, v) & 0xffffffffull);
+  }
+  return priorities;
+}
+
+}  // namespace
+
+LifetimeResult simulate_lifetime(const graph::Graph& g,
+                                 const std::vector<bool>& internal,
+                                 const util::Gf2Vector& cb,
+                                 const LifetimeOptions& options) {
+  const std::size_t n = g.num_vertices();
+  TGC_CHECK(internal.size() == n);
+  TGC_CHECK(cb.size() == g.num_edges());
+  TGC_CHECK(options.energy.initial > options.energy.depleted_below);
+  TGC_CHECK(options.energy.awake_cost > 0.0);
+
+  LifetimeResult result;
+  std::vector<double> energy(n, options.energy.initial);
+  if (options.energy.initial_jitter > 0.0) {
+    // Only the battery-powered interior is heterogeneous; boundary nodes are
+    // mains-powered and keep the nominal value (and never drain below it).
+    util::Rng battery_rng(util::splitmix64(options.dcc.seed ^ 0xba77e51));
+    for (VertexId v = 0; v < n; ++v) {
+      const double jittered =
+          options.energy.initial *
+          battery_rng.uniform(1.0 - options.energy.initial_jitter,
+                              1.0 + options.energy.initial_jitter);
+      if (internal[v]) energy[v] = jittered;
+    }
+  }
+  std::vector<bool> alive(n, true);
+  std::vector<bool> awake(n, true);
+  std::vector<bool> static_plan;  // kStatic's one-shot schedule
+
+  for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // Deaths from the previous epoch's drain. Boundary (non-internal) nodes
+    // are mains-powered (perimeter infrastructure) and never die — without
+    // that assumption every policy's lifetime is capped by the always-awake
+    // boundary, masking what rotation buys the battery-powered interior.
+    for (VertexId v = 0; v < n; ++v) {
+      if (internal[v] && energy[v] < options.energy.depleted_below) {
+        alive[v] = false;
+      }
+    }
+
+    // Decide this epoch's awake set.
+    DccConfig config = options.dcc;
+    config.seed = options.dcc.seed + 0x11fe * (epoch + 1);
+    switch (options.policy) {
+      case RotationPolicy::kStatic:
+        if (static_plan.empty()) {
+          static_plan = dcc_schedule_from(g, internal, alive, config).active;
+        }
+        for (VertexId v = 0; v < n; ++v) {
+          awake[v] = static_plan[v] && alive[v];
+        }
+        break;
+      case RotationPolicy::kReschedule:
+        awake = dcc_schedule_from(g, internal, alive, config).active;
+        break;
+      case RotationPolicy::kEnergyAware:
+        config.mis_priorities =
+            energy_priorities(energy, options.energy.initial, config.seed);
+        awake = dcc_schedule_from(g, internal, alive, config).active;
+        break;
+    }
+
+    EpochInfo info;
+    for (VertexId v = 0; v < n; ++v) {
+      if (awake[v]) ++info.awake;
+      if (alive[v]) ++info.alive;
+    }
+    info.certified_tau =
+        smallest_certifiable_tau(g, awake, cb, options.tau_cap);
+    result.timeline.push_back(info);
+    if (info.certified_tau == 0) {
+      result.final_energy = energy;
+      return result;  // lifetime = certified epochs so far
+    }
+    ++result.lifetime;
+    if (info.certified_tau <= options.dcc.tau) ++result.fine_epochs;
+
+    // Drain.
+    for (VertexId v = 0; v < n; ++v) {
+      if (!internal[v] || !alive[v]) continue;  // boundary powered; dead flat
+      energy[v] -= awake[v] ? options.energy.awake_cost
+                            : options.energy.asleep_cost;
+    }
+  }
+  result.censored = true;
+  result.final_energy = energy;
+  return result;
+}
+
+}  // namespace tgc::core

@@ -1,0 +1,40 @@
+#include "tgcover/core/pipeline.hpp"
+
+#include "tgcover/boundary/ring_select.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::core {
+
+Network prepare_network(gen::Deployment dep, double band) {
+  TGC_CHECK(band >= dep.rc);
+  Network net;
+  // A thin connected boundary ring inside the periphery band — what the
+  // fine-grained boundary recognition of [13] would report (see
+  // boundary/ring_select.hpp). The ring sits mid-band so the target area
+  // (the deployment area minus the band) lies inside CB.
+  const boundary::BoundaryRing ring = boundary::select_boundary_ring(
+      dep.graph, dep.positions, dep.area, band / 2.0, 0.9 * dep.rc);
+  net.boundary = ring.mask;
+  net.cb = ring.cb;
+  const std::size_t n = dep.graph.num_vertices();
+  net.internal.resize(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    net.internal[v] = !net.boundary[v];
+  }
+  net.target = dep.area.shrunk(band);
+  net.dep = std::move(dep);
+  return net;
+}
+
+ScheduleSummary run_dcc(const Network& net, const DccConfig& config) {
+  ScheduleSummary summary;
+  summary.result = dcc_schedule(net.dep.graph, net.internal, config);
+  for (graph::VertexId v = 0; v < net.dep.graph.num_vertices(); ++v) {
+    if (!net.internal[v]) continue;
+    ++summary.internal_total;
+    if (summary.result.active[v]) ++summary.internal_survivors;
+  }
+  return summary;
+}
+
+}  // namespace tgc::core

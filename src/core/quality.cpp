@@ -1,0 +1,30 @@
+#include "tgcover/core/quality.hpp"
+
+#include "tgcover/core/criterion.hpp"
+#include "tgcover/cycle/horton.hpp"
+#include "tgcover/cycle/span.hpp"
+#include "tgcover/graph/subgraph.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::core {
+
+QualityReport assess_quality(const graph::Graph& g,
+                             const std::vector<bool>& active,
+                             const util::Gf2Vector& cb, unsigned tau_cap) {
+  TGC_CHECK(active.size() == g.num_vertices());
+  TGC_CHECK(tau_cap >= 3);
+  QualityReport report;
+  report.tau_cap = tau_cap;
+
+  const graph::Graph filtered = graph::filter_active(g, active);
+  const auto bounds = cycle::irreducible_cycle_bounds(filtered);
+  report.cycle_space_dim = bounds.cycle_space_dim;
+  report.min_void = bounds.min_size;
+  report.max_void = bounds.max_size;
+
+  // Smallest certifying τ (monotone in τ, binary search; shared helper).
+  report.certifiable_tau = smallest_certifiable_tau(g, active, cb, tau_cap);
+  return report;
+}
+
+}  // namespace tgc::core

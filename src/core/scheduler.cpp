@@ -1,0 +1,130 @@
+#include "tgcover/core/scheduler.hpp"
+
+#include <deque>
+
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/sim/mis.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::core {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Marks every active node within `radius` hops of `source` (over the
+/// active topology, `source` included) in `out`.
+void mark_ball(const Graph& g, const std::vector<bool>& active,
+               VertexId source, unsigned radius, std::vector<bool>& out) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), graph::kUnreached);
+  dist[source] = 0;
+  out[source] = true;
+  std::deque<VertexId> queue{source};
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == radius) continue;
+    for (const VertexId w : g.neighbors(u)) {
+      if (active[w] && dist[w] == graph::kUnreached) {
+        dist[w] = dist[u] + 1;
+        out[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DccResult dcc_schedule(const Graph& g, const std::vector<bool>& internal,
+                       const DccConfig& config) {
+  return dcc_schedule_from(g, internal,
+                           std::vector<bool>(g.num_vertices(), true), config);
+}
+
+DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
+                            const std::vector<bool>& initial_active,
+                            const DccConfig& config) {
+  TGC_CHECK(internal.size() == g.num_vertices());
+  TGC_CHECK(initial_active.size() == g.num_vertices());
+  TGC_CHECK(config.tau >= 3);
+  const VptConfig vpt = config.vpt();
+  const unsigned k = vpt.effective_k();
+
+  DccResult result;
+  result.active = initial_active;
+
+  // Cached VPT verdicts. A verdict depends only on the punctured k-hop
+  // neighbourhood, so it stays valid until a deletion occurs within k hops.
+  enum class Verdict : char { kUnknown, kDeletable, kNotDeletable };
+  std::vector<Verdict> verdict(g.num_vertices(), Verdict::kUnknown);
+  std::vector<bool> dirty(g.num_vertices(), true);
+
+  while (result.rounds < config.max_rounds) {
+    // Step 1 (Section V-B): every internal node tests its own deletability
+    // from local connectivity.
+    std::vector<bool> candidate(g.num_vertices(), false);
+    std::size_t num_candidates = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!result.active[v] || !internal[v]) continue;
+      if (dirty[v] || config.disable_verdict_cache ||
+          verdict[v] == Verdict::kUnknown) {
+        ++result.vpt_tests;
+        verdict[v] = vpt_vertex_deletable(g, result.active, v, vpt)
+                         ? Verdict::kDeletable
+                         : Verdict::kNotDeletable;
+        dirty[v] = false;
+      }
+      if (verdict[v] == Verdict::kDeletable) {
+        candidate[v] = true;
+        ++num_candidates;
+      }
+    }
+    if (num_candidates == 0) break;
+    ++result.rounds;
+
+    // Step 2: an m-hop MIS among the candidates is elected; its members can
+    // delete themselves simultaneously (pairwise distance ≥ k+1 keeps their
+    // punctured neighbourhoods disjoint from each other).
+    std::vector<bool> selected;
+    if (config.mis_priorities.empty()) {
+      const std::uint64_t round_seed =
+          util::splitmix64(config.seed + result.rounds);
+      selected = sim::elect_mis_oracle(g, result.active, candidate,
+                                       vpt.mis_radius(), round_seed);
+    } else {
+      selected = sim::elect_mis_oracle_with_priorities(
+          g, result.active, candidate, vpt.mis_radius(),
+          config.mis_priorities);
+    }
+
+    // Step 3: delete the MIS; verdicts within k hops of a deletion (over the
+    // pre-deletion topology) become stale.
+    std::vector<bool> stale(g.num_vertices(), false);
+    std::size_t num_selected = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!selected[v]) continue;
+      mark_ball(g, result.active, v, k, stale);
+      ++num_selected;
+    }
+    TGC_CHECK(num_selected > 0);  // a MIS of a non-empty set is non-empty
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (selected[v]) {
+        result.active[v] = false;
+        ++result.deleted;
+      }
+      if (stale[v]) dirty[v] = true;
+    }
+    result.per_round.push_back(DccRoundInfo{num_candidates, num_selected});
+  }
+
+  result.survivors = 0;
+  for (const bool a : result.active) {
+    if (a) ++result.survivors;
+  }
+  return result;
+}
+
+}  // namespace tgc::core

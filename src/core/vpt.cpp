@@ -1,0 +1,136 @@
+#include "tgcover/core/vpt.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "tgcover/cycle/span.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/graph/subgraph.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::core {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// BFS over the active topology from `source`, truncated at `k` hops;
+/// returns the visited vertices excluding the source, sorted by id.
+std::vector<VertexId> active_k_hop(const Graph& g,
+                                   const std::vector<bool>& active,
+                                   VertexId source, unsigned k) {
+  std::unordered_map<VertexId, unsigned> dist;
+  dist.emplace(source, 0);
+  std::deque<VertexId> queue{source};
+  std::vector<VertexId> out;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    const unsigned du = dist.at(u);
+    if (du == k) continue;
+    for (const VertexId w : g.neighbors(u)) {
+      if (!active[w] || dist.count(w) > 0) continue;
+      dist.emplace(w, du + 1);
+      out.push_back(w);
+      queue.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The two Definition-5 conditions on an already-built punctured
+/// neighbourhood graph.
+bool neighbourhood_passes(const Graph& punctured, unsigned tau) {
+  if (punctured.num_vertices() == 0) return true;  // nothing local to preserve
+  if (!graph::is_connected(punctured)) return false;
+  return cycle::short_cycles_span(punctured, tau);
+}
+
+}  // namespace
+
+bool vpt_vertex_deletable(const Graph& g, const std::vector<bool>& active,
+                          VertexId v, const VptConfig& config) {
+  TGC_CHECK(active.size() == g.num_vertices());
+  TGC_CHECK_MSG(active[v], "VPT test on inactive vertex " << v);
+  const unsigned k = config.effective_k();
+  const std::vector<VertexId> members = active_k_hop(g, active, v, k);
+  const graph::InducedSubgraph punctured = graph::induce_vertices(g, members);
+  return neighbourhood_passes(punctured.graph, config.tau);
+}
+
+bool vpt_vertex_deletable_local(const sim::LocalView& view,
+                                const VptConfig& config) {
+  TGC_CHECK(view.owner != graph::kInvalidVertex);
+  const unsigned k = config.effective_k();
+
+  // BFS inside the view: deletions may have lengthened paths since the view
+  // was collected, so recompute which recorded nodes are still within k hops.
+  std::unordered_map<VertexId, unsigned> dist;
+  dist.emplace(view.owner, 0);
+  std::deque<VertexId> queue{view.owner};
+  std::vector<VertexId> members;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    const unsigned du = dist.at(u);
+    if (du == k) continue;
+    const auto it = view.adjacency.find(u);
+    if (it == view.adjacency.end()) continue;
+    for (const VertexId w : it->second) {
+      if (dist.count(w) > 0) continue;
+      dist.emplace(w, du + 1);
+      members.push_back(w);
+      queue.push_back(w);
+    }
+  }
+  std::sort(members.begin(), members.end());
+
+  // Build the punctured neighbourhood from the view's adjacency records.
+  std::unordered_map<VertexId, VertexId> local_of;
+  for (VertexId i = 0; i < members.size(); ++i) local_of.emplace(members[i], i);
+  graph::GraphBuilder builder(members.size());
+  for (const VertexId u : members) {
+    const auto it = view.adjacency.find(u);
+    if (it == view.adjacency.end()) continue;
+    for (const VertexId w : it->second) {
+      const auto lw = local_of.find(w);
+      if (lw != local_of.end()) builder.add_edge(local_of.at(u), lw->second);
+    }
+  }
+  return neighbourhood_passes(builder.build(), config.tau);
+}
+
+bool vpt_edge_deletable(const Graph& g, const std::vector<bool>& active,
+                        graph::EdgeId e, const VptConfig& config) {
+  TGC_CHECK(active.size() == g.num_vertices());
+  const auto [u, v] = g.edge(e);
+  TGC_CHECK(active[u] && active[v]);
+  const unsigned k = config.effective_k();
+
+  std::vector<VertexId> members = active_k_hop(g, active, u, k);
+  const std::vector<VertexId> from_v = active_k_hop(g, active, v, k);
+  members.push_back(u);  // the edge's endpoints stay; only the link goes
+  for (const VertexId w : from_v) members.push_back(w);
+  members.push_back(v);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
+  std::unordered_map<VertexId, VertexId> local_of;
+  for (VertexId i = 0; i < members.size(); ++i) local_of.emplace(members[i], i);
+  graph::GraphBuilder builder(members.size());
+  for (const VertexId a : members) {
+    for (const VertexId b : g.neighbors(a)) {
+      if (!active[b]) continue;
+      const auto lb = local_of.find(b);
+      if (lb == local_of.end()) continue;
+      if ((a == u && b == v) || (a == v && b == u)) continue;  // puncture
+      builder.add_edge(local_of.at(a), lb->second);
+    }
+  }
+  return neighbourhood_passes(builder.build(), config.tau);
+}
+
+}  // namespace tgc::core

@@ -1,0 +1,76 @@
+#include "tgcover/cycle/candidates.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::cycle {
+
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::ShortestPathTree;
+using graph::VertexId;
+
+/// Incidence vector of the fundamental cycle of chord (x, y) in `spt`.
+util::Gf2Vector fundamental_cycle(const Graph& g, const ShortestPathTree& spt,
+                                  VertexId x, VertexId y, EdgeId chord,
+                                  VertexId lca) {
+  util::Gf2Vector vec(g.num_edges());
+  for (VertexId u = x; u != lca; u = spt.parent(u)) vec.set(spt.parent_edge(u));
+  for (VertexId u = y; u != lca; u = spt.parent(u)) vec.set(spt.parent_edge(u));
+  vec.set(chord);
+  return vec;
+}
+
+}  // namespace
+
+std::vector<CandidateCycle> fundamental_cycle_candidates(
+    const Graph& g, const CandidateOptions& options) {
+  std::vector<CandidateCycle> out;
+  // Dedup by content hash; collisions are resolved by comparing vectors.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> seen;
+
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    const ShortestPathTree spt(g, root, options.depth_limit);
+    for (VertexId x = 0; x < g.num_vertices(); ++x) {
+      if (!spt.reached(x)) continue;
+      const auto nbrs = g.neighbors(x);
+      const auto eids = g.incident_edges(x);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId y = nbrs[i];
+        if (y <= x || !spt.reached(y)) continue;  // each chord once per tree
+        const EdgeId e = eids[i];
+        if (spt.parent_edge(x) == e || spt.parent_edge(y) == e) continue;
+        const VertexId lca = spt.lca(x, y);
+        if (options.lca_at_root_only && lca != root) continue;
+        const std::uint32_t len =
+            spt.depth(x) + spt.depth(y) + 1 - 2 * spt.depth(lca);
+        if (len > options.max_length) continue;
+        if (len < 3) continue;  // chord parallel to a tree edge cannot occur
+                                // in a simple graph; defensive only
+        util::Gf2Vector vec = fundamental_cycle(g, spt, x, y, e, lca);
+        const std::uint64_t h = vec.hash();
+        auto& bucket = seen[h];
+        const bool duplicate =
+            std::any_of(bucket.begin(), bucket.end(), [&](std::size_t idx) {
+              return out[idx].edges == vec;
+            });
+        if (duplicate) continue;
+        bucket.push_back(out.size());
+        out.push_back(CandidateCycle{std::move(vec), len});
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CandidateCycle& a, const CandidateCycle& b) {
+                     return a.length < b.length;
+                   });
+  return out;
+}
+
+}  // namespace tgc::cycle

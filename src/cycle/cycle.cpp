@@ -1,0 +1,140 @@
+#include "tgcover/cycle/cycle.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::cycle {
+
+Cycle::Cycle(util::Gf2Vector edges)
+    : edges_(std::move(edges)), length_(edges_.popcount()) {}
+
+Cycle Cycle::from_vertex_sequence(const graph::Graph& g,
+                                  std::span<const graph::VertexId> vertices) {
+  TGC_CHECK_MSG(vertices.size() >= 3, "a cycle needs at least 3 vertices");
+  util::Gf2Vector vec(g.num_edges());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const graph::VertexId u = vertices[i];
+    const graph::VertexId v = vertices[(i + 1) % vertices.size()];
+    const auto e = g.edge_between(u, v);
+    TGC_CHECK_MSG(e.has_value(),
+                  "vertex sequence is not a closed walk: no edge (" << u << ","
+                                                                    << v << ")");
+    TGC_CHECK_MSG(!vec.test(*e), "edge (" << u << "," << v
+                                          << ") repeated in vertex sequence");
+    vec.set(*e);
+  }
+  return Cycle(std::move(vec));
+}
+
+void Cycle::add(const Cycle& other) {
+  edges_.xor_assign(other.edges_);
+  refresh_length();
+}
+
+bool is_cycle_space_element(const graph::Graph& g,
+                            const util::Gf2Vector& edges) {
+  TGC_CHECK(edges.size() == g.num_edges());
+  std::unordered_map<graph::VertexId, unsigned> degree;
+  edges.for_each_set_bit([&](std::size_t e) {
+    const auto [u, v] = g.edge(static_cast<graph::EdgeId>(e));
+    ++degree[u];
+    ++degree[v];
+  });
+  for (const auto& [v, d] : degree) {
+    (void)v;
+    if (d % 2 != 0) return false;
+  }
+  return true;
+}
+
+bool is_simple_cycle(const graph::Graph& g, const util::Gf2Vector& edges) {
+  TGC_CHECK(edges.size() == g.num_edges());
+  std::unordered_map<graph::VertexId, unsigned> degree;
+  std::size_t edge_count = 0;
+  edges.for_each_set_bit([&](std::size_t e) {
+    const auto [u, v] = g.edge(static_cast<graph::EdgeId>(e));
+    ++degree[u];
+    ++degree[v];
+    ++edge_count;
+  });
+  if (edge_count == 0) return false;
+  for (const auto& [v, d] : degree) {
+    (void)v;
+    if (d != 2) return false;
+  }
+  // With all degrees 2, the selected edges are a disjoint union of simple
+  // cycles; a single cycle has exactly as many vertices as edges and is
+  // connected — walk from any edge and count reachable selected edges.
+  if (degree.size() != edge_count) return false;
+  // Walk the cycle starting from an arbitrary selected edge.
+  const std::size_t first = edges.lowest_set_bit();
+  const auto [start, next0] = g.edge(static_cast<graph::EdgeId>(first));
+  graph::VertexId prev = start;
+  graph::VertexId cur = next0;
+  std::size_t steps = 1;
+  while (cur != start) {
+    graph::VertexId nxt = graph::kInvalidVertex;
+    const auto nbrs = g.neighbors(cur);
+    const auto eids = g.incident_edges(cur);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (edges.test(eids[i]) && nbrs[i] != prev) {
+        nxt = nbrs[i];
+        break;
+      }
+    }
+    if (nxt == graph::kInvalidVertex) return false;
+    prev = cur;
+    cur = nxt;
+    ++steps;
+  }
+  return steps == edge_count;
+}
+
+std::vector<graph::VertexId> cycle_vertices(const graph::Graph& g,
+                                            const util::Gf2Vector& edges) {
+  TGC_CHECK_MSG(is_simple_cycle(g, edges), "not a simple cycle");
+  // Smallest incident vertex as the anchor.
+  graph::VertexId start = graph::kInvalidVertex;
+  edges.for_each_set_bit([&](std::size_t e) {
+    const auto [u, v] = g.edge(static_cast<graph::EdgeId>(e));
+    start = std::min({start, u, v});
+  });
+  // Its two cycle neighbors; walk toward the smaller one.
+  std::vector<graph::VertexId> nbrs;
+  const auto adjacency = g.neighbors(start);
+  const auto eids = g.incident_edges(start);
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    if (edges.test(eids[i])) nbrs.push_back(adjacency[i]);
+  }
+  TGC_CHECK(nbrs.size() == 2);
+  std::vector<graph::VertexId> out{start};
+  graph::VertexId prev = start;
+  graph::VertexId cur = std::min(nbrs[0], nbrs[1]);
+  while (cur != start) {
+    out.push_back(cur);
+    const auto cn = g.neighbors(cur);
+    const auto ce = g.incident_edges(cur);
+    graph::VertexId nxt = graph::kInvalidVertex;
+    for (std::size_t i = 0; i < cn.size(); ++i) {
+      if (edges.test(ce[i]) && cn[i] != prev) {
+        nxt = cn[i];
+        break;
+      }
+    }
+    TGC_CHECK(nxt != graph::kInvalidVertex);
+    prev = cur;
+    cur = nxt;
+  }
+  return out;
+}
+
+Cycle cycle_sum(std::span<const Cycle> cycles) {
+  TGC_CHECK(!cycles.empty());
+  Cycle acc = cycles.front();
+  for (std::size_t i = 1; i < cycles.size(); ++i) acc.add(cycles[i]);
+  return acc;
+}
+
+}  // namespace tgc::cycle

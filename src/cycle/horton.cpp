@@ -1,0 +1,46 @@
+#include "tgcover/cycle/horton.hpp"
+
+#include "tgcover/cycle/candidates.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/gf2_elim.hpp"
+
+namespace tgc::cycle {
+
+MinimumCycleBasis minimum_cycle_basis(const graph::Graph& g,
+                                      bool lca_at_root_only) {
+  const std::size_t nu = graph::cycle_space_dimension(g);
+  MinimumCycleBasis mcb;
+  if (nu == 0) return mcb;
+
+  CandidateOptions options;
+  options.lca_at_root_only = lca_at_root_only;
+  const auto candidates = fundamental_cycle_candidates(g, options);
+
+  util::Gf2Eliminator elim(g.num_edges());
+  for (const CandidateCycle& cand : candidates) {
+    if (elim.rank() == nu) break;
+    // Greedy step (Algorithm 1, lines 10-14): accept the shortest remaining
+    // candidate that is linearly independent of the selected ones.
+    if (elim.insert(cand.edges)) {
+      mcb.cycles.emplace_back(cand.edges);
+      mcb.total_length += cand.length;
+    }
+  }
+  TGC_CHECK_MSG(elim.rank() == nu,
+                "Horton candidate set failed to span the cycle space (rank "
+                    << elim.rank() << " of " << nu << ")");
+  return mcb;
+}
+
+IrreducibleCycleBounds irreducible_cycle_bounds(const graph::Graph& g) {
+  IrreducibleCycleBounds bounds;
+  bounds.cycle_space_dim = graph::cycle_space_dimension(g);
+  if (bounds.cycle_space_dim == 0) return bounds;
+  const MinimumCycleBasis mcb = minimum_cycle_basis(g);
+  bounds.min_size = mcb.min_length();
+  bounds.max_size = mcb.max_length();
+  return bounds;
+}
+
+}  // namespace tgc::cycle

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::cycle {
+
+/// An element of the GF(2) cycle space of a graph, identified by its edge
+/// incidence vector b(C) (Section IV-A). A *simple* cycle has every incident
+/// vertex of degree exactly two and is connected; general elements are
+/// edge-disjoint unions of simple cycles. Cycle addition is XOR of the
+/// incidence vectors (the symmetric difference C1 ⊕ C2).
+class Cycle {
+ public:
+  Cycle() = default;
+
+  /// Wraps an incidence vector (must have one bit per edge of the graph it
+  /// refers to; the association with a Graph is by convention, not stored).
+  explicit Cycle(util::Gf2Vector edges);
+
+  /// Builds the incidence vector of the closed vertex walk v0 v1 ... vk v0.
+  /// Every consecutive pair (and the closing pair) must be an edge of `g`.
+  static Cycle from_vertex_sequence(const graph::Graph& g,
+                                    std::span<const graph::VertexId> vertices);
+
+  const util::Gf2Vector& edges() const { return edges_; }
+  util::Gf2Vector& edges() { return edges_; }
+
+  /// |C| — the number of edges.
+  std::size_t length() const { return length_; }
+
+  bool empty() const { return length_ == 0; }
+
+  /// GF(2) sum: *this := *this ⊕ other.
+  void add(const Cycle& other);
+
+  /// Recomputes the cached length after direct edits of `edges()`.
+  void refresh_length() { length_ = edges_.popcount(); }
+
+ private:
+  util::Gf2Vector edges_;
+  std::size_t length_ = 0;
+};
+
+/// True iff `edges` is an element of the cycle space of `g` (every vertex has
+/// even degree in the sub-multigraph selected by the vector).
+bool is_cycle_space_element(const graph::Graph& g,
+                            const util::Gf2Vector& edges);
+
+/// True iff `edges` selects a single simple cycle (connected, all selected
+/// degrees exactly 2, non-empty).
+bool is_simple_cycle(const graph::Graph& g, const util::Gf2Vector& edges);
+
+/// GF(2) sum of a set of cycles (all must share the same edge-vector width).
+Cycle cycle_sum(std::span<const Cycle> cycles);
+
+/// The vertex sequence of a *simple* cycle (as validated by
+/// `is_simple_cycle`), starting from its smallest vertex, orientation toward
+/// the smaller of its two neighbors. Used to print human-readable partition
+/// certificates.
+std::vector<graph::VertexId> cycle_vertices(const graph::Graph& g,
+                                            const util::Gf2Vector& edges);
+
+}  // namespace tgc::cycle

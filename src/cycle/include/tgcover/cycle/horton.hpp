@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tgcover/cycle/cycle.hpp"
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::cycle {
+
+/// A minimum cycle basis (MCB): a basis of the GF(2) cycle space with minimum
+/// total length. All MCBs of a graph share the same multiset of cycle
+/// lengths, so min/max lengths are graph invariants.
+struct MinimumCycleBasis {
+  std::vector<Cycle> cycles;  ///< sorted by non-decreasing length
+  std::size_t total_length = 0;
+
+  std::size_t min_length() const {
+    return cycles.empty() ? 0 : cycles.front().length();
+  }
+  std::size_t max_length() const {
+    return cycles.empty() ? 0 : cycles.back().length();
+  }
+};
+
+/// Computes an MCB with the modified Horton algorithm of Algorithm 1:
+/// candidate cycles from per-root shortest-path trees, sorted by length,
+/// greedily accepted when linearly independent (Gaussian elimination over
+/// GF(2)). `lca_at_root_only` selects the literal candidate set of the
+/// paper's pseudo-code; the default uses all rooted fundamental cycles,
+/// which yields the same basis length multiset (DESIGN.md §3).
+MinimumCycleBasis minimum_cycle_basis(const graph::Graph& g,
+                                      bool lca_at_root_only = false);
+
+/// Output of Algorithm 1: the minimum and maximum sizes of irreducible
+/// (relevant) cycles of a graph. A cycle is irreducible if it cannot be
+/// written as a sum of strictly shorter cycles; the extremal irreducible
+/// lengths equal the extremal lengths of any MCB (Theorem 4).
+///
+/// For a forest (trivial cycle space) both sizes are reported as 0.
+struct IrreducibleCycleBounds {
+  std::size_t min_size = 0;
+  std::size_t max_size = 0;
+  std::size_t cycle_space_dim = 0;
+};
+
+IrreducibleCycleBounds irreducible_cycle_bounds(const graph::Graph& g);
+
+}  // namespace tgc::cycle

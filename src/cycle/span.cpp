@@ -1,0 +1,139 @@
+#include "tgcover/cycle/span.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::cycle {
+
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::ShortestPathTree;
+using graph::VertexId;
+
+/// Shared per-root candidate enumeration for the streaming span test:
+/// calls `sink(vec, length)` for every fundamental cycle of length ≤ tau of
+/// the depth-⌊τ/2⌋ tree rooted at `root`. Returns false early when the sink
+/// asks to stop.
+template <typename Sink>
+bool emit_root_candidates(const Graph& g, VertexId root, std::uint32_t tau,
+                          Sink&& sink) {
+  const ShortestPathTree spt(g, root, tau / 2);
+  for (VertexId x = 0; x < g.num_vertices(); ++x) {
+    if (!spt.reached(x)) continue;
+    const auto nbrs = g.neighbors(x);
+    const auto eids = g.incident_edges(x);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId y = nbrs[i];
+      if (y <= x || !spt.reached(y)) continue;
+      const EdgeId e = eids[i];
+      if (spt.parent_edge(x) == e || spt.parent_edge(y) == e) continue;
+      const VertexId lca = spt.lca(x, y);
+      const std::uint32_t len =
+          spt.depth(x) + spt.depth(y) + 1 - 2 * spt.depth(lca);
+      if (len > tau) continue;
+      util::Gf2Vector vec(g.num_edges());
+      for (VertexId u = x; u != lca; u = spt.parent(u))
+        vec.set(spt.parent_edge(u));
+      for (VertexId u = y; u != lca; u = spt.parent(u))
+        vec.set(spt.parent_edge(u));
+      vec.set(e);
+      if (!sink(std::move(vec), len)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Streams all short-cycle candidates into an eliminator, stopping early as
+/// soon as the rank reaches `nu` (S_τ then spans the whole cycle space).
+util::Gf2Eliminator build_streaming_basis(const Graph& g, std::uint32_t tau,
+                                          std::size_t nu) {
+  util::Gf2Eliminator elim(g.num_edges());
+  // Identical candidates are regenerated from many roots, and every
+  // dependent insert costs a full reduction pass, so dedup by content hash
+  // with exact comparison on collision.
+  std::unordered_map<std::uint64_t, std::vector<util::Gf2Vector>> seen;
+
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    const bool keep_going = emit_root_candidates(
+        g, root, tau, [&](util::Gf2Vector vec, std::uint32_t /*len*/) {
+          auto& bucket = seen[vec.hash()];
+          for (const auto& prev : bucket) {
+            if (prev == vec) return true;  // duplicate, skip
+          }
+          bucket.push_back(vec);
+          elim.insert(std::move(vec));
+          return elim.rank() < nu;  // stop as soon as S_τ spans
+        });
+    if (!keep_going) break;
+  }
+  return elim;
+}
+
+}  // namespace
+
+bool short_cycles_span(const Graph& g, std::uint32_t tau) {
+  TGC_CHECK(tau >= 3);
+  const std::size_t nu = graph::cycle_space_dimension(g);
+  if (nu == 0) return true;
+  return build_streaming_basis(g, tau, nu).rank() == nu;
+}
+
+bool short_cycles_contain(const Graph& g, std::uint32_t tau,
+                          const util::Gf2Vector& target) {
+  TGC_CHECK(tau >= 3);
+  TGC_CHECK(target.size() == g.num_edges());
+  if (target.is_zero()) return true;
+  const std::size_t nu = graph::cycle_space_dimension(g);
+  // When the basis spans the whole cycle space, membership in S_τ reduces to
+  // membership in the cycle space, which the reduction also decides exactly.
+  return build_streaming_basis(g, tau, nu).in_span(target);
+}
+
+ShortCycleBasis::ShortCycleBasis(const Graph& g, std::uint32_t tau,
+                                 bool with_certificates)
+    : tau_(tau),
+      nu_(graph::cycle_space_dimension(g)),
+      with_certificates_(with_certificates),
+      elim_(0) {
+  TGC_CHECK(tau >= 3);
+  CandidateOptions options;
+  options.depth_limit = tau / 2;
+  options.max_length = tau;
+  auto candidates = fundamental_cycle_candidates(g, options);
+
+  // aug_dim must stay positive even with an empty candidate set so that
+  // partition_of still answers (only the zero vector is partitionable then).
+  elim_ = util::Gf2Eliminator(
+      g.num_edges(),
+      with_certificates ? std::max<std::size_t>(1, candidates.size()) : 0);
+  for (auto& cand : candidates) {
+    if (!with_certificates && elim_.rank() == nu_) break;
+    elim_.insert(cand.edges);
+    if (with_certificates) generators_.push_back(std::move(cand));
+  }
+}
+
+std::optional<std::vector<Cycle>> ShortCycleBasis::partition_of(
+    const util::Gf2Vector& target) const {
+  TGC_CHECK_MSG(with_certificates_,
+                "ShortCycleBasis must be built with certificates enabled");
+  const auto combo = elim_.combination_for(target);
+  if (!combo.has_value()) return std::nullopt;
+  std::vector<Cycle> parts;
+  parts.reserve(combo->size());
+  for (const std::size_t idx : *combo) {
+    parts.emplace_back(generators_[idx].edges);
+  }
+  return parts;
+}
+
+}  // namespace tgc::cycle

@@ -1,0 +1,173 @@
+#include "tgcover/gen/deployments.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::gen {
+
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+/// Builds unit-disk edges among `positions` at range `rc` (O(n²); fine at the
+/// paper's scales).
+graph::Graph udg_edges(const geom::Embedding& positions, double rc) {
+  GraphBuilder builder(positions.size());
+  const double rc2 = rc * rc;
+  for (VertexId u = 0; u < positions.size(); ++u) {
+    for (VertexId v = u + 1; v < positions.size(); ++v) {
+      if (geom::dist2(positions[u], positions[v]) <= rc2) {
+        builder.add_edge(u, v);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+double side_for_average_degree(std::size_t n, double rc,
+                               double target_degree) {
+  TGC_CHECK(n > 0 && rc > 0.0 && target_degree > 0.0);
+  return std::sqrt(static_cast<double>(n) * std::numbers::pi * rc * rc /
+                   target_degree);
+}
+
+Deployment random_udg(std::size_t n, double side, double rc, util::Rng& rng) {
+  TGC_CHECK(n > 0 && side > 0.0 && rc > 0.0);
+  Deployment d;
+  d.rc = rc;
+  d.area = Rect{0.0, 0.0, side, side};
+  d.positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.positions.push_back(Point{rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  d.graph = udg_edges(d.positions, rc);
+  return d;
+}
+
+Deployment random_connected_udg(std::size_t n, double side, double rc,
+                                util::Rng& rng, std::size_t max_attempts) {
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    util::Rng stream = rng.fork(attempt);
+    Deployment d = random_udg(n, side, rc, stream);
+    if (graph::is_connected(d.graph)) return d;
+  }
+  TGC_CHECK_MSG(false, "could not generate a connected UDG after "
+                           << max_attempts << " attempts (n=" << n
+                           << ", side=" << side << ", rc=" << rc << ")");
+  __builtin_unreachable();
+}
+
+Deployment random_quasi_udg(std::size_t n, double side, double rc,
+                            double alpha, double p_link, util::Rng& rng) {
+  TGC_CHECK(alpha > 0.0 && alpha <= 1.0);
+  TGC_CHECK(p_link >= 0.0 && p_link <= 1.0);
+  Deployment d;
+  d.rc = rc;
+  d.area = Rect{0.0, 0.0, side, side};
+  d.positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.positions.push_back(Point{rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  GraphBuilder builder(n);
+  const double inner2 = alpha * rc * alpha * rc;
+  const double rc2 = rc * rc;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double d2 = geom::dist2(d.positions[u], d.positions[v]);
+      if (d2 <= inner2 || (d2 <= rc2 && rng.bernoulli(p_link))) {
+        builder.add_edge(u, v);
+      }
+    }
+  }
+  d.graph = builder.build();
+  return d;
+}
+
+Deployment random_strip_udg(std::size_t n, double length, double width,
+                            double rc, util::Rng& rng) {
+  TGC_CHECK(length > 0.0 && width > 0.0);
+  Deployment d;
+  d.rc = rc;
+  d.area = Rect{0.0, 0.0, length, width};
+  d.positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.positions.push_back(
+        Point{rng.uniform(0.0, length), rng.uniform(0.0, width)});
+  }
+  d.graph = udg_edges(d.positions, rc);
+  return d;
+}
+
+Deployment random_udg_with_holes(std::size_t n, double side, double rc,
+                                 std::span<const geom::Circle> holes,
+                                 util::Rng& rng) {
+  Deployment d;
+  d.rc = rc;
+  d.area = Rect{0.0, 0.0, side, side};
+  d.positions.reserve(n);
+  std::size_t placed = 0;
+  std::size_t guard = 0;
+  while (placed < n) {
+    TGC_CHECK_MSG(++guard < 1000 * n, "forbidden regions reject too many samples");
+    const Point p{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    bool forbidden = false;
+    for (const geom::Circle& hole : holes) {
+      if (geom::dist(p, hole.center) <= hole.radius) {
+        forbidden = true;
+        break;
+      }
+    }
+    if (forbidden) continue;
+    d.positions.push_back(p);
+    ++placed;
+  }
+  d.graph = udg_edges(d.positions, rc);
+  return d;
+}
+
+Deployment random_udg_in_polygon(std::size_t n, const geom::Polygon& region,
+                                 double rc, util::Rng& rng) {
+  TGC_CHECK(n > 0 && rc > 0.0);
+  Deployment d;
+  d.rc = rc;
+  d.area = region.bounding_box();
+  d.positions.reserve(n);
+  std::size_t guard = 0;
+  while (d.positions.size() < n) {
+    TGC_CHECK_MSG(++guard < 1000 * n, "polygon rejects too many samples");
+    const Point p{rng.uniform(d.area.xmin, d.area.xmax),
+                  rng.uniform(d.area.ymin, d.area.ymax)};
+    if (region.contains(p)) d.positions.push_back(p);
+  }
+  d.graph = udg_edges(d.positions, rc);
+  return d;
+}
+
+Deployment perturbed_grid(std::size_t per_side, double spacing, double jitter,
+                          double rc, util::Rng& rng) {
+  TGC_CHECK(per_side > 0 && spacing > 0.0 && jitter >= 0.0);
+  Deployment d;
+  d.rc = rc;
+  const double side = static_cast<double>(per_side - 1) * spacing;
+  d.area = Rect{-jitter, -jitter, side + jitter, side + jitter};
+  d.positions.reserve(per_side * per_side);
+  for (std::size_t iy = 0; iy < per_side; ++iy) {
+    for (std::size_t ix = 0; ix < per_side; ++ix) {
+      d.positions.push_back(
+          Point{static_cast<double>(ix) * spacing + rng.uniform(-jitter, jitter),
+                static_cast<double>(iy) * spacing + rng.uniform(-jitter, jitter)});
+    }
+  }
+  d.graph = udg_edges(d.positions, rc);
+  return d;
+}
+
+}  // namespace tgc::gen

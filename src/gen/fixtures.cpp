@@ -1,0 +1,94 @@
+#include "tgcover/gen/fixtures.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::gen {
+
+namespace {
+using graph::GraphBuilder;
+using graph::VertexId;
+}  // namespace
+
+MobiusFixture mobius_band() {
+  // Vertices 0..7: outer boundary a..h; vertices 8..11: central circle 1..4.
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kCore = 4;
+  MobiusFixture fx;
+  GraphBuilder builder(kOuter + kCore);
+
+  auto outer = [](std::size_t i) {
+    return static_cast<VertexId>(i % kOuter);
+  };
+  auto core = [](std::size_t j) {
+    return static_cast<VertexId>(kOuter + j % kCore);
+  };
+
+  for (std::size_t i = 0; i < kOuter; ++i) builder.add_edge(outer(i), outer(i + 1));
+  for (std::size_t j = 0; j < kCore; ++j) builder.add_edge(core(j), core(j + 1));
+
+  // Triangulated strip winding twice around the core — the Möbius twist.
+  // For each outer vertex o_i: triangles (o_i, c_i, c_{i+1}) and
+  // (o_i, o_{i+1}, c_{i+1}), with the core index taken mod 4 while the outer
+  // index runs mod 8.
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    builder.add_edge(outer(i), core(i));
+    builder.add_edge(outer(i), core(i + 1));
+  }
+  fx.num_triangles = 2 * kOuter;
+
+  fx.graph = builder.build();
+  for (std::size_t i = 0; i < kOuter; ++i) fx.outer_cycle.push_back(outer(i));
+  for (std::size_t j = 0; j < kCore; ++j) fx.core_cycle.push_back(core(j));
+
+  // Two concentric rings; illustration only.
+  fx.positions.resize(kOuter + kCore);
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    const double a = 2.0 * std::numbers::pi * static_cast<double>(i) / kOuter;
+    fx.positions[outer(i)] = geom::Point{2.0 * std::cos(a), 2.0 * std::sin(a)};
+  }
+  for (std::size_t j = 0; j < kCore; ++j) {
+    const double a = 2.0 * std::numbers::pi * static_cast<double>(j) / kCore;
+    fx.positions[core(j)] = geom::Point{std::cos(a), std::sin(a)};
+  }
+
+  TGC_CHECK(fx.graph.num_edges() == 28);
+  return fx;
+}
+
+AnnulusFixture triangulated_annulus() {
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 4;
+  AnnulusFixture fx;
+  GraphBuilder builder(kOuter + kInner);
+
+  auto outer = [](std::size_t i) {
+    return static_cast<VertexId>(i % kOuter);
+  };
+  auto inner = [](std::size_t j) {
+    return static_cast<VertexId>(kOuter + j % kInner);
+  };
+
+  for (std::size_t i = 0; i < kOuter; ++i) builder.add_edge(outer(i), outer(i + 1));
+  for (std::size_t j = 0; j < kInner; ++j) builder.add_edge(inner(j), inner(j + 1));
+
+  // Untwisted strip: for each inner vertex c_j the fan
+  // (o_{2j}, o_{2j+1}, c_j), (o_{2j+1}, o_{2j+2}, c_j),
+  // (o_{2j+2}, c_j, c_{j+1}).
+  for (std::size_t j = 0; j < kInner; ++j) {
+    builder.add_edge(outer(2 * j), inner(j));
+    builder.add_edge(outer(2 * j + 1), inner(j));
+    builder.add_edge(outer(2 * j + 2), inner(j));
+  }
+
+  fx.graph = builder.build();
+  for (std::size_t i = 0; i < kOuter; ++i) fx.outer_cycle.push_back(outer(i));
+  for (std::size_t j = 0; j < kInner; ++j) fx.inner_cycle.push_back(inner(j));
+
+  TGC_CHECK(fx.graph.num_edges() == 24);
+  return fx;
+}
+
+}  // namespace tgc::gen

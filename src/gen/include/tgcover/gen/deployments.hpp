@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/geom/min_circle.hpp"
+#include "tgcover/geom/point.hpp"
+#include "tgcover/geom/polygon.hpp"
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::gen {
+
+/// A generated network: connectivity graph plus the (hidden-from-the-
+/// algorithms) ground-truth embedding it was realized from.
+struct Deployment {
+  graph::Graph graph;
+  geom::Embedding positions;
+  geom::Rect area;  ///< region the nodes were placed in
+  double rc = 1.0;  ///< maximum communication range used
+};
+
+/// Side length of a square that yields the requested expected average degree
+/// for `n` uniformly-placed UDG nodes with range `rc` (ignoring edge
+/// effects): E[deg] ≈ n·π·rc²/side².
+double side_for_average_degree(std::size_t n, double rc,
+                               double target_degree);
+
+/// `n` nodes uniform in a `side`×`side` square; unit-disk edges at range
+/// `rc`. The Fig. 3/4 workload ("1600 nodes in a square area by a uniformly
+/// random distribution, average node degree around 25, UDG model").
+Deployment random_udg(std::size_t n, double side, double rc, util::Rng& rng);
+
+/// Like random_udg but regenerated (with forked rng streams) until the graph
+/// is connected; throws after `max_attempts` failures.
+Deployment random_connected_udg(std::size_t n, double side, double rc,
+                                util::Rng& rng, std::size_t max_attempts = 64);
+
+/// Quasi-unit-disk graph: links are certain within `alpha`·rc and appear with
+/// probability `p_link` between `alpha`·rc and rc. DCC does not assume UDG
+/// (Section III-A); this exercises that claim.
+Deployment random_quasi_udg(std::size_t n, double side, double rc,
+                            double alpha, double p_link, util::Rng& rng);
+
+/// Long-narrow strip deployment (the shape of the GreenOrbs trace topology,
+/// Section VI-B).
+Deployment random_strip_udg(std::size_t n, double length, double width,
+                            double rc, util::Rng& rng);
+
+/// Uniform square deployment avoiding circular forbidden regions — produces
+/// the multiply-connected target areas of Section V-B (inner boundaries that
+/// must be cone-filled, not treated as coverage holes).
+Deployment random_udg_with_holes(std::size_t n, double side, double rc,
+                                 std::span<const geom::Circle> holes,
+                                 util::Rng& rng);
+
+/// `n` nodes uniform inside a simple polygon (rejection-sampled from its
+/// bounding box); unit-disk edges. Non-rectangular deployment regions —
+/// L-shaped ridges, building footprints — exercise the boundary machinery
+/// beyond the square workloads of the paper. `dep.area` is the bounding box;
+/// keep the polygon for boundary/target work.
+Deployment random_udg_in_polygon(std::size_t n, const geom::Polygon& region,
+                                 double rc, util::Rng& rng);
+
+/// Jittered grid deployment: `per_side`² nodes on a grid with the given
+/// spacing, each perturbed uniformly within `jitter`. Dense and regular —
+/// handy for tests that need predictable structure.
+Deployment perturbed_grid(std::size_t per_side, double spacing, double jitter,
+                          double rc, util::Rng& rng);
+
+}  // namespace tgc::gen

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::gen {
+
+/// The Figure 1 network: a triangulated Möbius band with an 8-vertex outer
+/// boundary cycle (a…h) and a 4-vertex central circle (1…4).
+///
+/// Its distinguishing property (Section IV-B): the outer boundary is the
+/// GF(2) sum of all 16 triangles — hence 3-partitionable, and the
+/// cycle-partition criterion correctly certifies coverage — while the first
+/// homology group is non-trivial (the central circle cannot be contracted),
+/// so the homology-group criterion falsely reports a coverage hole.
+struct MobiusFixture {
+  graph::Graph graph;
+  std::vector<graph::VertexId> outer_cycle;  ///< 8 vertices, cyclic order
+  std::vector<graph::VertexId> core_cycle;   ///< 4 vertices, cyclic order
+  std::size_t num_triangles = 0;             ///< 16
+  /// Illustrative positions (outer ring / inner ring); used for dumps only —
+  /// the fixture is a combinatorial object.
+  geom::Embedding positions;
+};
+
+MobiusFixture mobius_band();
+
+/// A triangulated annulus with the same outer 8-cycle and core 4-cycle as
+/// the Möbius fixture but *without* the twist: both criteria behave the same
+/// on it (trivial relative H1 ⇔ boundary 3-partitionable). Control case for
+/// the Fig. 1 comparison tests.
+struct AnnulusFixture {
+  graph::Graph graph;
+  std::vector<graph::VertexId> outer_cycle;
+  std::vector<graph::VertexId> inner_cycle;
+};
+
+AnnulusFixture triangulated_annulus();
+
+}  // namespace tgc::gen

@@ -1,0 +1,116 @@
+#include "tgcover/geom/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "tgcover/geom/min_circle.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::geom {
+
+CoverageAnalysis analyze_coverage(const Embedding& nodes,
+                                  const std::vector<bool>& active, double rs,
+                                  const Rect& target,
+                                  const CoverageGridOptions& options) {
+  TGC_CHECK(active.size() == nodes.size());
+  TGC_CHECK(rs > 0.0);
+  TGC_CHECK(options.cell_size > 0.0);
+  TGC_CHECK(target.width() > 0.0 && target.height() > 0.0);
+
+  const double cell = options.cell_size;
+  const auto nx = static_cast<std::size_t>(std::ceil(target.width() / cell));
+  const auto ny = static_cast<std::size_t>(std::ceil(target.height() / cell));
+
+  CoverageAnalysis out;
+  out.total_cells = nx * ny;
+
+  auto center_of = [&](std::size_t ix, std::size_t iy) {
+    return Point{target.xmin + (static_cast<double>(ix) + 0.5) * cell,
+                 target.ymin + (static_cast<double>(iy) + 0.5) * cell};
+  };
+
+  // Mark covered cells by rasterizing each active sensing disk.
+  std::vector<char> covered(nx * ny, 0);
+  const double rs2 = rs * rs;
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    if (!active[v]) continue;
+    const Point& p = nodes[v];
+    const auto ix_lo = static_cast<std::int64_t>(
+        std::floor((p.x - rs - target.xmin) / cell));
+    const auto ix_hi = static_cast<std::int64_t>(
+        std::ceil((p.x + rs - target.xmin) / cell));
+    const auto iy_lo = static_cast<std::int64_t>(
+        std::floor((p.y - rs - target.ymin) / cell));
+    const auto iy_hi = static_cast<std::int64_t>(
+        std::ceil((p.y + rs - target.ymin) / cell));
+    for (std::int64_t iy = std::max<std::int64_t>(0, iy_lo);
+         iy < std::min<std::int64_t>(static_cast<std::int64_t>(ny), iy_hi + 1);
+         ++iy) {
+      for (std::int64_t ix = std::max<std::int64_t>(0, ix_lo);
+           ix <
+           std::min<std::int64_t>(static_cast<std::int64_t>(nx), ix_hi + 1);
+           ++ix) {
+        const std::size_t idx =
+            static_cast<std::size_t>(iy) * nx + static_cast<std::size_t>(ix);
+        if (covered[idx]) continue;
+        if (dist2(center_of(static_cast<std::size_t>(ix),
+                            static_cast<std::size_t>(iy)),
+                  p) <= rs2) {
+          covered[idx] = 1;
+        }
+      }
+    }
+  }
+
+  out.covered_cells = static_cast<std::size_t>(
+      std::count(covered.begin(), covered.end(), char{1}));
+  out.covered_fraction =
+      out.total_cells == 0
+          ? 1.0
+          : static_cast<double>(out.covered_cells) /
+                static_cast<double>(out.total_cells);
+
+  // Flood-fill the uncovered cells into connected holes.
+  std::vector<char> visited(nx * ny, 0);
+  const double cell_diag = cell * std::numbers::sqrt2;
+  for (std::size_t start = 0; start < nx * ny; ++start) {
+    if (covered[start] || visited[start]) continue;
+    CoverageHole hole;
+    std::vector<std::size_t> stack{start};
+    visited[start] = 1;
+    while (!stack.empty()) {
+      const std::size_t idx = stack.back();
+      stack.pop_back();
+      const std::size_t ix = idx % nx;
+      const std::size_t iy = idx / nx;
+      hole.cells.push_back(center_of(ix, iy));
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (!options.eight_connected && dx != 0 && dy != 0) continue;
+          const std::int64_t jx = static_cast<std::int64_t>(ix) + dx;
+          const std::int64_t jy = static_cast<std::int64_t>(iy) + dy;
+          if (jx < 0 || jy < 0 || jx >= static_cast<std::int64_t>(nx) ||
+              jy >= static_cast<std::int64_t>(ny)) {
+            continue;
+          }
+          const std::size_t jdx =
+              static_cast<std::size_t>(jy) * nx + static_cast<std::size_t>(jx);
+          if (!covered[jdx] && !visited[jdx]) {
+            visited[jdx] = 1;
+            stack.push_back(jdx);
+          }
+        }
+      }
+    }
+    const Circle c = min_enclosing_circle(hole.cells);
+    hole.diameter = 2.0 * c.radius + cell_diag;
+    out.max_hole_diameter = std::max(out.max_hole_diameter, hole.diameter);
+    out.holes.push_back(std::move(hole));
+  }
+  return out;
+}
+
+}  // namespace tgc::geom

@@ -1,0 +1,43 @@
+#include "tgcover/geom/embedding.hpp"
+
+#include <algorithm>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::geom {
+
+bool is_valid_embedding(const graph::Graph& g, const Embedding& emb,
+                        double rc) {
+  TGC_CHECK(emb.size() == g.num_vertices());
+  const double rc2 = rc * rc;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    if (dist2(emb[u], emb[v]) > rc2 * (1.0 + 1e-12)) return false;
+  }
+  return true;
+}
+
+bool is_valid_udg_embedding(const graph::Graph& g, const Embedding& emb,
+                            double rc) {
+  if (!is_valid_embedding(g, emb, rc)) return false;
+  const double rc2 = rc * rc;
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (graph::VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      if (dist2(emb[u], emb[v]) <= rc2 * (1.0 - 1e-12) && !g.has_edge(u, v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double max_link_length(const graph::Graph& g, const Embedding& emb) {
+  double best2 = 0.0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    best2 = std::max(best2, dist2(emb[u], emb[v]));
+  }
+  return std::sqrt(best2);
+}
+
+}  // namespace tgc::geom

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/geom/point.hpp"
+
+namespace tgc::geom {
+
+/// One coverage hole: a connected uncovered region of the target area,
+/// discretized as grid cells (Section III-A).
+struct CoverageHole {
+  std::vector<Point> cells;  ///< centers of the uncovered cells
+  /// Diameter of the minimum circle circumscribing the hole (the paper's QoC
+  /// metric, Section III-B), including the cells' own extent.
+  double diameter = 0.0;
+};
+
+/// Ground-truth geometric coverage of a target area by sensing disks,
+/// computed on an occupancy grid. This is the oracle the tests and benches
+/// use to validate Proposition 1: the coverage algorithms themselves never
+/// see geometry.
+struct CoverageAnalysis {
+  std::size_t total_cells = 0;
+  std::size_t covered_cells = 0;
+  double covered_fraction = 0.0;
+  std::vector<CoverageHole> holes;
+  /// Worst-case quality of coverage: the maximum hole diameter (0 when fully
+  /// covered — blanket coverage).
+  double max_hole_diameter = 0.0;
+
+  bool blanket() const { return holes.empty(); }
+};
+
+struct CoverageGridOptions {
+  /// Grid cell side. Must be small relative to the sensing range; the
+  /// discretization error added to each hole diameter is one cell diagonal.
+  double cell_size = 0.05;
+  /// Treat diagonal cell adjacency as connected when flooding holes
+  /// (conservative: merges holes that touch only at corners).
+  bool eight_connected = true;
+};
+
+/// Analyzes how well the active nodes (sensing radius `rs`) cover `target`.
+CoverageAnalysis analyze_coverage(const Embedding& nodes,
+                                  const std::vector<bool>& active, double rs,
+                                  const Rect& target,
+                                  const CoverageGridOptions& options = {});
+
+}  // namespace tgc::geom

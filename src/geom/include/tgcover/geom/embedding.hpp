@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/geom/point.hpp"
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::geom {
+
+/// Node positions in the plane — one *valid embedding* (realization) of the
+/// network in the sense of Section III-B. The coverage algorithms never read
+/// this; it exists to generate workloads and to ground-truth the guarantees
+/// of Proposition 1 geometrically.
+using Embedding = std::vector<Point>;
+
+/// Checks that `emb` is a valid embedding of `g` under the general
+/// communication model of the paper: every communication link spans at most
+/// `rc`. (Non-edges may be at any distance — the model is NOT unit disk.)
+bool is_valid_embedding(const graph::Graph& g, const Embedding& emb,
+                        double rc);
+
+/// Checks the stricter unit-disk-graph realization: edges iff distance ≤ rc.
+bool is_valid_udg_embedding(const graph::Graph& g, const Embedding& emb,
+                            double rc);
+
+/// Longest link length in the embedding (0 for edgeless graphs).
+double max_link_length(const graph::Graph& g, const Embedding& emb);
+
+}  // namespace tgc::geom

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tgcover/geom/point.hpp"
+
+namespace tgc::geom {
+
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  bool contains(const Point& p, double eps = 1e-9) const {
+    return dist(center, p) <= radius + eps;
+  }
+};
+
+/// Smallest enclosing circle of a point set (Welzl's algorithm, expected
+/// linear time after shuffling — the shuffle is deterministic from the point
+/// order, so results are reproducible).
+///
+/// The paper measures the quality of partial coverage by the diameter of the
+/// minimum circle circumscribing a coverage hole (Section III-B); hole
+/// analysis feeds hole sample points through this.
+Circle min_enclosing_circle(std::span<const Point> points);
+
+}  // namespace tgc::geom

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cmath>
+
+namespace tgc::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double dist2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double dist(const Point& a, const Point& b) {
+  return std::sqrt(dist2(a, b));
+}
+
+/// Axis-aligned rectangle [xmin, xmax] × [ymin, ymax].
+struct Rect {
+  double xmin = 0.0;
+  double ymin = 0.0;
+  double xmax = 0.0;
+  double ymax = 0.0;
+
+  double width() const { return xmax - xmin; }
+  double height() const { return ymax - ymin; }
+
+  bool contains(const Point& p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+
+  /// Distance from an interior point to the rectangle's boundary (0 outside).
+  double interior_clearance(const Point& p) const {
+    if (!contains(p)) return 0.0;
+    const double dx = std::fmin(p.x - xmin, xmax - p.x);
+    const double dy = std::fmin(p.y - ymin, ymax - p.y);
+    return std::fmin(dx, dy);
+  }
+
+  /// The rectangle shrunk by `margin` on every side.
+  Rect shrunk(double margin) const {
+    return Rect{xmin + margin, ymin + margin, xmax - margin, ymax - margin};
+  }
+};
+
+}  // namespace tgc::geom

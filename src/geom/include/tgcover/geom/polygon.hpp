@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "tgcover/geom/point.hpp"
+
+namespace tgc::geom {
+
+/// A simple polygon (vertices in order, no self-intersections; either
+/// orientation). Deployment regions need not be rectangles — ridge lines,
+/// lake shores and building footprints give L- and U-shaped target areas;
+/// this supports them throughout the pipeline.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// Even-odd (ray casting) point-in-polygon test; boundary points count as
+  /// inside within a small tolerance.
+  bool contains(const Point& p) const;
+
+  /// Distance from `p` to the polygon boundary (0 if outside).
+  double interior_clearance(const Point& p) const;
+
+  double perimeter() const;
+
+  /// Axis-aligned bounding box.
+  Rect bounding_box() const;
+
+  /// Signed area (positive for counter-clockwise vertex order).
+  double signed_area() const;
+
+  /// Points along the boundary, one every `spacing`, each offset `inset`
+  /// toward the interior (along the edge's inward normal). Waypoints whose
+  /// offset lands outside the polygon (sharp reflex corners) are dropped.
+  std::vector<Point> inset_waypoints(double inset, double spacing) const;
+
+  /// An axis-aligned L-shape: `outer` minus its top-right quadrant cut at
+  /// (cut_x, cut_y). Requires the cut point strictly inside `outer`.
+  static Polygon l_shape(const Rect& outer, double cut_x, double cut_y);
+
+  /// The rectangle as a polygon.
+  static Polygon rectangle(const Rect& r);
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+}  // namespace tgc::geom

@@ -1,0 +1,66 @@
+#include "tgcover/geom/min_circle.hpp"
+
+#include <algorithm>
+
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::geom {
+
+namespace {
+
+Circle circle_from_2(const Point& a, const Point& b) {
+  const Point c{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+  return Circle{c, dist(a, b) / 2.0};
+}
+
+/// Circumcircle of three points; falls back to a 2-point circle when the
+/// points are (nearly) collinear.
+Circle circle_from_3(const Point& a, const Point& b, const Point& c) {
+  const double ax = b.x - a.x;
+  const double ay = b.y - a.y;
+  const double bx = c.x - a.x;
+  const double by = c.y - a.y;
+  const double d = 2.0 * (ax * by - ay * bx);
+  if (std::abs(d) < 1e-14) {
+    // Collinear: the diametral circle of the farthest pair covers all three.
+    Circle best = circle_from_2(a, b);
+    const Circle ac = circle_from_2(a, c);
+    const Circle bc = circle_from_2(b, c);
+    if (ac.radius > best.radius) best = ac;
+    if (bc.radius > best.radius) best = bc;
+    return best;
+  }
+  const double ux = (by * (ax * ax + ay * ay) - ay * (bx * bx + by * by)) / d;
+  const double uy = (ax * (bx * bx + by * by) - bx * (ax * ax + ay * ay)) / d;
+  const Point center{a.x + ux, a.y + uy};
+  return Circle{center, dist(center, a)};
+}
+
+}  // namespace
+
+Circle min_enclosing_circle(std::span<const Point> points) {
+  TGC_CHECK(!points.empty());
+  std::vector<Point> pts(points.begin(), points.end());
+  // Deterministic shuffle keyed by the set size: expected-linear Welzl
+  // (iterative move-to-front formulation).
+  util::Rng rng(0x5eed0000u + pts.size());
+  rng.shuffle(pts);
+
+  Circle c{pts[0], 0.0};
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (c.contains(pts[i])) continue;
+    c = Circle{pts[i], 0.0};
+    for (std::size_t j = 0; j < i; ++j) {
+      if (c.contains(pts[j])) continue;
+      c = circle_from_2(pts[i], pts[j]);
+      for (std::size_t k = 0; k < j; ++k) {
+        if (c.contains(pts[k])) continue;
+        c = circle_from_3(pts[i], pts[j], pts[k]);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace tgc::geom

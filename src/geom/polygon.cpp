@@ -1,0 +1,140 @@
+#include "tgcover/geom/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::geom {
+
+namespace {
+
+/// Distance from p to segment ab.
+double point_segment_dist(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 < 1e-18) return dist(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return dist(p, Point{a.x + t * abx, a.y + t * aby});
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {
+  TGC_CHECK_MSG(vertices_.size() >= 3, "polygon needs at least 3 vertices");
+}
+
+bool Polygon::contains(const Point& p) const {
+  // Boundary tolerance first (ray casting is unstable exactly on edges).
+  const double eps = 1e-9;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    if (point_segment_dist(p, a, b) <= eps) return true;
+  }
+  bool inside = false;
+  for (std::size_t i = 0, j = vertices_.size() - 1; i < vertices_.size();
+       j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::interior_clearance(const Point& p) const {
+  if (!contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    best = std::min(best,
+                    point_segment_dist(p, vertices_[i],
+                                       vertices_[(i + 1) % vertices_.size()]));
+  }
+  return best;
+}
+
+double Polygon::perimeter() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    total += dist(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+  }
+  return total;
+}
+
+Rect Polygon::bounding_box() const {
+  Rect box{vertices_[0].x, vertices_[0].y, vertices_[0].x, vertices_[0].y};
+  for (const Point& p : vertices_) {
+    box.xmin = std::min(box.xmin, p.x);
+    box.ymin = std::min(box.ymin, p.y);
+    box.xmax = std::max(box.xmax, p.x);
+    box.ymax = std::max(box.ymax, p.y);
+  }
+  return box;
+}
+
+double Polygon::signed_area() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    acc += a.x * b.y - b.x * a.y;
+  }
+  return acc / 2.0;
+}
+
+std::vector<Point> Polygon::inset_waypoints(double inset,
+                                            double spacing) const {
+  TGC_CHECK(spacing > 0.0 && inset >= 0.0);
+  std::vector<Point> out;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    const double len = dist(a, b);
+    if (len < 1e-12) continue;
+    // Inward normal: try both; keep the one whose offset midpoint lands
+    // inside.
+    const double nx = -(b.y - a.y) / len;
+    const double ny = (b.x - a.x) / len;
+    const Point mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+    const double sign =
+        contains(Point{mid.x + nx * inset, mid.y + ny * inset}) ? 1.0 : -1.0;
+    const auto steps =
+        static_cast<std::size_t>(std::max(1.0, std::floor(len / spacing)));
+    for (std::size_t s = 0; s < steps; ++s) {
+      const double t = static_cast<double>(s) / static_cast<double>(steps);
+      const Point w{a.x + t * (b.x - a.x) + sign * nx * inset,
+                    a.y + t * (b.y - a.y) + sign * ny * inset};
+      // Corner waypoints can land on the *adjacent* edge (they are offset
+      // only along their own edge's normal); require genuine clearance.
+      if (interior_clearance(w) >= 0.5 * inset) out.push_back(w);
+    }
+  }
+  TGC_CHECK_MSG(out.size() >= 3, "inset waypoints degenerated");
+  return out;
+}
+
+Polygon Polygon::l_shape(const Rect& outer, double cut_x, double cut_y) {
+  TGC_CHECK(cut_x > outer.xmin && cut_x < outer.xmax);
+  TGC_CHECK(cut_y > outer.ymin && cut_y < outer.ymax);
+  return Polygon({{outer.xmin, outer.ymin},
+                  {outer.xmax, outer.ymin},
+                  {outer.xmax, cut_y},
+                  {cut_x, cut_y},
+                  {cut_x, outer.ymax},
+                  {outer.xmin, outer.ymax}});
+}
+
+Polygon Polygon::rectangle(const Rect& r) {
+  return Polygon({{r.xmin, r.ymin},
+                  {r.xmax, r.ymin},
+                  {r.xmax, r.ymax},
+                  {r.xmin, r.ymax}});
+}
+
+}  // namespace tgc::geom

@@ -1,0 +1,151 @@
+#include "tgcover/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId src,
+                                         std::uint32_t max_depth) {
+  TGC_CHECK(src < g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  dist[src] = 0;
+  std::deque<VertexId> queue{src};
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == max_depth) continue;
+    for (const VertexId w : g.neighbors(u)) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g,
+                                                std::size_t* count) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> label(n, kUnreached);
+  std::uint32_t next = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != kUnreached) continue;
+    label[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId w : g.neighbors(u)) {
+        if (label[w] == kUnreached) {
+          label[w] = next;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  if (count != nullptr) *count = next;
+  return label;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() <= 1) return true;
+  std::size_t count = 0;
+  connected_components(g, &count);
+  return count == 1;
+}
+
+std::vector<bool> largest_component_mask(const Graph& g) {
+  std::size_t count = 0;
+  const auto label = connected_components(g, &count);
+  std::vector<std::size_t> sizes(count, 0);
+  for (const std::uint32_t l : label) ++sizes[l];
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < count; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  std::vector<bool> mask(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    mask[v] = label[v] == best;
+  }
+  return mask;
+}
+
+std::vector<VertexId> k_hop_neighbors(const Graph& g, VertexId v, unsigned k) {
+  const auto dist = bfs_distances(g, v, k);
+  std::vector<VertexId> out;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (u != v && dist[u] != kUnreached) out.push_back(u);
+  }
+  return out;
+}
+
+std::size_t cycle_space_dimension(const Graph& g) {
+  std::size_t components = 0;
+  connected_components(g, &components);
+  return g.num_edges() + components - g.num_vertices();
+}
+
+ShortestPathTree::ShortestPathTree(const Graph& g, VertexId root,
+                                   std::uint32_t max_depth)
+    : root_(root),
+      parent_(g.num_vertices(), kInvalidVertex),
+      parent_edge_(g.num_vertices(), kInvalidEdge),
+      depth_(g.num_vertices(), kUnreached) {
+  TGC_CHECK(root < g.num_vertices());
+  depth_[root] = 0;
+  // Layered BFS processing vertices in increasing id within each layer;
+  // combined with sorted adjacency this assigns every vertex the smallest-id
+  // eligible parent (lexicographic tie-breaking).
+  std::vector<VertexId> layer{root};
+  std::uint32_t d = 0;
+  while (!layer.empty() && d < max_depth) {
+    std::vector<VertexId> next;
+    for (const VertexId u : layer) {
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const VertexId w = nbrs[j];
+        if (depth_[w] == kUnreached) {
+          depth_[w] = d + 1;
+          parent_[w] = u;
+          parent_edge_[w] = eids[j];
+          next.push_back(w);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    layer = std::move(next);
+    ++d;
+  }
+}
+
+VertexId ShortestPathTree::lca(VertexId x, VertexId y) const {
+  TGC_CHECK(reached(x) && reached(y));
+  while (x != y) {
+    if (depth_[x] > depth_[y]) {
+      x = parent_[x];
+    } else if (depth_[y] > depth_[x]) {
+      y = parent_[y];
+    } else {
+      x = parent_[x];
+      y = parent_[y];
+    }
+  }
+  return x;
+}
+
+std::vector<VertexId> ShortestPathTree::path_from_root(VertexId v) const {
+  TGC_CHECK(reached(v));
+  std::vector<VertexId> path;
+  for (VertexId u = v; u != kInvalidVertex; u = parent_[u]) path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace tgc::graph

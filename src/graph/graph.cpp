@@ -1,0 +1,74 @@
+#include "tgcover/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::graph {
+
+std::optional<EdgeId> Graph::edge_between(VertexId u, VertexId v) const {
+  if (u == v) return std::nullopt;
+  const auto it = edge_index_.find(detail::edge_key(u, v));
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_vertices) : n_(num_vertices) {}
+
+bool GraphBuilder::add_edge(VertexId u, VertexId v) {
+  TGC_CHECK_MSG(u < n_ && v < n_, "edge (" << u << "," << v
+                                           << ") out of range, n=" << n_);
+  if (u == v) return false;
+  const std::uint64_t key = detail::edge_key(u, v);
+  if (edge_index_.count(key) > 0) return false;
+  edge_index_.emplace(key, static_cast<EdgeId>(edges_.size()));
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+  return true;
+}
+
+bool GraphBuilder::has_edge(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  return edge_index_.count(detail::edge_key(u, v)) > 0;
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.edges_ = edges_;
+  g.edge_index_ = edge_index_;
+  g.offsets_.assign(n_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(2 * edges_.size());
+  g.adjacency_edge_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    g.adjacency_[cursor[u]] = v;
+    g.adjacency_edge_[cursor[u]++] = e;
+    g.adjacency_[cursor[v]] = u;
+    g.adjacency_edge_[cursor[v]++] = e;
+  }
+
+  // Sort each adjacency list by neighbor id, keeping edge ids parallel.
+  for (VertexId v = 0; v < n_; ++v) {
+    const std::size_t lo = g.offsets_[v];
+    const std::size_t hi = g.offsets_[v + 1];
+    std::vector<std::pair<VertexId, EdgeId>> tmp;
+    tmp.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      tmp.emplace_back(g.adjacency_[i], g.adjacency_edge_[i]);
+    }
+    std::sort(tmp.begin(), tmp.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      g.adjacency_[i] = tmp[i - lo].first;
+      g.adjacency_edge_[i] = tmp[i - lo].second;
+    }
+  }
+  return g;
+}
+
+}  // namespace tgc::graph

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::graph {
+
+inline constexpr std::uint32_t kUnreached =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distances from `src`, truncated at `max_depth` (kUnreached beyond).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId src,
+                                         std::uint32_t max_depth = kUnreached);
+
+/// Connected-component labels (0-based); `count` receives the number of
+/// components. Isolated vertices form their own components.
+std::vector<std::uint32_t> connected_components(const Graph& g,
+                                                std::size_t* count = nullptr);
+
+bool is_connected(const Graph& g);
+
+/// Mask of the vertices in the largest connected component (ties broken
+/// toward the smallest component label). Useful for trace-derived graphs,
+/// which can come out disconnected.
+std::vector<bool> largest_component_mask(const Graph& g);
+
+/// Vertices within `k` hops of `v`, excluding `v` itself — the paper's
+/// N^k_H(v). Sorted by vertex id.
+std::vector<VertexId> k_hop_neighbors(const Graph& g, VertexId v, unsigned k);
+
+/// Dimension of the GF(2) cycle space: |E| - |V| + #components.
+std::size_t cycle_space_dimension(const Graph& g);
+
+/// Shortest-path tree with deterministic lexicographic tie-breaking: among
+/// equal-depth parents the smallest vertex id wins. Horton's MCB algorithm
+/// needs consistent shortest paths; lexicographic ties keep the candidate
+/// set MCB-containing (Algorithm 1 of the paper, lines 2-6).
+class ShortestPathTree {
+ public:
+  /// Builds the SPT of `g` rooted at `root`, truncated at `max_depth`.
+  ShortestPathTree(const Graph& g, VertexId root,
+                   std::uint32_t max_depth = kUnreached);
+
+  VertexId root() const { return root_; }
+
+  bool reached(VertexId v) const { return depth_[v] != kUnreached; }
+  std::uint32_t depth(VertexId v) const { return depth_[v]; }
+
+  /// Parent of `v` in the tree (kInvalidVertex for the root / unreached).
+  VertexId parent(VertexId v) const { return parent_[v]; }
+
+  /// The tree edge (v, parent(v)); kInvalidEdge for root / unreached.
+  EdgeId parent_edge(VertexId v) const { return parent_edge_[v]; }
+
+  /// Lowest common ancestor of two reached vertices.
+  VertexId lca(VertexId x, VertexId y) const;
+
+  /// Vertices on the tree path root -> v inclusive, root first.
+  std::vector<VertexId> path_from_root(VertexId v) const;
+
+ private:
+  VertexId root_;
+  std::vector<VertexId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::uint32_t> depth_;
+};
+
+}  // namespace tgc::graph

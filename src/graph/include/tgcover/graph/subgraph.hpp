@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::graph {
+
+/// A vertex-induced subgraph with the mapping back to the parent graph.
+///
+/// Local vertex ids are 0..k-1 in the order of the inducing vertex list;
+/// `to_parent[local]` recovers parent ids. The VPT deletability test builds
+/// the punctured k-hop neighbourhood Γ^k(v) through this.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<VertexId> to_parent;
+  std::unordered_map<VertexId, VertexId> to_local;
+
+  VertexId local_of(VertexId parent) const { return to_local.at(parent); }
+  bool contains(VertexId parent) const { return to_local.count(parent) > 0; }
+};
+
+/// Subgraph induced by `vertices` (parent ids, need not be sorted, must be
+/// duplicate-free).
+InducedSubgraph induce_vertices(const Graph& g,
+                                std::span<const VertexId> vertices);
+
+/// The same vertex set as `g` but keeping only edges whose both endpoints are
+/// active. Deleted (inactive) vertices become isolated; vertex and edge-count
+/// bookkeeping stays id-stable across scheduler rounds.
+Graph filter_active(const Graph& g, const std::vector<bool>& active);
+
+}  // namespace tgc::graph

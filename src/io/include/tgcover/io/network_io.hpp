@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tgcover/gen/deployments.hpp"
+
+namespace tgc::io {
+
+/// Plain-text persistence for deployments and node masks, so workloads can
+/// be generated once, inspected, exchanged and replayed (the CLI's file
+/// format). The format is line-oriented and versioned:
+///
+///   tgcover-network 1
+///   nodes <n>
+///   rc <rc>
+///   area <xmin> <ymin> <xmax> <ymax>
+///   pos <id> <x> <y>          ... n lines
+///   edges <m>
+///   e <u> <v>                 ... m lines
+///
+/// Masks (schedules, boundary sets, failure sets):
+///
+///   tgcover-mask 1
+///   nodes <n>
+///   set <id>                  ... one line per set bit
+void save_deployment(const gen::Deployment& dep, std::ostream& out);
+void save_deployment(const gen::Deployment& dep, const std::string& path);
+
+gen::Deployment load_deployment(std::istream& in);
+gen::Deployment load_deployment(const std::string& path);
+
+void save_mask(const std::vector<bool>& mask, std::ostream& out);
+void save_mask(const std::vector<bool>& mask, const std::string& path);
+
+std::vector<bool> load_mask(std::istream& in);
+std::vector<bool> load_mask(const std::string& path);
+
+/// Per-node role dump (x, y, role) for external plotting — the format the
+/// figure benches' --dump option writes.
+void save_roles_csv(const geom::Embedding& positions,
+                    const std::vector<std::string>& roles,
+                    const std::string& path);
+
+}  // namespace tgc::io

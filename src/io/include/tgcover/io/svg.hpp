@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::io {
+
+/// SVG snapshot renderer — produces figures in the style of the paper's
+/// Figs. 2 and 7: links as thin segments, boundary nodes as squares,
+/// surviving nodes as filled circles, deleted nodes as hollow circles, and
+/// (optionally) the boundary cycle highlighted.
+struct SvgStyle {
+  double canvas_px = 900.0;    ///< width; height scales with the area aspect
+  double node_radius_px = 4.0;
+  std::string active_color = "#1f6fb2";
+  std::string deleted_color = "#c9c9c9";
+  std::string boundary_color = "#d1495b";
+  std::string edge_color = "#b8c4cc";
+  std::string cb_color = "#d1495b";
+  bool draw_deleted = true;
+  bool draw_edges = true;
+};
+
+/// Node display roles.
+enum class NodeRole { kActive, kDeleted, kBoundary, kHidden };
+
+/// Renders the network snapshot to an SVG file.
+/// @param cb optional boundary cycle (size 0 = none) drawn emphasized.
+void render_network_svg(const graph::Graph& g, const geom::Embedding& positions,
+                        const std::vector<NodeRole>& roles,
+                        const util::Gf2Vector& cb, const std::string& path,
+                        const SvgStyle& style = {});
+
+}  // namespace tgc::io

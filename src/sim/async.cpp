@@ -1,0 +1,284 @@
+#include "tgcover/sim/async.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::sim {
+
+AsyncEngine::AsyncEngine(const graph::Graph& g, const Options& options)
+    : g_(&g),
+      options_(options),
+      rng_(options.seed),
+      active_(g.num_vertices(), true) {
+  TGC_CHECK(options.min_delay > 0.0);
+  TGC_CHECK(options.max_delay >= options.min_delay);
+  TGC_CHECK(options.loss_probability >= 0.0 && options.loss_probability < 1.0);
+}
+
+void AsyncEngine::deactivate(graph::VertexId v) {
+  TGC_CHECK(v < active_.size());
+  active_[v] = false;
+}
+
+void AsyncEngine::send(graph::VertexId from, graph::VertexId to,
+                       std::uint32_t type, std::vector<std::uint32_t> payload) {
+  TGC_CHECK_MSG(g_->has_edge(from, to),
+                "node " << from << " cannot send to non-neighbor " << to);
+  ++stats_.messages;
+  stats_.payload_words += payload.size();
+  if (!active_[to]) return;
+  if (options_.loss_probability > 0.0 &&
+      rng_.bernoulli(options_.loss_probability)) {
+    ++messages_lost_;  // transmitted into the noise
+    return;
+  }
+  // Events pushed before run() depart at time 0; events pushed from inside a
+  // delivery handler depart at that delivery's time (the engine clock).
+  const double delay = rng_.uniform(options_.min_delay, options_.max_delay);
+  queue_.push(Event{now_ + delay, next_sequence_++,
+                    Message{from, to, type, std::move(payload)}, nullptr});
+}
+
+void AsyncEngine::schedule(double delay, std::function<void()> callback) {
+  TGC_CHECK(delay > 0.0);
+  queue_.push(Event{now_ + delay, next_sequence_++, Message{},
+                    std::move(callback)});
+}
+
+double AsyncEngine::run(const OnDeliver& handler) {
+  while (!queue_.empty()) {
+    // The handler may push new events; copy the top out before popping.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (ev.timer) {
+      ev.timer();
+      continue;
+    }
+    if (!active_[ev.msg.to]) continue;  // deactivated while in flight
+    handler(now_, ev.msg);
+  }
+  return now_;
+}
+
+namespace {
+
+/// One combined "round message" per (sender, receiver, round): payload is
+/// [round, count, (type, len, words...) * count]. Serving simultaneously as
+/// the α-synchronizer's end-of-round beacon, it makes per-link ordering a
+/// non-issue: a node advances exactly when it has one round-r message from
+/// every active neighbor, and by then it holds all round-r protocol traffic.
+/// Over lossy links every round message is acked and retransmitted until
+/// acked; receivers deduplicate.
+constexpr std::uint32_t kMsgRound = 0xa1fa;
+constexpr std::uint32_t kMsgAck = 0xa1fb;
+
+std::vector<std::uint32_t> pack_round(std::uint32_t round,
+                                      const std::vector<Message>& msgs) {
+  std::vector<std::uint32_t> payload{round,
+                                     static_cast<std::uint32_t>(msgs.size())};
+  for (const Message& m : msgs) {
+    payload.push_back(m.type);
+    payload.push_back(static_cast<std::uint32_t>(m.payload.size()));
+    payload.insert(payload.end(), m.payload.begin(), m.payload.end());
+  }
+  return payload;
+}
+
+std::vector<Message> unpack_round(const Message& combined,
+                                  std::uint32_t* round) {
+  const auto& p = combined.payload;
+  TGC_CHECK(p.size() >= 2);
+  *round = p[0];
+  const std::uint32_t count = p[1];
+  std::vector<Message> msgs;
+  msgs.reserve(count);
+  std::size_t i = 2;
+  for (std::uint32_t m = 0; m < count; ++m) {
+    TGC_CHECK(i + 2 <= p.size());
+    Message msg;
+    msg.from = combined.from;
+    msg.to = combined.to;
+    msg.type = p[i++];
+    const std::uint32_t len = p[i++];
+    TGC_CHECK(i + len <= p.size());
+    msg.payload.assign(p.begin() + static_cast<std::ptrdiff_t>(i),
+                       p.begin() + static_cast<std::ptrdiff_t>(i + len));
+    i += len;
+    msgs.push_back(std::move(msg));
+  }
+  return msgs;
+}
+
+/// Mailer that collects a node's sends into per-destination buffers, to be
+/// shipped as one combined round message per neighbor.
+class OutboxMailer final : public Mailer {
+ public:
+  OutboxMailer(const graph::Graph& g, const std::vector<bool>& active,
+               graph::VertexId from)
+      : g_(&g), active_(&active), from_(from) {}
+
+  void send(graph::VertexId to, std::uint32_t type,
+            std::vector<std::uint32_t> payload) override {
+    TGC_CHECK_MSG(g_->has_edge(from_, to),
+                  "node " << from_ << " cannot send to non-neighbor " << to);
+    if (!(*active_)[to]) return;  // matches RoundEngine's dropped delivery
+    per_dest_[to].push_back(Message{from_, to, type, std::move(payload)});
+  }
+
+  void broadcast(std::uint32_t type,
+                 const std::vector<std::uint32_t>& payload) override {
+    for (const graph::VertexId nbr : g_->neighbors(from_)) {
+      send(nbr, type, payload);
+    }
+  }
+
+  const std::unordered_map<graph::VertexId, std::vector<Message>>& per_dest()
+      const {
+    return per_dest_;
+  }
+
+ private:
+  const graph::Graph* g_;
+  const std::vector<bool>* active_;
+  graph::VertexId from_;
+  std::unordered_map<graph::VertexId, std::vector<Message>> per_dest_;
+};
+
+}  // namespace
+
+AlphaSynchronizer::AlphaSynchronizer(AsyncEngine& engine,
+                                     double retransmit_interval)
+    : engine_(&engine), retransmit_interval_(retransmit_interval) {
+  TGC_CHECK(retransmit_interval > 0.0);
+}
+
+void AlphaSynchronizer::run_rounds(std::size_t rounds,
+                                   const RoundEngine::Handler& handler) {
+  if (rounds == 0) return;
+  const graph::Graph& g = engine_->graph();
+  const std::size_t n = g.num_vertices();
+
+  // Static per-run topology snapshot (deactivations mid-run unsupported).
+  std::vector<std::vector<graph::VertexId>> nbrs(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (!engine_->is_active(v)) continue;
+    for (const graph::VertexId u : g.neighbors(v)) {
+      if (engine_->is_active(u)) nbrs[v].push_back(u);
+    }
+  }
+
+  std::vector<std::size_t> executed(n, 0);  // handler invocations so far
+  // pending[v][r]: protocol messages of round r; got[v][r]: senders heard.
+  std::vector<std::unordered_map<std::uint32_t, std::vector<Message>>>
+      pending(n);
+  std::vector<std::unordered_map<std::uint32_t, std::size_t>> got(n);
+
+  // Reliable delivery state, keyed by (from, to, round).
+  auto key_of = [n, rounds](graph::VertexId from, graph::VertexId to,
+                            std::uint32_t round) {
+    return (static_cast<std::uint64_t>(from) * n + to) * (rounds + 1) + round;
+  };
+  struct Outgoing {
+    graph::VertexId from = 0;
+    graph::VertexId to = 0;
+    std::vector<std::uint32_t> payload;
+    bool acked = false;
+  };
+  std::unordered_map<std::uint64_t, Outgoing> outgoing;
+  std::unordered_set<std::uint64_t> delivered;  // receiver-side dedup
+
+  // Sends an outgoing round message and arms its retransmission timer.
+  std::function<void(std::uint64_t)> transmit = [&](std::uint64_t key) {
+    const Outgoing& out = outgoing.at(key);
+    if (out.acked) return;
+    engine_->send(out.from, out.to, kMsgRound, out.payload);
+    engine_->schedule(retransmit_interval_, [this, key, &outgoing, &transmit] {
+      const auto it = outgoing.find(key);
+      if (it == outgoing.end() || it->second.acked) return;
+      ++retransmissions_;
+      transmit(key);
+    });
+  };
+
+  // Executes round `executed[v]` at v: the handler consumes the previous
+  // round's messages and its sends ship as this round's combined messages.
+  auto execute = [&](graph::VertexId v) {
+    const std::size_t round_index = executed[v];
+    std::vector<Message> inbox;
+    if (round_index > 0) {
+      const auto key = static_cast<std::uint32_t>(round_index - 1);
+      const auto it = pending[v].find(key);
+      if (it != pending[v].end()) {
+        inbox = std::move(it->second);
+        pending[v].erase(it);
+      }
+      got[v].erase(key);
+    }
+    OutboxMailer mailer(g, engine_->active(), v);
+    handler(v, std::span<const Message>(inbox), mailer);
+    for (const graph::VertexId u : nbrs[v]) {
+      static const std::vector<Message> kEmpty;
+      const auto it = mailer.per_dest().find(u);
+      const std::vector<Message>& msgs =
+          it == mailer.per_dest().end() ? kEmpty : it->second;
+      const auto round32 = static_cast<std::uint32_t>(round_index);
+      const std::uint64_t k = key_of(v, u, round32);
+      outgoing.emplace(k, Outgoing{v, u, pack_round(round32, msgs), false});
+      transmit(k);
+    }
+    ++executed[v];
+  };
+
+  auto try_advance = [&](graph::VertexId v) {
+    while (executed[v] < rounds) {
+      if (executed[v] == 0) {
+        execute(v);
+        continue;
+      }
+      const auto need = static_cast<std::uint32_t>(executed[v] - 1);
+      const auto it = got[v].find(need);
+      const std::size_t have = it == got[v].end() ? 0 : it->second;
+      if (have < nbrs[v].size()) break;
+      execute(v);
+    }
+  };
+
+  // Kick off round 0 everywhere; isolated nodes run to completion at once.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (engine_->is_active(v)) try_advance(v);
+  }
+
+  engine_->run([&](double /*now*/, const Message& msg) {
+    if (msg.type == kMsgAck) {
+      TGC_CHECK(msg.payload.size() == 1);
+      const auto it = outgoing.find(key_of(msg.to, msg.from, msg.payload[0]));
+      if (it != outgoing.end()) it->second.acked = true;
+      return;
+    }
+    if (msg.type != kMsgRound) return;
+    std::uint32_t round = 0;
+    auto msgs = unpack_round(msg, &round);
+    // Always (re-)ack — a previous ack may have been lost.
+    engine_->send(msg.to, msg.from, kMsgAck, {round});
+    if (!delivered.insert(key_of(msg.from, msg.to, round)).second) {
+      return;  // duplicate retransmission
+    }
+    auto& bucket = pending[msg.to][round];
+    for (auto& m : msgs) bucket.push_back(std::move(m));
+    ++got[msg.to][round];
+    try_advance(msg.to);
+  });
+
+  rounds_completed_ = rounds;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (engine_->is_active(v)) {
+      TGC_CHECK_MSG(executed[v] == rounds,
+                    "synchronizer stalled at node " << v);
+    }
+  }
+}
+
+}  // namespace tgc::sim

@@ -1,0 +1,74 @@
+#include "tgcover/sim/engine.hpp"
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::sim {
+
+namespace {
+
+/// RoundEngine's Mailer: counts traffic and enqueues into next-round inboxes.
+class EngineMailer final : public Mailer {
+ public:
+  EngineMailer(const graph::Graph& g, const std::vector<bool>& active,
+               std::vector<std::vector<Message>>& next_inbox,
+               TrafficStats& stats, graph::VertexId from)
+      : g_(&g),
+        active_(&active),
+        next_inbox_(&next_inbox),
+        stats_(&stats),
+        from_(from) {}
+
+  void send(graph::VertexId to, std::uint32_t type,
+            std::vector<std::uint32_t> payload) override {
+    TGC_CHECK_MSG(g_->has_edge(from_, to),
+                  "node " << from_ << " cannot send to non-neighbor " << to);
+    ++stats_->messages;
+    stats_->payload_words += payload.size();
+    if (!(*active_)[to]) return;  // transmitted into the void
+    (*next_inbox_)[to].push_back(
+        Message{from_, to, type, std::move(payload)});
+  }
+
+  void broadcast(std::uint32_t type,
+                 const std::vector<std::uint32_t>& payload) override {
+    for (const graph::VertexId nbr : g_->neighbors(from_)) {
+      send(nbr, type, payload);
+    }
+  }
+
+ private:
+  const graph::Graph* g_;
+  const std::vector<bool>* active_;
+  std::vector<std::vector<Message>>* next_inbox_;
+  TrafficStats* stats_;
+  graph::VertexId from_;
+};
+
+}  // namespace
+
+RoundEngine::RoundEngine(const graph::Graph& g)
+    : g_(&g),
+      active_(g.num_vertices(), true),
+      inbox_(g.num_vertices()),
+      next_inbox_(g.num_vertices()) {}
+
+void RoundEngine::deactivate(graph::VertexId v) {
+  TGC_CHECK(v < active_.size());
+  active_[v] = false;
+  inbox_[v].clear();
+  next_inbox_[v].clear();
+}
+
+void RoundEngine::run_round(const Handler& handler) {
+  ++stats_.rounds;
+  for (graph::VertexId v = 0; v < g_->num_vertices(); ++v) {
+    if (!active_[v]) continue;
+    EngineMailer mailer(*g_, active_, next_inbox_, stats_, v);
+    handler(v, std::span<const Message>(inbox_[v]), mailer);
+    inbox_[v].clear();
+  }
+  std::swap(inbox_, next_inbox_);
+  for (auto& box : next_inbox_) box.clear();
+}
+
+}  // namespace tgc::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::sim {
+
+/// A radio message between two adjacent nodes. Payloads are word vectors;
+/// protocols define their own encodings. Word counts feed the byte
+/// accounting (4 bytes per word).
+struct Message {
+  graph::VertexId from = graph::kInvalidVertex;
+  graph::VertexId to = graph::kInvalidVertex;
+  std::uint32_t type = 0;
+  std::vector<std::uint32_t> payload;
+};
+
+/// Cumulative traffic counters for a protocol run.
+struct TrafficStats {
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+  std::size_t payload_words = 0;
+
+  std::size_t payload_bytes() const { return payload_words * 4; }
+
+  void merge(const TrafficStats& other) {
+    rounds += other.rounds;
+    messages += other.messages;
+    payload_words += other.payload_words;
+  }
+};
+
+/// Outbound mail interface handed to node handlers. Abstract so the same
+/// protocol handlers run unchanged on the synchronous RoundEngine and on the
+/// α-synchronizer over the asynchronous engine (async.hpp).
+class Mailer {
+ public:
+  virtual ~Mailer() = default;
+
+  /// Sends to an active neighbor (messages to inactive nodes are dropped
+  /// silently, modeling a powered-down radio — but still counted as sent).
+  virtual void send(graph::VertexId to, std::uint32_t type,
+                    std::vector<std::uint32_t> payload) = 0;
+
+  /// Sends a copy to every active neighbor.
+  virtual void broadcast(std::uint32_t type,
+                         const std::vector<std::uint32_t>& payload) = 0;
+};
+
+/// Synchronous round-based message-passing engine over a connectivity graph.
+///
+/// In each round every *active* node handles the messages delivered to it at
+/// the end of the previous round and may send new messages to active
+/// neighbors; deliveries are reliable and take exactly one round. This is the
+/// standard LOCAL/CONGEST-style abstraction the paper's distributed
+/// algorithm is described in ("these deletion operations can iteratively run
+/// in rounds", Section V-B).
+class RoundEngine {
+ public:
+  explicit RoundEngine(const graph::Graph& g);
+
+  const graph::Graph& graph() const { return *g_; }
+
+  /// Deactivates a node: it no longer receives, relays, or sends. Pending
+  /// messages to it are dropped.
+  void deactivate(graph::VertexId v);
+  bool is_active(graph::VertexId v) const { return active_[v]; }
+  const std::vector<bool>& active() const { return active_; }
+
+  using Handler =
+      std::function<void(graph::VertexId node, std::span<const Message> inbox,
+                         Mailer& mailer)>;
+
+  /// Runs one synchronous round: every active node's handler sees the inbox
+  /// accumulated from the previous round; sends become next round's inboxes.
+  void run_round(const Handler& handler);
+
+  const TrafficStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  const graph::Graph* g_;
+  std::vector<bool> active_;
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<std::vector<Message>> next_inbox_;
+  TrafficStats stats_;
+};
+
+}  // namespace tgc::sim

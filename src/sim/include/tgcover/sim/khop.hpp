@@ -1,0 +1,37 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/sim/engine.hpp"
+
+namespace tgc::sim {
+
+/// What a node knows about its k-hop vicinity after the collection protocol:
+/// the adjacency lists of every node within k hops (and its own). From this
+/// the node can locally reconstruct the punctured neighbourhood graph
+/// Γ^k(v) = G[N^k(v)] that the VPT deletability test needs (Section V-B:
+/// "Each internal node v only needs to collect the connectivity Γ^k_G(v)
+/// among its k-hop neighbors").
+struct LocalView {
+  graph::VertexId owner = graph::kInvalidVertex;
+  /// adjacency[u] = known neighbor list of u, for every u within k hops of
+  /// the owner (the owner's own list included).
+  std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> adjacency;
+
+  /// Removes a (deleted) node from the view: drops its list and its
+  /// occurrences in other lists.
+  void erase_node(graph::VertexId v);
+};
+
+/// Runs the k-round adjacency-flooding protocol on `engine` for all active
+/// nodes and returns each node's LocalView. In round r every node forwards
+/// the adjacency records it learned in round r-1, so after k rounds node v
+/// holds the adjacency lists of exactly N^k(v) ∪ {v} (over the active
+/// topology).
+///
+/// Message format: a sequence of records [node, degree, n_1..n_degree].
+std::vector<LocalView> collect_k_hop_views(RoundEngine& engine, unsigned k);
+
+}  // namespace tgc::sim

@@ -1,0 +1,98 @@
+#include "tgcover/sim/khop.hpp"
+
+#include <algorithm>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::sim {
+
+namespace {
+
+constexpr std::uint32_t kMsgAdjacency = 1;
+
+/// Appends a record [node, degree, neighbors...] to `payload`.
+void append_record(std::vector<std::uint32_t>& payload, graph::VertexId node,
+                   const std::vector<graph::VertexId>& nbrs) {
+  payload.push_back(node);
+  payload.push_back(static_cast<std::uint32_t>(nbrs.size()));
+  payload.insert(payload.end(), nbrs.begin(), nbrs.end());
+}
+
+/// Parses records from a message into `view`; returns the ids that were new.
+std::vector<graph::VertexId> absorb(LocalView& view, const Message& msg) {
+  std::vector<graph::VertexId> learned;
+  std::size_t i = 0;
+  while (i < msg.payload.size()) {
+    TGC_CHECK(i + 2 <= msg.payload.size());
+    const graph::VertexId who = msg.payload[i++];
+    const std::uint32_t deg = msg.payload[i++];
+    TGC_CHECK(i + deg <= msg.payload.size());
+    if (view.adjacency.count(who) == 0) {
+      view.adjacency.emplace(
+          who,
+          std::vector<graph::VertexId>(
+              msg.payload.begin() + static_cast<std::ptrdiff_t>(i),
+              msg.payload.begin() + static_cast<std::ptrdiff_t>(i + deg)));
+      learned.push_back(who);
+    }
+    i += deg;
+  }
+  return learned;
+}
+
+}  // namespace
+
+void LocalView::erase_node(graph::VertexId v) {
+  adjacency.erase(v);
+  for (auto& [node, nbrs] : adjacency) {
+    (void)node;
+    nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), v), nbrs.end());
+  }
+}
+
+std::vector<LocalView> collect_k_hop_views(RoundEngine& engine, unsigned k) {
+  TGC_CHECK(k >= 1);
+  const graph::Graph& g = engine.graph();
+  const std::size_t n = g.num_vertices();
+
+  std::vector<LocalView> views(n);
+  // Seed: every active node knows its own (active-filtered) adjacency.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (!engine.is_active(v)) continue;
+    views[v].owner = v;
+    std::vector<graph::VertexId> nbrs;
+    for (const graph::VertexId u : g.neighbors(v)) {
+      if (engine.is_active(u)) nbrs.push_back(u);
+    }
+    views[v].adjacency.emplace(v, std::move(nbrs));
+  }
+
+  // Round 0 sends the node's own record; in round r (1 ≤ r ≤ k) each node
+  // absorbs the records that arrived (distance-r adjacency lists) and
+  // immediately re-broadcasts the new ones — so after round r every node
+  // holds the adjacency of N^r(v). The records learned in round k are not
+  // forwarded further.
+  for (unsigned round = 0; round <= k; ++round) {
+    engine.run_round([&](graph::VertexId node, std::span<const Message> inbox,
+                         Mailer& mailer) {
+      std::vector<graph::VertexId> learned;
+      for (const Message& msg : inbox) {
+        const auto batch = absorb(views[node], msg);
+        learned.insert(learned.end(), batch.begin(), batch.end());
+      }
+      const std::vector<graph::VertexId> to_send =
+          round == 0 ? std::vector<graph::VertexId>{node} : learned;
+      if (round < k && !to_send.empty()) {
+        std::vector<std::uint32_t> payload;
+        for (const graph::VertexId who : to_send) {
+          append_record(payload, who, views[node].adjacency.at(who));
+        }
+        mailer.broadcast(kMsgAdjacency, payload);
+      }
+    });
+  }
+
+  return views;
+}
+
+}  // namespace tgc::sim

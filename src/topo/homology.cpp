@@ -1,0 +1,101 @@
+#include "tgcover/topo/homology.hpp"
+
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/gf2.hpp"
+#include "tgcover/util/gf2_elim.hpp"
+
+namespace tgc::topo {
+
+namespace {
+
+util::Gf2Vector triangle_row(const graph::Graph& g, const Triangle& t) {
+  util::Gf2Vector row(g.num_edges());
+  for (const graph::EdgeId e : t.edges) row.set(e);
+  return row;
+}
+
+}  // namespace
+
+HomologyInfo homology(const RipsComplex& complex) {
+  const graph::Graph& g = complex.graph();
+  HomologyInfo info;
+  std::size_t components = 0;
+  graph::connected_components(g, &components);
+  info.betti0 = components;
+  info.cycle_space_dim = g.num_edges() + components - g.num_vertices();
+
+  util::Gf2Eliminator elim(g.num_edges());
+  for (const Triangle& t : complex.triangles()) {
+    elim.insert(triangle_row(g, t));
+    if (elim.rank() == info.cycle_space_dim) break;  // b1 already 0
+  }
+  info.boundary2_rank = elim.rank();
+  info.betti1 = info.cycle_space_dim - info.boundary2_rank;
+  return info;
+}
+
+bool first_homology_trivial(const RipsComplex& complex) {
+  const graph::Graph& g = complex.graph();
+  const std::size_t nu = graph::cycle_space_dimension(g);
+  if (nu == 0) return true;
+  util::Gf2Eliminator elim(g.num_edges());
+  for (const Triangle& t : complex.triangles()) {
+    elim.insert(triangle_row(g, t));
+    if (elim.rank() == nu) return true;
+  }
+  return false;
+}
+
+RelativeHomologyInfo relative_homology(const RipsComplex& complex,
+                                       const std::vector<bool>& fence_edges) {
+  const graph::Graph& g = complex.graph();
+  TGC_CHECK(fence_edges.size() == g.num_edges());
+  RelativeHomologyInfo info;
+
+  // The fence subcomplex: the given edges plus their endpoints.
+  const std::vector<bool>& edge_in_fence = fence_edges;
+  std::vector<bool> fence(g.num_vertices(), false);
+  std::size_t relative_edges = 0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (edge_in_fence[e]) {
+      const auto [u, v] = g.edge(e);
+      fence[u] = true;
+      fence[v] = true;
+    } else {
+      ++relative_edges;
+    }
+  }
+  info.relative_edges = relative_edges;
+
+  // rank of ∂1 on the quotient: rows are relative edges, columns are
+  // non-fence vertices.
+  util::Gf2Eliminator d1(g.num_vertices());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (edge_in_fence[e]) continue;
+    const auto [u, v] = g.edge(e);
+    util::Gf2Vector row(g.num_vertices());
+    if (!fence[u]) row.set(u);
+    if (!fence[v]) row.set(v);
+    d1.insert(std::move(row));
+  }
+  info.boundary1_rank = d1.rank();
+
+  // rank of ∂2 projected to the relative edge coordinates.
+  util::Gf2Eliminator d2(g.num_edges());
+  for (const Triangle& t : complex.triangles()) {
+    util::Gf2Vector row(g.num_edges());
+    for (const graph::EdgeId e : t.edges) {
+      if (!edge_in_fence[e]) row.set(e);
+    }
+    d2.insert(std::move(row));
+  }
+  info.boundary2_rank = d2.rank();
+
+  const std::size_t z1_rel = relative_edges - info.boundary1_rank;
+  TGC_CHECK(z1_rel >= info.boundary2_rank);
+  info.betti1_rel = z1_rel - info.boundary2_rank;
+  return info;
+}
+
+}  // namespace tgc::topo

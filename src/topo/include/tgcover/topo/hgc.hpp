@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/topo/rips.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::topo {
+
+/// HGC — the homology-group coverage baseline (Ghrist et al. [8][9]), the
+/// state-of-the-art connectivity-only method the paper compares against.
+///
+/// Verification: the network is declared covered when its Rips 2-complex is
+/// connected and has trivial first homology over GF(2). This is a *stronger*
+/// condition than the paper's cycle-partition criterion (Section IV-B): it
+/// can reject fully-covered networks (the Fig. 1 Möbius band), and its basic
+/// coverage unit is permanently the triangle (τ = 3).
+bool hgc_verify(const graph::Graph& g);
+
+struct HgcResult {
+  std::vector<bool> active;   ///< surviving nodes
+  std::size_t survivors = 0;
+  std::size_t deleted = 0;
+  /// Whether the criterion held on the input network; when false, HGC cannot
+  /// certify the initial coverage and no deletion is attempted.
+  bool initially_verified = false;
+  std::size_t passes = 0;     ///< full sweeps over the node set
+};
+
+/// Centralized HGC scheduling: greedily deletes internal nodes (in a random
+/// order) whenever the remaining network stays connected with trivial first
+/// homology, until a full pass deletes nothing. The paper does not pin down
+/// Ghrist et al.'s scheduling procedure beyond "triangles are the basic
+/// coverage unit" and "centralized computation"; greedy criterion-preserving
+/// deletion is the natural maximal scheme and matches the Fig. 4 usage (n1 =
+/// size of the coverage set found by HGC).
+///
+/// `internal[v]` marks nodes eligible for deletion (boundary nodes are not).
+HgcResult hgc_schedule(const graph::Graph& g, const std::vector<bool>& internal,
+                       util::Rng& rng);
+
+}  // namespace tgc::topo

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tgcover/topo/rips.hpp"
+
+namespace tgc::topo {
+
+/// GF(2) (Z/2) homology ranks of a 2-dimensional Rips complex.
+struct HomologyInfo {
+  std::size_t betti0 = 0;          ///< connected components
+  std::size_t betti1 = 0;          ///< independent 1-dimensional holes
+  std::size_t cycle_space_dim = 0; ///< ν = dim Z1
+  std::size_t boundary2_rank = 0;  ///< rank ∂2 = dim B1
+};
+
+HomologyInfo homology(const RipsComplex& complex);
+
+/// True iff H1 of the complex is trivial over GF(2) — equivalently, iff the
+/// connectivity triangles span the whole cycle space. This is the coverage
+/// test of the HGC baseline (Ghrist et al. [9], as characterized in Sections
+/// II and IV-B of the paper). Streaming with early exit.
+bool first_homology_trivial(const RipsComplex& complex);
+
+/// Homology of the pair (R, F) over GF(2), where the fence subcomplex F
+/// consists of the given `fence_edges` (e.g. the boundary cycles) and their
+/// endpoints. Ghrist et al. phrase their criterion through the *relative*
+/// first homology group; the paper's Möbius example breaks the absolute
+/// form, and the relative form is provided for completeness and for the
+/// Fig. 1 comparison tests.
+struct RelativeHomologyInfo {
+  std::size_t betti1_rel = 0;
+  std::size_t relative_edges = 0;   ///< dim C1(R)/C1(F)
+  std::size_t boundary1_rank = 0;   ///< rank ∂1 on the quotient
+  std::size_t boundary2_rank = 0;   ///< rank ∂2 projected to the quotient
+};
+
+RelativeHomologyInfo relative_homology(const RipsComplex& complex,
+                                       const std::vector<bool>& fence_edges);
+
+}  // namespace tgc::topo

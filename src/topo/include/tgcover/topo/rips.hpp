@@ -1,0 +1,48 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::topo {
+
+/// A triangle (2-simplex) of the Rips complex: three pairwise-adjacent
+/// vertices and the ids of its three edges.
+struct Triangle {
+  std::array<graph::VertexId, 3> vertices;  // sorted ascending
+  std::array<graph::EdgeId, 3> edges;
+};
+
+/// The 2-dimensional Rips (flag) complex of a connectivity graph: 0-simplices
+/// are nodes, 1-simplices are communication links, 2-simplices are
+/// connectivity triangles. This is the structure Ghrist et al.'s
+/// homology-based coverage criterion operates on (Section II of the paper).
+class RipsComplex {
+ public:
+  /// Enumerates all triangles of `g` using sorted-adjacency intersection.
+  /// The graph is stored by value so the complex owns a consistent snapshot
+  /// (graphs are flat CSR arrays; the copy is cheap relative to homology).
+  explicit RipsComplex(graph::Graph g);
+
+  /// A general 2-complex with an explicit triangle list (each triple must be
+  /// pairwise adjacent in `g`). Unlike the flag (Rips) constructor this lets
+  /// tests build non-flag complexes — e.g. the minimal 6-vertex projective
+  /// plane whose H1 is 2-torsion, where Z2 and ℝ homology legitimately
+  /// disagree.
+  static RipsComplex from_triangle_list(
+      graph::Graph g,
+      const std::vector<std::array<graph::VertexId, 3>>& triangles);
+
+  const graph::Graph& graph() const { return g_; }
+  std::size_t num_triangles() const { return triangles_.size(); }
+  const Triangle& triangle(std::size_t i) const { return triangles_[i]; }
+  const std::vector<Triangle>& triangles() const { return triangles_; }
+
+ private:
+  graph::Graph g_;
+  std::vector<Triangle> triangles_;
+};
+
+}  // namespace tgc::topo

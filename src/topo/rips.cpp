@@ -1,0 +1,59 @@
+#include "tgcover/topo/rips.hpp"
+
+#include <algorithm>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::topo {
+
+RipsComplex::RipsComplex(graph::Graph g) : g_(std::move(g)) {
+  using graph::EdgeId;
+  using graph::VertexId;
+  const graph::Graph& gr = g_;
+  // For every edge (u, v) with u < v, intersect the sorted adjacency lists
+  // above v to find each triangle exactly once (u < v < w).
+  for (EdgeId e = 0; e < gr.num_edges(); ++e) {
+    const auto [u, v] = gr.edge(e);
+    const auto nu = gr.neighbors(u);
+    const auto eu = gr.incident_edges(u);
+    const auto nv = gr.neighbors(v);
+    const auto ev = gr.incident_edges(v);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        const VertexId w = nu[i];
+        if (w > v) {
+          triangles_.push_back(Triangle{{u, v, w}, {e, eu[i], ev[j]}});
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+}
+
+RipsComplex RipsComplex::from_triangle_list(
+    graph::Graph g,
+    const std::vector<std::array<graph::VertexId, 3>>& triangles) {
+  RipsComplex complex(std::move(g));  // enumerate, then replace
+  complex.triangles_.clear();
+  const graph::Graph& gr = complex.g_;
+  for (auto t : triangles) {
+    std::sort(t.begin(), t.end());
+    TGC_CHECK_MSG(t[0] < t[1] && t[1] < t[2], "degenerate triangle");
+    const auto e01 = gr.edge_between(t[0], t[1]);
+    const auto e02 = gr.edge_between(t[0], t[2]);
+    const auto e12 = gr.edge_between(t[1], t[2]);
+    TGC_CHECK_MSG(e01 && e02 && e12, "triangle edges missing in graph");
+    complex.triangles_.push_back(Triangle{{t[0], t[1], t[2]},
+                                          {*e01, *e02, *e12}});
+  }
+  return complex;
+}
+
+}  // namespace tgc::topo

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::trace {
+
+/// Log-normal-shadowing radio model used to synthesize GreenOrbs-style RSSI
+/// traces (the paper's Section VI-B workload; we have no access to the real
+/// forest deployment, see DESIGN.md substitutions).
+///
+/// RSSI(d) = tx_power − ref_loss − 10·n·log10(d/d0) + X_link + X_packet,
+/// where X_link ~ N(0, shadowing_sigma²) is a static per-directed-link
+/// shadowing term (foliage, antenna asymmetry) and X_packet ~
+/// N(0, temporal_sigma²) varies per packet. Distances are in deployment
+/// units (rc = 1).
+struct RssiModel {
+  double tx_power_dbm = 0.0;
+  double ref_loss_dbm = 52.0;      ///< path loss at the reference distance
+  double ref_distance = 0.1;       ///< d0, in deployment units
+  /// Dense-forest ground-level propagation is harsh; 4.5 places the
+  /// 80%-retention threshold near the paper's −85 dBm (Fig. 5).
+  double path_loss_exponent = 4.5;
+  double shadowing_sigma = 4.0;    ///< static per-link, dB
+  double temporal_sigma = 6.0;     ///< per-packet, dB — forest links
+                                   ///< fluctuate heavily, which also
+                                   ///< diversifies the per-epoch top-10
+                                   ///< neighbor records
+  double sensitivity_dbm = -104.0; ///< packets below this are never received
+
+  /// Deterministic mean RSSI at distance `d` (no randomness).
+  double mean_rssi(double d) const;
+};
+
+}  // namespace tgc::trace

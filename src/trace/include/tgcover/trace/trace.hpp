@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/trace/rssi.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::trace {
+
+/// Parameters of the packet-trace synthesis pipeline (Section VI-B: "We
+/// gather all the data packet received from all nodes in a period of time.
+/// Each packet contains some (at most ten) records that indicate the
+/// neighbors having best RSSI at one node ... We accumulate all these RSSI
+/// records of a period of time (two days)").
+struct TraceOptions {
+  std::size_t epochs = 288;              ///< two days at one packet / 10 min
+  std::size_t max_records_per_packet = 10;
+  RssiModel model;
+};
+
+/// An undirected node pair observed in the accumulated trace, with the
+/// average RSSI over all records in both directions.
+struct ObservedLink {
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  double avg_rssi = 0.0;
+  std::size_t records = 0;
+};
+
+/// The accumulated two-day trace, before thresholding.
+struct Trace {
+  std::vector<ObservedLink> links;   ///< undirected, observed in both directions
+  std::size_t packets = 0;
+  std::size_t records = 0;
+};
+
+/// Synthesizes the packet trace for nodes at `positions`.
+Trace generate_trace(const geom::Embedding& positions,
+                     const TraceOptions& options, util::Rng& rng);
+
+/// All per-link average RSSI values (the sample behind the Fig. 5 CDF).
+std::vector<double> link_rssi_samples(const Trace& trace);
+
+/// The RSSI threshold that retains `fraction` of the observed undirected
+/// links (the paper selects ≈ −85 dBm to utilize 80% of edges).
+double threshold_for_fraction(const Trace& trace, double fraction);
+
+/// The connectivity graph of links with average RSSI ≥ `threshold_dbm`
+/// ("only undirected edges that have the average RSSI greater than a
+/// threshold are reserved").
+graph::Graph threshold_graph(const Trace& trace, std::size_t num_nodes,
+                             double threshold_dbm);
+
+}  // namespace tgc::trace

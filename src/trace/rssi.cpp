@@ -1,0 +1,17 @@
+#include "tgcover/trace/rssi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::trace {
+
+double RssiModel::mean_rssi(double d) const {
+  TGC_CHECK(d > 0.0);
+  const double clamped = std::max(d, ref_distance);
+  return tx_power_dbm - ref_loss_dbm -
+         10.0 * path_loss_exponent * std::log10(clamped / ref_distance);
+}
+
+}  // namespace tgc::trace

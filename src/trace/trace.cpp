@@ -1,0 +1,146 @@
+#include "tgcover/trace/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/stats.hpp"
+
+namespace tgc::trace {
+
+namespace {
+
+using graph::VertexId;
+
+struct DirectedAccum {
+  double sum = 0.0;
+  std::size_t count = 0;
+};
+
+std::uint64_t pair_key(VertexId a, VertexId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Trace generate_trace(const geom::Embedding& positions,
+                     const TraceOptions& options, util::Rng& rng) {
+  const std::size_t n = positions.size();
+  TGC_CHECK(n >= 2);
+  const RssiModel& model = options.model;
+
+  // Static per-directed-link shadowing, sampled lazily on first contact so
+  // the memory stays proportional to audible pairs.
+  std::unordered_map<std::uint64_t, double> shadowing;
+  auto link_shadowing = [&](VertexId from, VertexId to) {
+    const auto [it, inserted] = shadowing.emplace(pair_key(from, to), 0.0);
+    if (inserted) it->second = rng.normal(0.0, model.shadowing_sigma);
+    return it->second;
+  };
+
+  // Audible candidates per receiver: pairs whose best-case RSSI can clear the
+  // sensitivity floor (mean + generous shadowing margin).
+  std::vector<std::vector<VertexId>> audible(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double d = geom::dist(positions[u], positions[v]);
+      if (d <= 0.0) continue;
+      const double margin = 4.0 * (model.shadowing_sigma + model.temporal_sigma);
+      if (model.mean_rssi(d) + margin < model.sensitivity_dbm) continue;
+      audible[u].push_back(v);
+      audible[v].push_back(u);
+    }
+  }
+
+  std::unordered_map<std::uint64_t, DirectedAccum> accum;
+  Trace trace;
+
+  struct Reading {
+    VertexId neighbor;
+    double rssi;
+  };
+  std::vector<Reading> readings;
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (VertexId receiver = 0; receiver < n; ++receiver) {
+      // The receiver samples this epoch's beacons from its audible vicinity
+      // and reports the `max_records_per_packet` strongest in its packet.
+      readings.clear();
+      for (const VertexId sender : audible[receiver]) {
+        const double d = geom::dist(positions[receiver], positions[sender]);
+        const double rssi = model.mean_rssi(d) +
+                            link_shadowing(sender, receiver) +
+                            rng.normal(0.0, model.temporal_sigma);
+        if (rssi < model.sensitivity_dbm) continue;
+        readings.push_back(Reading{sender, rssi});
+      }
+      if (readings.empty()) continue;
+      const std::size_t keep =
+          std::min(options.max_records_per_packet, readings.size());
+      std::partial_sort(readings.begin(),
+                        readings.begin() + static_cast<std::ptrdiff_t>(keep),
+                        readings.end(), [](const Reading& a, const Reading& b) {
+                          return a.rssi > b.rssi;
+                        });
+      ++trace.packets;
+      for (std::size_t i = 0; i < keep; ++i) {
+        // Record: "neighbor `readings[i].neighbor` was heard by `receiver`
+        // at this RSSI" — a directed link sender → receiver.
+        auto& acc = accum[pair_key(readings[i].neighbor, receiver)];
+        acc.sum += readings[i].rssi;
+        ++acc.count;
+        ++trace.records;
+      }
+    }
+  }
+
+  // "Those directed edges are eliminated and only undirected edges ... are
+  // reserved": keep pairs observed in both directions; the link average is
+  // over the records of both directions.
+  for (const auto& [key, fwd] : accum) {
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key & 0xffffffffu);
+    if (u >= v) continue;  // handle each unordered pair once, from (u, v)
+    const auto rev = accum.find(pair_key(v, u));
+    if (rev == accum.end()) continue;
+    ObservedLink link;
+    link.u = u;
+    link.v = v;
+    link.records = fwd.count + rev->second.count;
+    link.avg_rssi = (fwd.sum + rev->second.sum) /
+                    static_cast<double>(link.records);
+    trace.links.push_back(link);
+  }
+  std::sort(trace.links.begin(), trace.links.end(),
+            [](const ObservedLink& a, const ObservedLink& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  return trace;
+}
+
+std::vector<double> link_rssi_samples(const Trace& trace) {
+  std::vector<double> out;
+  out.reserve(trace.links.size());
+  for (const ObservedLink& link : trace.links) out.push_back(link.avg_rssi);
+  return out;
+}
+
+double threshold_for_fraction(const Trace& trace, double fraction) {
+  TGC_CHECK(fraction > 0.0 && fraction <= 1.0);
+  TGC_CHECK(!trace.links.empty());
+  const util::EmpiricalCdf cdf(link_rssi_samples(trace));
+  // Retaining `fraction` of links means cutting at the (1 - fraction)
+  // quantile from below.
+  return cdf.quantile(std::max(1e-9, 1.0 - fraction));
+}
+
+graph::Graph threshold_graph(const Trace& trace, std::size_t num_nodes,
+                             double threshold_dbm) {
+  graph::GraphBuilder builder(num_nodes);
+  for (const ObservedLink& link : trace.links) {
+    if (link.avg_rssi >= threshold_dbm) builder.add_edge(link.u, link.v);
+  }
+  return builder.build();
+}
+
+}  // namespace tgc::trace

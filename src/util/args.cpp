@@ -1,0 +1,77 @@
+#include "tgcover/util/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  TGC_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    TGC_CHECK_MSG(arg.size() > 2 && arg.rfind("--", 0) == 0,
+                  "expected --key [value], got '" << arg << "'");
+    const std::string key = arg.substr(2);
+    // A following token that does not start with "--" is this key's value.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";
+    }
+  }
+}
+
+std::int64_t ArgParser::get_int(const std::string& key, std::int64_t def,
+                                const std::string& help) {
+  declared_[key] = {help, std::to_string(def)};
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double ArgParser::get_double(const std::string& key, double def,
+                             const std::string& help) {
+  declared_[key] = {help, std::to_string(def)};
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& def,
+                                  const std::string& help) {
+  declared_[key] = {help, def};
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+bool ArgParser::get_flag(const std::string& key, const std::string& help) {
+  declared_[key] = {help, "off"};
+  return values_.count(key) > 0;
+}
+
+void ArgParser::finish() const {
+  if (help_requested_) {
+    std::printf("usage: %s [options]\n", program_.c_str());
+    for (const auto& [key, d] : declared_) {
+      std::printf("  --%-18s %s (default: %s)\n", key.c_str(), d.help.c_str(),
+                  d.default_repr.c_str());
+    }
+    std::exit(0);
+  }
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    TGC_CHECK_MSG(declared_.count(key) > 0, "unknown option --" << key);
+  }
+}
+
+}  // namespace tgc::util

@@ -1,0 +1,65 @@
+#include "tgcover/util/gf2.hpp"
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::util {
+
+void Gf2Vector::xor_assign(const Gf2Vector& other) {
+  TGC_CHECK(size_ == other.size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+}
+
+std::size_t Gf2Vector::popcount() const {
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) {
+    n += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+bool Gf2Vector::is_zero() const {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::size_t Gf2Vector::highest_set_bit() const {
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return w * 64 + 63 - static_cast<std::size_t>(__builtin_clzll(words_[w]));
+    }
+  }
+  return npos;
+}
+
+std::size_t Gf2Vector::lowest_set_bit() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return npos;
+}
+
+std::vector<std::size_t> Gf2Vector::set_bits() const {
+  std::vector<std::size_t> out;
+  out.reserve(popcount());
+  for_each_set_bit([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::uint64_t Gf2Vector::hash() const {
+  // FNV-style word mix with a final avalanche; good enough for dedup tables.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ size_;
+  for (const std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace tgc::util

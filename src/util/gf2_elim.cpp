@@ -1,0 +1,64 @@
+#include "tgcover/util/gf2_elim.hpp"
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::util {
+
+Gf2Eliminator::Gf2Eliminator(std::size_t dim, std::size_t aug_dim)
+    : dim_(dim), aug_dim_(aug_dim), pivot_to_row_(dim, -1) {}
+
+bool Gf2Eliminator::insert(Gf2Vector v) {
+  TGC_CHECK(v.size() == dim_);
+  TGC_CHECK_MSG(aug_dim_ == 0 || inserted_ < aug_dim_,
+                "augmented eliminator capacity exceeded");
+  Gf2Vector aug(aug_dim_ > 0 ? aug_dim_ : 0);
+  if (aug_dim_ > 0) aug.set(inserted_);
+  ++inserted_;
+
+  std::size_t pivot = v.highest_set_bit();
+  while (pivot != Gf2Vector::npos && pivot_to_row_[pivot] >= 0) {
+    const auto row = static_cast<std::size_t>(pivot_to_row_[pivot]);
+    v.xor_assign(rows_[row]);
+    if (aug_dim_ > 0) aug.xor_assign(aug_rows_[row]);
+    pivot = v.highest_set_bit();
+  }
+  if (pivot == Gf2Vector::npos) return false;
+
+  pivot_to_row_[pivot] = static_cast<std::int32_t>(rows_.size());
+  rows_.push_back(std::move(v));
+  if (aug_dim_ > 0) aug_rows_.push_back(std::move(aug));
+  return true;
+}
+
+Gf2Vector Gf2Eliminator::reduce(Gf2Vector v) const {
+  TGC_CHECK(v.size() == dim_);
+  std::size_t pivot = v.highest_set_bit();
+  while (pivot != Gf2Vector::npos && pivot_to_row_[pivot] >= 0) {
+    v.xor_assign(rows_[static_cast<std::size_t>(pivot_to_row_[pivot])]);
+    pivot = v.highest_set_bit();
+  }
+  return v;
+}
+
+bool Gf2Eliminator::in_span(const Gf2Vector& v) const {
+  return reduce(v).is_zero();
+}
+
+std::optional<std::vector<std::size_t>> Gf2Eliminator::combination_for(
+    const Gf2Vector& v) const {
+  TGC_CHECK_MSG(aug_dim_ > 0, "combination_for requires an augmented eliminator");
+  TGC_CHECK(v.size() == dim_);
+  Gf2Vector residual = v;
+  Gf2Vector combo(aug_dim_);
+  std::size_t pivot = residual.highest_set_bit();
+  while (pivot != Gf2Vector::npos && pivot_to_row_[pivot] >= 0) {
+    const auto row = static_cast<std::size_t>(pivot_to_row_[pivot]);
+    residual.xor_assign(rows_[row]);
+    combo.xor_assign(aug_rows_[row]);
+    pivot = residual.highest_set_bit();
+  }
+  if (!residual.is_zero()) return std::nullopt;
+  return combo.set_bits();
+}
+
+}  // namespace tgc::util

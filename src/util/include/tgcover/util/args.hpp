@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tgc::util {
+
+/// Minimal `--key value` / `--flag` command-line parser for the figure
+/// benches and examples. Unrecognized keys raise an error so that typos in
+/// sweep scripts fail loudly instead of silently using defaults.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declares an option (for --help and unknown-key checking) and returns its
+  /// value, or `def` when absent.
+  std::int64_t get_int(const std::string& key, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& key, double def,
+                    const std::string& help = "");
+  std::string get_string(const std::string& key, const std::string& def,
+                         const std::string& help = "");
+  bool get_flag(const std::string& key, const std::string& help = "");
+
+  /// Call after all get_* declarations: exits with usage on --help, throws on
+  /// unknown keys.
+  void finish() const;
+
+ private:
+  struct Declared {
+    std::string help;
+    std::string default_repr;
+  };
+
+  std::string program_;
+  std::map<std::string, std::string> values_;   // key -> raw value ("" = flag)
+  std::map<std::string, Declared> declared_;
+  bool help_requested_ = false;
+};
+
+}  // namespace tgc::util

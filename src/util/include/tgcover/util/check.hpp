@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tgc {
+
+/// Error thrown when a TGC_CHECK precondition or invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace tgc
+
+/// Precondition / invariant check that is always on (benches and tests rely on
+/// library-level validation, so this is not compiled out in release builds).
+#define TGC_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::tgc::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define TGC_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream tgc_check_os;                                      \
+      tgc_check_os << msg;                                                  \
+      ::tgc::detail::check_failed(#expr, __FILE__, __LINE__,                \
+                                  tgc_check_os.str());                      \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tgcover/util/gf2.hpp"
+
+namespace tgc::util {
+
+/// Incremental Gaussian elimination over GF(2).
+///
+/// Rows are kept in reduced row-echelon-ish form keyed by their highest set
+/// bit (the pivot). `insert` implements the greedy independence test used by
+/// Horton's minimum-cycle-basis algorithm (Algorithm 1 of the paper, lines
+/// 10-14) and by all τ-span tests.
+///
+/// When constructed with `aug_dim > 0`, the eliminator additionally tracks,
+/// for every stored row, which of the inserted vectors were XOR-combined to
+/// produce it. This lets callers extract explicit cycle-partition
+/// certificates (Definition 2): a reduced-to-zero target vector is the GF(2)
+/// sum of a known subset of the inserted generators.
+class Gf2Eliminator {
+ public:
+  /// @param dim      bit width of the vectors being eliminated
+  /// @param aug_dim  maximum number of `insert` calls to track for
+  ///                 certificate extraction; 0 disables augmentation
+  explicit Gf2Eliminator(std::size_t dim, std::size_t aug_dim = 0);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t rank() const { return rows_.size(); }
+
+  /// Inserts `v` if it is linearly independent of the stored rows.
+  /// Returns true iff the row was added (i.e. `v` was independent).
+  bool insert(Gf2Vector v);
+
+  /// True iff `v` lies in the span of the inserted vectors.
+  bool in_span(const Gf2Vector& v) const;
+
+  /// Reduces `v` against the stored rows and returns the residual.
+  Gf2Vector reduce(Gf2Vector v) const;
+
+  /// For an augmented eliminator: reduces `v` and, if the residual is zero,
+  /// returns the set of insertion indices whose generators sum to `v`.
+  /// Returns std::nullopt when `v` is not in the span.
+  /// Insertion indices count every call to `insert` (independent or not).
+  std::optional<std::vector<std::size_t>> combination_for(
+      const Gf2Vector& v) const;
+
+  std::size_t inserted_count() const { return inserted_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t aug_dim_;
+  std::size_t inserted_ = 0;
+  std::vector<Gf2Vector> rows_;
+  std::vector<Gf2Vector> aug_rows_;       // parallel to rows_ when augmented
+  std::vector<std::int32_t> pivot_to_row_;  // dim_-sized, -1 = no row
+};
+
+}  // namespace tgc::util

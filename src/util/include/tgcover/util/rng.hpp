@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tgc::util {
+
+/// SplitMix64 — used for seeding and for stateless per-(node, round) hashing.
+/// Deterministic across platforms; the distributed MIS election derives node
+/// priorities from it so that the simulated-message executor and the
+/// centralized oracle executor make identical random choices.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// xoshiro256** PRNG. Small, fast, deterministic and serializable; used for
+/// all workload generation so experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// An independent child stream; stable under unrelated draws from *this.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tgc::util

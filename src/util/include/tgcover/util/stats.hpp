@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace tgc::util {
+
+/// Streaming mean / variance / min / max (Welford). Benches report averages
+/// over repeated random network generations with this.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Empirical CDF over a sample (used for the RSSI distribution of Figure 5).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+
+  /// P(X <= x).
+  double at(double x) const;
+
+  /// Smallest sample value v such that P(X <= v) >= q, for q in (0, 1].
+  double quantile(double q) const;
+
+  /// Fraction of samples >= threshold (the paper's Fig. 5 y-axis is the
+  /// proportion of edges with RSSI greater than or equal to a threshold).
+  double fraction_at_least(double threshold) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace tgc::util

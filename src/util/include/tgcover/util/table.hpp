@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tgc::util {
+
+/// Column-aligned plain-text table. The figure benches print the same series
+/// the paper plots, one row per x-value, through this.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with a header underline; optionally as CSV (for plotting).
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  /// Prints `to_string()` to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tgc::util

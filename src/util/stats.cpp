@@ -1,0 +1,51 @@
+#include "tgcover/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::util {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  TGC_CHECK(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  TGC_CHECK(q > 0.0 && q <= 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double EmpiricalCdf::fraction_at_least(double threshold) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(sorted_.end() - it) /
+         static_cast<double>(sorted_.size());
+}
+
+}  // namespace tgc::util

@@ -1,0 +1,226 @@
+// End-to-end tests of the tgcover CLI (the library function behind the
+// binary): generate → schedule → verify → quality → render on temp files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "tgcover/app/cli.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::app {
+namespace {
+
+namespace fs = std::filesystem;
+
+int run(std::initializer_list<const char*> argv, std::string* captured = nullptr) {
+  std::vector<const char*> full{"tgcover"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  std::ostringstream out;
+  const int rc = run_cli(static_cast<int>(full.size()), full.data(), out);
+  if (captured != nullptr) *captured = out.str();
+  return rc;
+}
+
+class CliFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "tgc_cli_test";
+    fs::create_directories(dir_);
+    net_ = (dir_ / "net.tgc").string();
+    sched_ = (dir_ / "sched.tgc").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string net_;
+  std::string sched_;
+};
+
+TEST_F(CliFixture, FullWorkflow) {
+  std::string out;
+  ASSERT_EQ(run({"generate", "--type", "udg", "--nodes", "300", "--degree",
+                 "25", "--seed", "5", "--out", net_.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("300 nodes"), std::string::npos);
+  ASSERT_TRUE(fs::exists(net_));
+
+  ASSERT_EQ(run({"schedule", "--in", net_.c_str(), "--tau", "4", "--out",
+                 sched_.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("scheduled tau=4"), std::string::npos);
+  ASSERT_TRUE(fs::exists(sched_));
+
+  // The full network must certify whenever the schedule does; check both.
+  const int full_rc =
+      run({"verify", "--in", net_.c_str(), "--tau", "4"}, &out);
+  const int sched_rc = run({"verify", "--in", net_.c_str(), "--schedule",
+                            sched_.c_str(), "--tau", "4"},
+                           &out);
+  EXPECT_EQ(sched_rc, full_rc);  // Theorem 5: scheduling preserves it
+
+  ASSERT_EQ(run({"quality", "--in", net_.c_str(), "--schedule", sched_.c_str(),
+                 "--gamma", "1.4"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("void sizes"), std::string::npos);
+
+  // Certificate extraction: a file of tau-bounded cycles XORing to CB.
+  if (full_rc == 0) {
+    const std::string cert = (dir_ / "cert.txt").string();
+    ASSERT_EQ(run({"verify", "--in", net_.c_str(), "--schedule",
+                   sched_.c_str(), "--tau", "4", "--certificate",
+                   cert.c_str()},
+                  &out),
+              0);
+    ASSERT_TRUE(fs::exists(cert));
+    std::ifstream in(cert);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_NE(line.find("certificate"), std::string::npos);
+    std::size_t cycles = 0;
+    while (std::getline(in, line)) {
+      if (line.rfind("cycle", 0) == 0) {
+        ++cycles;
+        // "cycle v1 v2 v3 [v4]": 4 to 5 tokens for tau=4.
+        std::istringstream ls(line);
+        std::string tok;
+        int words = 0;
+        while (ls >> tok) ++words;
+        EXPECT_GE(words, 4);
+        EXPECT_LE(words, 5);
+      }
+    }
+    EXPECT_GT(cycles, 0u);
+  }
+
+  const std::string svg = (dir_ / "net.svg").string();
+  ASSERT_EQ(run({"render", "--in", net_.c_str(), "--schedule", sched_.c_str(),
+                 "--out", svg.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_TRUE(fs::exists(svg));
+}
+
+TEST_F(CliFixture, GenerateQuasiAndStrip) {
+  std::string out;
+  EXPECT_EQ(run({"generate", "--type", "quasi", "--nodes", "150", "--seed",
+                 "3", "--out", net_.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_TRUE(fs::exists(net_));
+  EXPECT_EQ(run({"generate", "--type", "strip", "--nodes", "150", "--seed",
+                 "3", "--out", net_.c_str()},
+                &out),
+            0)
+      << out;
+}
+
+TEST_F(CliFixture, TraceCommand) {
+  std::string out;
+  const std::string path = (dir_ / "trace.tgc").string();
+  ASSERT_EQ(run({"trace", "--nodes", "120", "--epochs", "40", "--seed", "4",
+                 "--out", path.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("threshold"), std::string::npos);
+  EXPECT_TRUE(fs::exists(path));
+}
+
+TEST_F(CliFixture, DistributedMatchesOracleSchedule) {
+  std::string out;
+  ASSERT_EQ(run({"generate", "--nodes", "150", "--degree", "20", "--seed",
+                 "8", "--out", net_.c_str()},
+                &out),
+            0);
+  const std::string oracle = (dir_ / "oracle.tgc").string();
+  const std::string dist = (dir_ / "dist.tgc").string();
+  ASSERT_EQ(run({"schedule", "--in", net_.c_str(), "--tau", "3", "--seed",
+                 "5", "--out", oracle.c_str()},
+                &out),
+            0);
+  ASSERT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3", "--seed",
+                 "5", "--out", dist.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("radio cost"), std::string::npos);
+  // The two executors write identical awake sets (file-level check).
+  std::ifstream a(oracle);
+  std::ifstream b(dist);
+  std::stringstream sa;
+  std::stringstream sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST_F(CliFixture, RepairCommand) {
+  std::string out;
+  ASSERT_EQ(run({"generate", "--nodes", "250", "--degree", "25", "--seed",
+                 "12", "--out", net_.c_str()},
+                &out),
+            0);
+  ASSERT_EQ(run({"schedule", "--in", net_.c_str(), "--tau", "4", "--out",
+                 sched_.c_str()},
+                &out),
+            0);
+  // An empty failure mask: the repair degenerates to a no-op, and must
+  // restore the certificate exactly when the schedule certified.
+  const std::string failed = (dir_ / "failed.tgc").string();
+  {
+    std::ofstream f(failed);
+    f << "tgcover-mask 1\nnodes 250\n";
+  }
+  const std::string repaired = (dir_ / "repaired.tgc").string();
+  const int verify_rc =
+      run({"verify", "--in", net_.c_str(), "--schedule", sched_.c_str(),
+           "--tau", "4"},
+          &out);
+  const int rc = run({"repair", "--in", net_.c_str(), "--schedule",
+                      sched_.c_str(), "--failed", failed.c_str(), "--tau",
+                      "4", "--out", repaired.c_str()},
+                     &out);
+  EXPECT_TRUE(fs::exists(repaired));
+  // No failures: repair restores iff the schedule certified to begin with.
+  EXPECT_EQ(rc, verify_rc);
+}
+
+TEST(Cli, HelpAndErrors) {
+  std::string out;
+  EXPECT_EQ(run({"help"}, &out), 0);
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+  EXPECT_EQ(run({"frobnicate"}, &out), 2);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_EQ(run({}, &out), 2);  // no subcommand
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  std::string out;
+  EXPECT_THROW(run({"generate", "--bogus", "1"}, &out), tgc::CheckError);
+}
+
+TEST(Cli, GenerateUnknownTypeFails) {
+  std::string out;
+  EXPECT_EQ(run({"generate", "--type", "mesh"}, &out), 2);
+  EXPECT_NE(out.find("unknown --type"), std::string::npos);
+}
+
+TEST(Cli, MissingInputFileThrows) {
+  std::string out;
+  EXPECT_THROW(run({"verify", "--in", "/nonexistent/net.tgc"}, &out),
+               tgc::CheckError);
+}
+
+}  // namespace
+}  // namespace tgc::app

@@ -1,0 +1,302 @@
+// Asynchronous engine + α-synchronizer: the synchronous round abstraction
+// the paper's protocol uses, recovered over an event-driven network with
+// random link delays — validated by running identical handlers on both
+// substrates and comparing final protocol states.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/sim/async.hpp"
+#include "tgcover/sim/engine.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::sim {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Graph path_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+// ------------------------------------------------------------ AsyncEngine
+
+TEST(AsyncEngine, DeliversWithDelayInRange) {
+  const Graph g = path_graph(2);
+  AsyncEngine::Options opt;
+  opt.min_delay = 1.0;
+  opt.max_delay = 2.0;
+  AsyncEngine engine(g, opt);
+  engine.send(0, 1, 9, {5});
+  double delivered_at = -1.0;
+  engine.run([&](double now, const Message& msg) {
+    EXPECT_EQ(msg.from, 0u);
+    EXPECT_EQ(msg.type, 9u);
+    delivered_at = now;
+  });
+  EXPECT_GE(delivered_at, 1.0);
+  EXPECT_LE(delivered_at, 2.0);
+  EXPECT_EQ(engine.stats().messages, 1u);
+}
+
+TEST(AsyncEngine, SendToNonNeighborThrows) {
+  const Graph g = path_graph(3);
+  AsyncEngine engine(g, {});
+  EXPECT_THROW(engine.send(0, 2, 1, {}), tgc::CheckError);
+}
+
+TEST(AsyncEngine, InactiveReceiverDropsMessage) {
+  const Graph g = path_graph(2);
+  AsyncEngine engine(g, {});
+  engine.deactivate(1);
+  engine.send(0, 1, 1, {1, 2});
+  std::size_t deliveries = 0;
+  engine.run([&](double, const Message&) { ++deliveries; });
+  EXPECT_EQ(deliveries, 0u);
+  EXPECT_EQ(engine.stats().messages, 1u);  // transmission still counted
+}
+
+TEST(AsyncEngine, CascadedSendsAdvanceTime) {
+  // A relay chain: each delivery triggers the next hop; time accumulates.
+  const Graph g = path_graph(4);
+  AsyncEngine engine(g, {});
+  engine.send(0, 1, 1, {});
+  const double finish = engine.run([&](double, const Message& msg) {
+    if (msg.to + 1 < 4) {
+      engine.send(msg.to, msg.to + 1, 1, {});
+    }
+  });
+  EXPECT_GE(finish, 3 * 0.5);  // three hops, min delay each
+}
+
+// ------------------------------------------------------ AlphaSynchronizer
+
+/// Reference protocol 1 — BFS layering: a root floods a token; each node
+/// records the first round it hears it. Under a correct synchronizer the
+/// recorded round equals the BFS hop distance.
+void bfs_protocol(std::vector<std::uint32_t>& level, VertexId root,
+                  unsigned rounds_hint, const Graph& g,
+                  const std::function<void(std::size_t,
+                                           const RoundEngine::Handler&)>& run) {
+  level.assign(g.num_vertices(), graph::kUnreached);
+  level[root] = 0;
+  std::vector<bool> announced(g.num_vertices(), false);
+  run(rounds_hint, [&](VertexId node, std::span<const Message> inbox,
+                       Mailer& mailer) {
+    for (const Message& m : inbox) {
+      if (m.type == 1 && level[node] == graph::kUnreached) {
+        level[node] = m.payload[0];
+      }
+    }
+    // A node announces its level exactly once, in the round it learned it
+    // (the root announces in round 0).
+    if (level[node] != graph::kUnreached && !announced[node]) {
+      announced[node] = true;
+      mailer.broadcast(1, {level[node] + 1});
+    }
+  });
+}
+
+TEST(AlphaSynchronizer, BfsLayersMatchHopDistances) {
+  util::Rng rng(401);
+  const auto dep = gen::random_connected_udg(60, 2.6, 1.0, rng);
+  const Graph& g = dep.graph;
+  const auto truth = graph::bfs_distances(g, 0);
+  const unsigned rounds =
+      *std::max_element(truth.begin(), truth.end()) + 2;
+
+  std::vector<std::uint32_t> level;
+  AsyncEngine engine(g, {.min_delay = 0.2, .max_delay = 3.7, .seed = 99});
+  AlphaSynchronizer sync(engine);
+  bfs_protocol(level, 0, rounds, g,
+               [&](std::size_t r, const RoundEngine::Handler& h) {
+                 sync.run_rounds(r, h);
+               });
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(level[v], truth[v]) << "node " << v;
+  }
+}
+
+/// Reference protocol 2 — max aggregation: every node repeatedly broadcasts
+/// the largest value it has seen; after diameter rounds all nodes agree.
+RoundEngine::Handler max_aggregation(std::vector<std::uint32_t>& value) {
+  return [&value](VertexId node, std::span<const Message> inbox,
+                  Mailer& mailer) {
+    for (const Message& m : inbox) {
+      value[node] = std::max(value[node], m.payload[0]);
+    }
+    mailer.broadcast(2, {value[node]});
+  };
+}
+
+TEST(AlphaSynchronizer, MatchesRoundEngineExactly) {
+  util::Rng rng(402);
+  const auto dep = gen::random_connected_udg(50, 2.4, 1.0, rng);
+  const Graph& g = dep.graph;
+  const std::size_t rounds = 12;
+
+  // Seed values: pseudorandom per node.
+  auto seed_values = [&] {
+    std::vector<std::uint32_t> v(g.num_vertices());
+    for (VertexId i = 0; i < g.num_vertices(); ++i) {
+      v[i] = static_cast<std::uint32_t>(util::splitmix64(7777 + i) >> 40);
+    }
+    return v;
+  };
+
+  auto sync_values = seed_values();
+  {
+    RoundEngine engine(g);
+    const auto handler = max_aggregation(sync_values);
+    for (std::size_t r = 0; r < rounds; ++r) engine.run_round(handler);
+  }
+
+  auto async_values = seed_values();
+  {
+    AsyncEngine engine(g, {.min_delay = 0.1, .max_delay = 5.0,
+                           .seed = 31337});  // heavy jitter
+    AlphaSynchronizer sync(engine);
+    sync.run_rounds(rounds, max_aggregation(async_values));
+    EXPECT_EQ(sync.rounds_completed(), rounds);
+  }
+
+  EXPECT_EQ(async_values, sync_values);
+  const auto want =
+      *std::max_element(sync_values.begin(), sync_values.end());
+  for (const auto v : sync_values) EXPECT_EQ(v, want);
+}
+
+TEST(AlphaSynchronizer, DeactivatedNodesAreExcluded) {
+  const Graph g = path_graph(5);
+  AsyncEngine engine(g, {});
+  engine.deactivate(2);  // splits the path
+
+  std::vector<std::uint32_t> value(5, 0);
+  value[0] = 100;
+  value[4] = 50;
+  AlphaSynchronizer sync(engine);
+  sync.run_rounds(6, max_aggregation(value));
+  EXPECT_EQ(value[1], 100u);  // left side converged
+  EXPECT_EQ(value[3], 50u);   // right side cannot hear 100 through node 2
+  EXPECT_EQ(value[2], 0u);    // sleeping node untouched
+}
+
+TEST(AlphaSynchronizer, IsolatedNodesComplete) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);  // node 2 isolated
+  const Graph g = b.build();
+  AsyncEngine engine(g, {});
+  AlphaSynchronizer sync(engine);
+  std::vector<int> calls(3, 0);
+  sync.run_rounds(4, [&](VertexId node, std::span<const Message>,
+                         Mailer&) { ++calls[node]; });
+  EXPECT_EQ(calls[0], 4);
+  EXPECT_EQ(calls[1], 4);
+  EXPECT_EQ(calls[2], 4);
+}
+
+TEST(AlphaSynchronizer, DelayDistributionDoesNotChangeOutcome) {
+  util::Rng rng(403);
+  const auto dep = gen::random_connected_udg(40, 2.2, 1.0, rng);
+  const Graph& g = dep.graph;
+
+  std::vector<std::vector<std::uint32_t>> results;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    std::vector<std::uint32_t> value(g.num_vertices());
+    for (VertexId i = 0; i < g.num_vertices(); ++i) {
+      value[i] = static_cast<std::uint32_t>(util::splitmix64(i) & 0xffff);
+    }
+    AsyncEngine engine(g,
+                       {.min_delay = 0.01, .max_delay = 10.0, .seed = seed});
+    AlphaSynchronizer sync(engine);
+    sync.run_rounds(10, max_aggregation(value));
+    results.push_back(std::move(value));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+// ------------------------------------------------------- lossy links
+
+TEST(AlphaSynchronizer, SurvivesHeavyMessageLoss) {
+  // 35% of transmissions vanish; acks + retransmission must still deliver
+  // the exact synchronous execution.
+  util::Rng rng(404);
+  const auto dep = gen::random_connected_udg(40, 2.2, 1.0, rng);
+  const Graph& g = dep.graph;
+  const std::size_t rounds = 8;
+
+  auto seed_values = [&] {
+    std::vector<std::uint32_t> v(g.num_vertices());
+    for (VertexId i = 0; i < g.num_vertices(); ++i) {
+      v[i] = static_cast<std::uint32_t>(util::splitmix64(31 + i) >> 40);
+    }
+    return v;
+  };
+
+  auto sync_values = seed_values();
+  {
+    RoundEngine engine(g);
+    const auto handler = max_aggregation(sync_values);
+    for (std::size_t r = 0; r < rounds; ++r) engine.run_round(handler);
+  }
+
+  auto lossy_values = seed_values();
+  AsyncEngine engine(g, {.min_delay = 0.2,
+                         .max_delay = 1.0,
+                         .loss_probability = 0.35,
+                         .seed = 7});
+  AlphaSynchronizer sync(engine, /*retransmit_interval=*/2.0);
+  sync.run_rounds(rounds, max_aggregation(lossy_values));
+
+  EXPECT_EQ(lossy_values, sync_values);
+  EXPECT_GT(engine.messages_lost(), 0u);
+  EXPECT_GT(sync.retransmissions(), 0u);
+}
+
+TEST(AlphaSynchronizer, NoRetransmissionsOnCleanLinks) {
+  util::Rng rng(405);
+  const auto dep = gen::random_connected_udg(30, 2.0, 1.0, rng);
+  std::vector<std::uint32_t> value(dep.graph.num_vertices(), 1);
+  AsyncEngine engine(dep.graph, {.min_delay = 0.2, .max_delay = 0.9,
+                                 .seed = 3});
+  AlphaSynchronizer sync(engine, /*retransmit_interval=*/100.0);
+  sync.run_rounds(5, max_aggregation(value));
+  EXPECT_EQ(sync.retransmissions(), 0u);
+  EXPECT_EQ(engine.messages_lost(), 0u);
+}
+
+TEST(AsyncEngine, TimersFireInOrder) {
+  const Graph g = path_graph(2);
+  AsyncEngine engine(g, {});
+  std::vector<int> order;
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.schedule(1.0, [&] {
+    order.push_back(1);
+    engine.schedule(1.0, [&] { order.push_back(2); });
+  });
+  engine.run([](double, const Message&) {});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AsyncEngine, LossIsCounted) {
+  const Graph g = path_graph(2);
+  AsyncEngine engine(g, {.min_delay = 0.1, .max_delay = 0.2,
+                         .loss_probability = 0.5, .seed = 17});
+  for (int i = 0; i < 200; ++i) engine.send(0, 1, 1, {});
+  std::size_t delivered = 0;
+  engine.run([&](double, const Message&) { ++delivered; });
+  EXPECT_EQ(delivered + engine.messages_lost(), 200u);
+  EXPECT_NEAR(static_cast<double>(engine.messages_lost()), 100.0, 30.0);
+}
+
+}  // namespace
+}  // namespace tgc::sim

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "tgcover/boundary/cone.hpp"
+#include "tgcover/boundary/cycle_extract.hpp"
+#include "tgcover/boundary/label.hpp"
+#include "tgcover/cycle/cycle.hpp"
+#include "tgcover/cycle/span.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::boundary {
+namespace {
+
+using geom::Embedding;
+using geom::Point;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+// ------------------------------------------------------------------ labels
+
+TEST(Label, OuterBand) {
+  const Embedding pos{{0.5, 5.0}, {5.0, 5.0}, {9.5, 5.0}, {5.0, 0.4}};
+  const geom::Rect area{0, 0, 10, 10};
+  const auto label = label_outer_band(pos, area, 1.0);
+  EXPECT_TRUE(label[0]);   // near left edge
+  EXPECT_FALSE(label[1]);  // center
+  EXPECT_TRUE(label[2]);   // near right edge
+  EXPECT_TRUE(label[3]);   // near bottom edge
+}
+
+TEST(Label, HoleBand) {
+  const Embedding pos{{5.0, 5.0}, {6.2, 5.0}, {8.0, 5.0}};
+  const geom::Circle hole{{5.0, 5.0}, 1.0};
+  const auto label = label_hole_band(pos, hole, 1.0);
+  EXPECT_FALSE(label[0]);  // inside the hole — not in the band
+  EXPECT_TRUE(label[1]);   // within band outside the hole
+  EXPECT_FALSE(label[2]);  // too far
+}
+
+TEST(Label, Union) {
+  const std::vector<bool> a{true, false, false};
+  const std::vector<bool> b{false, false, true};
+  EXPECT_EQ(label_union(a, b), (std::vector<bool>{true, false, true}));
+}
+
+// ----------------------------------------------------------- cycle extract
+
+TEST(CycleExtract, SquareRing) {
+  GraphBuilder b(4);
+  for (VertexId v = 0; v < 4; ++v) b.add_edge(v, (v + 1) % 4);
+  const Graph g = b.build();
+  const Embedding pos{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const std::vector<bool> in_set(4, true);
+  const auto cb = outer_boundary_cycle(g, pos, in_set);
+  EXPECT_EQ(cb.popcount(), 4u);
+  EXPECT_TRUE(cycle::is_simple_cycle(g, cb));
+}
+
+TEST(CycleExtract, SquareWithCenterSkipsCenter) {
+  GraphBuilder b(5);
+  for (VertexId v = 0; v < 4; ++v) {
+    b.add_edge(v, (v + 1) % 4);
+    b.add_edge(v, 4);
+  }
+  const Graph g = b.build();
+  const Embedding pos{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const std::vector<bool> in_set(5, true);
+  const auto cb = outer_boundary_cycle(g, pos, in_set);
+  EXPECT_EQ(cb.popcount(), 4u);  // outer square only; spokes unused
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(cb.test(*g.edge_between(v, (v + 1) % 4)));
+  }
+}
+
+TEST(CycleExtract, RestrictsToInSet) {
+  // Two concentric square rings connected by spokes; in_set = outer only.
+  GraphBuilder b(8);
+  for (VertexId v = 0; v < 4; ++v) {
+    b.add_edge(v, (v + 1) % 4);                    // outer ring
+    b.add_edge(4 + v, 4 + (v + 1) % 4);            // inner ring
+    b.add_edge(v, 4 + v);                          // spokes
+  }
+  const Graph g = b.build();
+  const Embedding pos{{0, 0},     {4, 0},     {4, 4},     {0, 4},
+                      {1.5, 1.5}, {2.5, 1.5}, {2.5, 2.5}, {1.5, 2.5}};
+  std::vector<bool> in_set(8, false);
+  for (VertexId v = 0; v < 4; ++v) in_set[v] = true;
+  const auto cb = outer_boundary_cycle(g, pos, in_set);
+  EXPECT_EQ(cb.popcount(), 4u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(cb.test(*g.edge_between(v, (v + 1) % 4)));
+  }
+}
+
+TEST(CycleExtract, HoleBoundaryPicksInnerRing) {
+  // Same two-ring network; the hole-side cycle around the center must be the
+  // inner ring.
+  GraphBuilder b(8);
+  for (VertexId v = 0; v < 4; ++v) {
+    b.add_edge(v, (v + 1) % 4);
+    b.add_edge(4 + v, 4 + (v + 1) % 4);
+    b.add_edge(v, 4 + v);
+  }
+  const Graph g = b.build();
+  const Embedding pos{{0, 0},     {4, 0},     {4, 4},     {0, 4},
+                      {1.5, 1.5}, {2.5, 1.5}, {2.5, 2.5}, {1.5, 2.5}};
+  std::vector<bool> in_set(8, false);
+  for (VertexId v = 4; v < 8; ++v) in_set[v] = true;
+  const auto cb = hole_boundary_cycle(g, pos, in_set, Point{2.0, 2.0});
+  EXPECT_EQ(cb.popcount(), 4u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(
+        cb.test(*g.edge_between(4 + v, 4 + (v + 1) % 4)));
+  }
+}
+
+TEST(CycleExtract, RandomUdgBandProducesCycleElement) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    util::Rng r = rng.fork(trial);
+    const auto dep = gen::random_connected_udg(250, 5.0, 1.0, r);
+    const auto in_set = label_outer_band(dep.positions, dep.area, 1.0);
+    const auto cb = outer_boundary_cycle(dep.graph, dep.positions, in_set);
+    EXPECT_FALSE(cb.is_zero());
+    EXPECT_TRUE(cycle::is_cycle_space_element(dep.graph, cb));
+    // Every edge of the walk stays within the band set.
+    cb.for_each_set_bit([&](std::size_t e) {
+      const auto [u, v] = dep.graph.edge(static_cast<graph::EdgeId>(e));
+      EXPECT_TRUE(in_set[u]);
+      EXPECT_TRUE(in_set[v]);
+    });
+  }
+}
+
+TEST(CycleExtract, DeadEndBacktrackCancels) {
+  // A triangle with a pendant vertex: the walk must backtrack over the
+  // pendant edge, which then cancels out mod 2.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  const Graph g = b.build();
+  const Embedding pos{{0, 0}, {1, 0}, {0.5, 1}, {2, 0}};
+  const std::vector<bool> in_set(4, true);
+  const auto cb = outer_boundary_cycle(g, pos, in_set);
+  EXPECT_EQ(cb.popcount(), 3u);  // just the triangle
+  EXPECT_FALSE(cb.test(*g.edge_between(1, 3)));
+}
+
+// -------------------------------------------------------------------- cone
+
+TEST(Cone, FillSingleBoundary) {
+  GraphBuilder b(6);
+  for (VertexId v = 0; v < 6; ++v) b.add_edge(v, (v + 1) % 6);
+  const Graph g = b.build();
+  const std::vector<std::vector<VertexId>> inner{{0, 1, 2, 3, 4, 5}};
+  const ConeFilledNetwork filled = fill_cones(g, inner);
+  EXPECT_EQ(filled.graph.num_vertices(), 7u);
+  EXPECT_EQ(filled.graph.num_edges(), 12u);
+  ASSERT_EQ(filled.apexes.size(), 1u);
+  const VertexId apex = filled.apexes[0];
+  for (VertexId v = 0; v < 6; ++v) EXPECT_TRUE(filled.graph.has_edge(apex, v));
+  // The cone makes the 6-cycle 3-partitionable (apex triangles).
+  EXPECT_TRUE(cycle::short_cycles_span(filled.graph, 3));
+}
+
+TEST(Cone, MultipleBoundaries) {
+  GraphBuilder b(8);
+  for (VertexId v = 0; v < 4; ++v) b.add_edge(v, (v + 1) % 4);
+  for (VertexId v = 4; v < 8; ++v) b.add_edge(v, 4 + (v + 1) % 4);
+  const Graph g = b.build();
+  const std::vector<std::vector<VertexId>> inner{{0, 1, 2, 3}, {4, 5, 6, 7}};
+  const ConeFilledNetwork filled = fill_cones(g, inner);
+  EXPECT_EQ(filled.graph.num_vertices(), 10u);
+  EXPECT_EQ(filled.apexes.size(), 2u);
+  EXPECT_EQ(filled.graph.degree(filled.apexes[0]), 4u);
+  EXPECT_EQ(filled.graph.degree(filled.apexes[1]), 4u);
+}
+
+}  // namespace
+}  // namespace tgc::boundary

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "tgcover/cycle/cycle.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/gen/fixtures.hpp"
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/topo/rips.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+#include "tgcover/util/stats.hpp"
+
+namespace tgc::gen {
+namespace {
+
+using graph::VertexId;
+
+TEST(Deployments, SideForAverageDegree) {
+  const double side = side_for_average_degree(1600, 1.0, 25.0);
+  // Expected density: n·π/side² = 25.
+  EXPECT_NEAR(1600.0 * std::numbers::pi / (side * side), 25.0, 1e-9);
+}
+
+TEST(Deployments, RandomUdgIsExactUnitDisk) {
+  util::Rng rng(1);
+  const Deployment d = random_udg(120, 5.0, 1.0, rng);
+  EXPECT_EQ(d.positions.size(), 120u);
+  EXPECT_TRUE(geom::is_valid_udg_embedding(d.graph, d.positions, d.rc));
+  for (const auto& p : d.positions) EXPECT_TRUE(d.area.contains(p));
+}
+
+TEST(Deployments, AverageDegreeNearTarget) {
+  util::Rng rng(2);
+  const double target = 14.0;
+  const double side = side_for_average_degree(400, 1.0, target);
+  util::RunningStat stat;
+  for (int run = 0; run < 5; ++run) {
+    util::Rng r = rng.fork(run);
+    const Deployment d = random_udg(400, side, 1.0, r);
+    stat.add(d.graph.average_degree());
+  }
+  // Border effects push the measured degree below the density estimate.
+  EXPECT_NEAR(stat.mean(), target, target * 0.25);
+}
+
+TEST(Deployments, ConnectedGeneratorConnects) {
+  util::Rng rng(3);
+  const Deployment d = random_connected_udg(150, 4.0, 1.0, rng);
+  EXPECT_TRUE(graph::is_connected(d.graph));
+}
+
+TEST(Deployments, ConnectedGeneratorThrowsWhenImpossible) {
+  util::Rng rng(4);
+  // 10 nodes spread over a huge area cannot connect.
+  EXPECT_THROW(random_connected_udg(10, 500.0, 1.0, rng, 3), tgc::CheckError);
+}
+
+TEST(Deployments, QuasiUdgRespectsBands) {
+  util::Rng rng(5);
+  const double alpha = 0.6;
+  const Deployment d = random_quasi_udg(150, 4.0, 1.0, alpha, 0.5, rng);
+  EXPECT_TRUE(geom::is_valid_embedding(d.graph, d.positions, d.rc));
+  // Every pair within alpha·rc must be connected.
+  for (VertexId u = 0; u < d.positions.size(); ++u) {
+    for (VertexId v = u + 1; v < d.positions.size(); ++v) {
+      const double dd = geom::dist(d.positions[u], d.positions[v]);
+      if (dd <= alpha * d.rc) {
+        EXPECT_TRUE(d.graph.has_edge(u, v));
+      } else if (dd > d.rc) {
+        EXPECT_FALSE(d.graph.has_edge(u, v));
+      }
+    }
+  }
+  // And some probabilistic band links should exist but not all.
+  std::size_t band_pairs = 0;
+  std::size_t band_links = 0;
+  for (VertexId u = 0; u < d.positions.size(); ++u) {
+    for (VertexId v = u + 1; v < d.positions.size(); ++v) {
+      const double dd = geom::dist(d.positions[u], d.positions[v]);
+      if (dd > alpha * d.rc && dd <= d.rc) {
+        ++band_pairs;
+        if (d.graph.has_edge(u, v)) ++band_links;
+      }
+    }
+  }
+  ASSERT_GT(band_pairs, 20u);
+  EXPECT_GT(band_links, 0u);
+  EXPECT_LT(band_links, band_pairs);
+}
+
+TEST(Deployments, StripShape) {
+  util::Rng rng(6);
+  const Deployment d = random_strip_udg(100, 12.0, 2.0, 1.0, rng);
+  for (const auto& p : d.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 12.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 2.0);
+  }
+  EXPECT_TRUE(geom::is_valid_udg_embedding(d.graph, d.positions, d.rc));
+}
+
+TEST(Deployments, HolesAreRespected) {
+  util::Rng rng(7);
+  const std::vector<geom::Circle> holes{{{2.5, 2.5}, 1.0}};
+  const Deployment d = random_udg_with_holes(200, 5.0, 1.0, holes, rng);
+  EXPECT_EQ(d.positions.size(), 200u);
+  for (const auto& p : d.positions) {
+    EXPECT_GT(geom::dist(p, holes[0].center), holes[0].radius);
+  }
+}
+
+TEST(Deployments, PerturbedGridCounts) {
+  util::Rng rng(8);
+  const Deployment d = perturbed_grid(6, 1.0, 0.2, 1.5, rng);
+  EXPECT_EQ(d.positions.size(), 36u);
+  EXPECT_TRUE(graph::is_connected(d.graph));
+}
+
+// ---------------------------------------------------------------- fixtures
+
+TEST(Fixtures, MobiusStructure) {
+  const MobiusFixture fx = mobius_band();
+  EXPECT_EQ(fx.graph.num_vertices(), 12u);
+  EXPECT_EQ(fx.graph.num_edges(), 28u);
+  EXPECT_EQ(fx.num_triangles, 16u);
+  EXPECT_EQ(topo::RipsComplex(fx.graph).num_triangles(), 16u);
+  EXPECT_EQ(graph::cycle_space_dimension(fx.graph), 17u);
+  EXPECT_EQ(fx.outer_cycle.size(), 8u);
+  EXPECT_EQ(fx.core_cycle.size(), 4u);
+}
+
+TEST(Fixtures, MobiusOuterIsSumOfAllTriangles) {
+  const MobiusFixture fx = mobius_band();
+  const topo::RipsComplex complex(fx.graph);
+  util::Gf2Vector sum(fx.graph.num_edges());
+  for (const topo::Triangle& t : complex.triangles()) {
+    for (const graph::EdgeId e : t.edges) sum.flip(e);
+  }
+  const auto outer =
+      cycle::Cycle::from_vertex_sequence(fx.graph, fx.outer_cycle);
+  EXPECT_TRUE(sum == outer.edges());
+}
+
+TEST(Fixtures, AnnulusStructure) {
+  const AnnulusFixture fx = triangulated_annulus();
+  EXPECT_EQ(fx.graph.num_vertices(), 12u);
+  EXPECT_EQ(fx.graph.num_edges(), 24u);
+  EXPECT_EQ(topo::RipsComplex(fx.graph).num_triangles(), 12u);
+}
+
+TEST(Fixtures, AnnulusTrianglesSumToBothBoundaries) {
+  const AnnulusFixture fx = triangulated_annulus();
+  const topo::RipsComplex complex(fx.graph);
+  util::Gf2Vector sum(fx.graph.num_edges());
+  for (const topo::Triangle& t : complex.triangles()) {
+    for (const graph::EdgeId e : t.edges) sum.flip(e);
+  }
+  auto boundary_sum =
+      cycle::Cycle::from_vertex_sequence(fx.graph, fx.outer_cycle);
+  boundary_sum.add(
+      cycle::Cycle::from_vertex_sequence(fx.graph, fx.inner_cycle));
+  EXPECT_TRUE(sum == boundary_sum.edges());
+}
+
+}  // namespace
+}  // namespace tgc::gen

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tgcover/geom/coverage.hpp"
+#include "tgcover/geom/embedding.hpp"
+#include "tgcover/geom/min_circle.hpp"
+#include "tgcover/geom/point.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::geom {
+namespace {
+
+// ------------------------------------------------------------------- Point
+
+TEST(Point, Distances) {
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist2({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(Rect, ContainsAndClearance) {
+  const Rect r{0, 0, 10, 6};
+  EXPECT_TRUE(r.contains({5, 3}));
+  EXPECT_FALSE(r.contains({11, 3}));
+  EXPECT_DOUBLE_EQ(r.interior_clearance({5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(r.interior_clearance({1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(r.interior_clearance({-1, 3}), 0.0);
+  const Rect s = r.shrunk(1.0);
+  EXPECT_DOUBLE_EQ(s.xmin, 1.0);
+  EXPECT_DOUBLE_EQ(s.ymax, 5.0);
+  EXPECT_DOUBLE_EQ(s.width(), 8.0);
+}
+
+// ------------------------------------------------------------- min circle
+
+TEST(MinCircle, SinglePoint) {
+  const Circle c = min_enclosing_circle(std::vector<Point>{{2, 3}});
+  EXPECT_DOUBLE_EQ(c.radius, 0.0);
+  EXPECT_DOUBLE_EQ(c.center.x, 2.0);
+}
+
+TEST(MinCircle, TwoPointsDiametral) {
+  const Circle c = min_enclosing_circle(std::vector<Point>{{0, 0}, {4, 0}});
+  EXPECT_NEAR(c.radius, 2.0, 1e-9);
+  EXPECT_NEAR(c.center.x, 2.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 0.0, 1e-9);
+}
+
+TEST(MinCircle, EquilateralTriangleCircumcircle) {
+  const double s = 2.0;
+  const std::vector<Point> pts{
+      {0, 0}, {s, 0}, {s / 2, s * std::sqrt(3.0) / 2.0}};
+  const Circle c = min_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, s / std::sqrt(3.0), 1e-9);
+}
+
+TEST(MinCircle, ObtuseTriangleUsesLongestSide) {
+  // For an obtuse triangle the min circle is the diametral circle of the
+  // longest side, not the circumcircle.
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {5, 0.5}};
+  const Circle c = min_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 5.0, 1e-6);
+}
+
+TEST(MinCircle, CollinearPoints) {
+  const std::vector<Point> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const Circle c = min_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, dist({0, 0}, {3, 3}) / 2.0, 1e-9);
+}
+
+TEST(MinCircle, DuplicatePoints) {
+  const std::vector<Point> pts{{1, 1}, {1, 1}, {1, 1}};
+  const Circle c = min_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 0.0, 1e-12);
+}
+
+TEST(MinCircle, ContainsAllRandomPoints) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> pts;
+    const int n = 3 + static_cast<int>(rng.next_below(60));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    }
+    const Circle c = min_enclosing_circle(pts);
+    for (const Point& p : pts) EXPECT_TRUE(c.contains(p, 1e-7));
+    // Minimality: the circle of the farthest pair lower-bounds the radius.
+    double far2 = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        far2 = std::max(far2, dist2(pts[i], pts[j]));
+      }
+    }
+    EXPECT_GE(c.radius + 1e-9, std::sqrt(far2) / 2.0);
+  }
+}
+
+// --------------------------------------------------------------- embedding
+
+TEST(Embedding, ValidityChecks) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const graph::Graph g = b.build();
+  const Embedding ok{{0, 0}, {0.8, 0}, {1.6, 0}};
+  EXPECT_TRUE(is_valid_embedding(g, ok, 1.0));
+  // 0 and 2 are within range but not connected: fine in the general model,
+  // invalid as a UDG realization.
+  const Embedding close{{0, 0}, {0.5, 0}, {0.9, 0}};
+  EXPECT_TRUE(is_valid_embedding(g, close, 1.0));
+  EXPECT_FALSE(is_valid_udg_embedding(g, close, 1.0));
+  EXPECT_TRUE(is_valid_udg_embedding(g, ok, 1.0));
+  // A link longer than rc invalidates both.
+  const Embedding stretched{{0, 0}, {1.5, 0}, {2.1, 0}};
+  EXPECT_FALSE(is_valid_embedding(g, stretched, 1.0));
+}
+
+TEST(Embedding, MaxLinkLength) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Embedding emb{{0, 0}, {0.5, 0}, {1.4, 0}};
+  EXPECT_NEAR(max_link_length(b.build(), emb), 0.9, 1e-12);
+}
+
+// ---------------------------------------------------------------- coverage
+
+TEST(Coverage, SingleDiskCoversSmallTarget) {
+  const Embedding nodes{{5, 5}};
+  const std::vector<bool> active{true};
+  const Rect target{4, 4, 6, 6};
+  const auto a = analyze_coverage(nodes, active, 2.0, target);
+  EXPECT_TRUE(a.blanket());
+  EXPECT_DOUBLE_EQ(a.covered_fraction, 1.0);
+  EXPECT_EQ(a.max_hole_diameter, 0.0);
+}
+
+TEST(Coverage, InactiveNodesDoNotCover) {
+  const Embedding nodes{{5, 5}};
+  const std::vector<bool> active{false};
+  const Rect target{4, 4, 6, 6};
+  const auto a = analyze_coverage(nodes, active, 2.0, target);
+  EXPECT_FALSE(a.blanket());
+  EXPECT_DOUBLE_EQ(a.covered_fraction, 0.0);
+  EXPECT_EQ(a.holes.size(), 1u);
+}
+
+TEST(Coverage, CentralHoleDetectedAndMeasured) {
+  // Four sensors at the corners of a 4×4 target with rs = 2.5: the disks
+  // overlap along the edges but miss a small pillow around the center
+  // (corner distance to center is 2√2 ≈ 2.83 > 2.5). The hole's extreme
+  // points lie on the axis mid-lines at distance 0.5 from the center, so the
+  // min circumscribing circle has diameter 1 (plus one cell diagonal).
+  const Embedding nodes{{0, 0}, {4, 0}, {0, 4}, {4, 4}};
+  const std::vector<bool> active(4, true);
+  const Rect target{0, 0, 4, 4};
+  CoverageGridOptions opt;
+  opt.cell_size = 0.02;
+  const auto a = analyze_coverage(nodes, active, 2.5, target, opt);
+  ASSERT_EQ(a.holes.size(), 1u);
+  EXPECT_NEAR(a.max_hole_diameter, 1.0, 0.1);
+  EXPECT_GT(a.covered_fraction, 0.95);
+}
+
+TEST(Coverage, SeparateHolesSeparated) {
+  // Two thin uncovered strips on the left and right of a central column of
+  // overlapping sensors.
+  Embedding nodes;
+  for (double y = 0.0; y <= 8.0; y += 0.5) nodes.push_back({4.0, y});
+  const std::vector<bool> active(nodes.size(), true);
+  const Rect target{0, 0, 8, 8};
+  CoverageGridOptions opt;
+  opt.cell_size = 0.1;
+  const auto a = analyze_coverage(nodes, active, 2.5, target, opt);
+  EXPECT_EQ(a.holes.size(), 2u);
+}
+
+TEST(Coverage, CellSizeRefinementConverges) {
+  const Embedding nodes{{0, 0}, {4, 0}, {0, 4}, {4, 4}};
+  const std::vector<bool> active(4, true);
+  const Rect target{0, 0, 4, 4};
+  CoverageGridOptions coarse;
+  coarse.cell_size = 0.2;
+  CoverageGridOptions fine;
+  fine.cell_size = 0.02;
+  const auto ac = analyze_coverage(nodes, active, 2.5, target, coarse);
+  const auto af = analyze_coverage(nodes, active, 2.5, target, fine);
+  EXPECT_NEAR(ac.max_hole_diameter, af.max_hole_diameter, 0.5);
+}
+
+}  // namespace
+}  // namespace tgc::geom

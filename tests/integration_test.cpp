@@ -1,0 +1,288 @@
+// End-to-end behaviour of the whole pipeline: deployment → boundary →
+// scheduling → cycle-partition verification → geometric ground truth.
+// These tests validate the paper's formal claims (Propositions 1-3,
+// Theorems 5-6) against geometry, and the Fig. 1 DCC-vs-HGC comparison.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tgcover/boundary/cone.hpp"
+#include "tgcover/boundary/cycle_extract.hpp"
+#include "tgcover/boundary/label.hpp"
+#include "tgcover/core/confine.hpp"
+#include "tgcover/core/criterion.hpp"
+#include "tgcover/core/scheduler.hpp"
+#include "tgcover/cycle/cycle.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/gen/fixtures.hpp"
+#include "tgcover/geom/coverage.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/topo/hgc.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc {
+namespace {
+
+using graph::VertexId;
+
+/// A ready-to-schedule workload: deployment, boundary labels, CB, target.
+struct Workload {
+  gen::Deployment dep;
+  std::vector<bool> boundary;
+  std::vector<bool> internal;
+  util::Gf2Vector cb;
+  geom::Rect target;
+};
+
+Workload make_workload(std::size_t n, double side, std::uint64_t seed) {
+  Workload w;
+  util::Rng rng(seed);
+  w.dep = gen::random_connected_udg(n, side, 1.0, rng);
+  w.boundary = boundary::label_outer_band(w.dep.positions, w.dep.area, 1.0);
+  w.internal.resize(n);
+  for (VertexId v = 0; v < n; ++v) w.internal[v] = !w.boundary[v];
+  w.cb = boundary::outer_boundary_cycle(w.dep.graph, w.dep.positions,
+                                        w.boundary);
+  // Periphery band of width ≥ Rc between the sensing area and the target
+  // area (Section III-A).
+  w.target = w.dep.area.shrunk(1.0);
+  return w;
+}
+
+// ------------------------------------------------- Fig. 1: DCC beats HGC
+
+TEST(Integration, MobiusBandDccCertifiesHgcRejects) {
+  // The paper's central qualitative claim (Section IV-B): the cycle-partition
+  // criterion certifies the fully covered Möbius-band network at τ=3 while
+  // the homology-group criterion reports a (phantom) coverage hole.
+  const auto fx = gen::mobius_band();
+  const auto outer =
+      cycle::Cycle::from_vertex_sequence(fx.graph, fx.outer_cycle);
+  const std::vector<bool> active(fx.graph.num_vertices(), true);
+  EXPECT_TRUE(core::criterion_holds(fx.graph, active, outer.edges(), 3));
+  EXPECT_FALSE(topo::hgc_verify(fx.graph));
+}
+
+TEST(Integration, AnnulusControlCaseBothAgree) {
+  // On the untwisted annulus with both boundaries declared (multiply-
+  // connected target area), CB = outer ⊕ inner is 3-partitionable; the
+  // criterion certifies it, and HGC's absolute H1 correctly flags the inner
+  // hole (which here is a declared boundary, not a coverage defect).
+  const auto fx = gen::triangulated_annulus();
+  auto cb = cycle::Cycle::from_vertex_sequence(fx.graph, fx.outer_cycle);
+  cb.add(cycle::Cycle::from_vertex_sequence(fx.graph, fx.inner_cycle));
+  const std::vector<bool> active(fx.graph.num_vertices(), true);
+  EXPECT_TRUE(core::criterion_holds(fx.graph, active, cb.edges(), 3));
+  // The outer boundary ALONE is not 3-partitionable (the inner hole is real
+  // at the homology level).
+  const auto outer_only =
+      cycle::Cycle::from_vertex_sequence(fx.graph, fx.outer_cycle);
+  EXPECT_FALSE(core::criterion_holds(fx.graph, active, outer_only.edges(), 3));
+}
+
+// ------------------------------------------ Proposition 1, blanket branch
+
+TEST(Integration, PropositionOneBlanketCoverage) {
+  // γ ≤ 2·sin(π/τ) and criterion holds ⟹ zero coverage holes in the target.
+  const Workload w = make_workload(260, 6.0, 2026);
+  struct Case {
+    unsigned tau;
+    double gamma;
+  };
+  for (const Case c : {Case{3, 1.7}, Case{4, 1.4}, Case{6, 1.0}}) {
+    ASSERT_TRUE(core::blanket_guaranteed(c.tau, c.gamma));
+    const std::vector<bool> all(w.dep.graph.num_vertices(), true);
+    if (!core::criterion_holds(w.dep.graph, all, w.cb, c.tau)) {
+      continue;  // this network does not certify at τ; nothing to validate
+    }
+    core::DccConfig config;
+    config.tau = c.tau;
+    config.seed = 5;
+    const core::DccResult result =
+        core::dcc_schedule(w.dep.graph, w.internal, config);
+    ASSERT_TRUE(core::criterion_holds(w.dep.graph, result.active, w.cb, c.tau));
+
+    const double rs = w.dep.rc / c.gamma;
+    geom::CoverageGridOptions opt;
+    opt.cell_size = 0.04;
+    const auto analysis = geom::analyze_coverage(
+        w.dep.positions, result.active, rs, w.target, opt);
+    EXPECT_TRUE(analysis.blanket())
+        << "tau " << c.tau << " gamma " << c.gamma << ": hole of diameter "
+        << analysis.max_hole_diameter;
+  }
+}
+
+// ------------------------------------------- Proposition 1, partial branch
+
+TEST(Integration, PropositionOnePartialCoverageBound) {
+  // 2·sin(π/τ) < γ ≤ 2 ⟹ every hole diameter ≤ (τ-2)·Rc (+ grid slack).
+  const Workload w = make_workload(260, 6.0, 4096);
+  struct Case {
+    unsigned tau;
+    double gamma;
+  };
+  for (const Case c : {Case{3, 2.0}, Case{4, 2.0}, Case{5, 1.6}}) {
+    ASSERT_FALSE(core::blanket_guaranteed(c.tau, c.gamma));
+    const std::vector<bool> all(w.dep.graph.num_vertices(), true);
+    if (!core::criterion_holds(w.dep.graph, all, w.cb, c.tau)) continue;
+    core::DccConfig config;
+    config.tau = c.tau;
+    config.seed = 6;
+    const core::DccResult result =
+        core::dcc_schedule(w.dep.graph, w.internal, config);
+    ASSERT_TRUE(core::criterion_holds(w.dep.graph, result.active, w.cb, c.tau));
+
+    const double rs = w.dep.rc / c.gamma;
+    geom::CoverageGridOptions opt;
+    opt.cell_size = 0.04;
+    const auto analysis = geom::analyze_coverage(
+        w.dep.positions, result.active, rs, w.target, opt);
+    const double bound =
+        core::paper_hole_diameter_bound(c.tau, c.gamma, w.dep.rc);
+    EXPECT_LE(analysis.max_hole_diameter, bound + 2.0 * opt.cell_size * 1.5)
+        << "tau " << c.tau << " gamma " << c.gamma;
+  }
+}
+
+// ------------------------------------------------ DCC vs HGC (Fig. 4 seed)
+
+TEST(Integration, DccAtLargerTauBeatsHgc) {
+  // The quantitative claim behind Fig. 4: when the sensing ratio admits
+  // τ > 3, DCC's coverage set is smaller than HGC's (which is stuck at
+  // triangles).
+  // H1 of a random UDG Rips complex is often non-trivial even when dense
+  // (tiny phantom holes) — scan seeds for a verifiable instance.
+  Workload w;
+  bool found = false;
+  for (std::uint64_t seed = 777; seed < 777 + 12; ++seed) {
+    w = make_workload(240, 5.0, seed);
+    if (topo::hgc_verify(w.dep.graph)) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) GTEST_SKIP() << "no H1-trivial instance in seed range";
+  util::Rng hgc_rng(9);
+  const topo::HgcResult hgc =
+      topo::hgc_schedule(w.dep.graph, w.internal, hgc_rng);
+  ASSERT_TRUE(hgc.initially_verified);
+
+  core::DccConfig config;
+  config.tau = 6;
+  config.seed = 10;
+  const core::DccResult dcc = core::dcc_schedule(w.dep.graph, w.internal, config);
+  EXPECT_LT(dcc.survivors, hgc.survivors);
+}
+
+// ------------------------------------- multiply-connected target (Prop. 3)
+
+TEST(Integration, MultiBoundaryConeFillingPipeline) {
+  util::Rng rng(31337);
+  const geom::Circle hole{{3.0, 3.0}, 1.2};
+  const std::vector<geom::Circle> holes{hole};
+  gen::Deployment dep;
+  // Retry until connected.
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    ASSERT_LT(attempt, 32u);
+    util::Rng r = rng.fork(attempt);
+    dep = gen::random_udg_with_holes(300, 7.0, 1.0, holes, r);
+    if (graph::is_connected(dep.graph)) break;
+  }
+
+  const auto outer_band =
+      boundary::label_outer_band(dep.positions, dep.area, 1.0);
+  const auto hole_band = boundary::label_hole_band(dep.positions, hole, 1.0);
+  const std::size_t n = dep.graph.num_vertices();
+
+  // CB for Proposition 3: outer boundary ⊕ inner boundary.
+  const auto cb_outer =
+      boundary::outer_boundary_cycle(dep.graph, dep.positions, outer_band);
+  auto cb = cb_outer;
+  const auto cb_inner = boundary::hole_boundary_cycle(
+      dep.graph, dep.positions, hole_band, hole.center);
+  cb.xor_assign(cb_inner);
+
+  // Cone-fill the inner boundary and schedule on the repaired network.
+  std::vector<VertexId> inner_nodes;
+  for (VertexId v = 0; v < n; ++v) {
+    if (hole_band[v]) inner_nodes.push_back(v);
+  }
+  const std::vector<std::vector<VertexId>> inner_sets{inner_nodes};
+  const auto filled = boundary::fill_cones(dep.graph, inner_sets);
+
+  std::vector<bool> internal(filled.graph.num_vertices(), false);
+  for (VertexId v = 0; v < n; ++v) {
+    internal[v] = !outer_band[v] && !hole_band[v];
+  }
+  // Apexes and repaired-boundary nodes stay (Section V-B).
+
+  const unsigned tau = 4;
+  core::DccConfig config;
+  config.tau = tau;
+  config.seed = 3;
+  const core::DccResult result =
+      core::dcc_schedule(filled.graph, internal, config);
+  EXPECT_GT(result.deleted, 0u);
+
+  // Verify Proposition 3 on the ORIGINAL graph (no virtual apex): CB must be
+  // τ-partitionable in the surviving subgraph.
+  std::vector<bool> active_original(n);
+  for (VertexId v = 0; v < n; ++v) active_original[v] = result.active[v];
+  const std::vector<bool> all(n, true);
+  if (core::criterion_holds(dep.graph, all, cb, tau)) {
+    EXPECT_TRUE(core::criterion_holds(dep.graph, active_original, cb, tau));
+  }
+
+  // Geometric sanity: with γ = √2 (blanket for τ=4), every uncovered target
+  // cell lies in or near the forbidden region — no stray holes elsewhere.
+  const double gamma = std::sqrt(2.0);
+  const double rs = dep.rc / gamma;
+  geom::CoverageGridOptions opt;
+  opt.cell_size = 0.05;
+  const auto analysis = geom::analyze_coverage(
+      dep.positions, active_original, rs, dep.area.shrunk(1.0), opt);
+  for (const auto& hole_found : analysis.holes) {
+    for (const auto& cell : hole_found.cells) {
+      EXPECT_LE(geom::dist(cell, hole.center), hole.radius + 2.0 * dep.rc)
+          << "stray hole cell at (" << cell.x << ", " << cell.y << ")";
+    }
+  }
+}
+
+// ----------------------------------------------- quasi-UDG (no-UDG claim)
+
+TEST(Integration, DccWorksOnQuasiUdg) {
+  // DCC never assumes the unit-disk model (Section III-A); the pipeline must
+  // behave identically on a quasi-UDG deployment.
+  util::Rng rng(515);
+  gen::Deployment dep;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    ASSERT_LT(attempt, 32u);
+    util::Rng r = rng.fork(attempt);
+    dep = gen::random_quasi_udg(260, 5.6, 1.0, 0.65, 0.6, r);
+    if (graph::is_connected(dep.graph)) break;
+  }
+  const auto boundary_set =
+      boundary::label_outer_band(dep.positions, dep.area, 1.0);
+  std::vector<bool> internal(dep.graph.num_vertices());
+  for (VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+    internal[v] = !boundary_set[v];
+  }
+  const auto cb =
+      boundary::outer_boundary_cycle(dep.graph, dep.positions, boundary_set);
+
+  for (const unsigned tau : {4u, 6u}) {
+    const std::vector<bool> all(dep.graph.num_vertices(), true);
+    if (!core::criterion_holds(dep.graph, all, cb, tau)) continue;
+    core::DccConfig config;
+    config.tau = tau;
+    config.seed = 21;
+    const core::DccResult result = core::dcc_schedule(dep.graph, internal, config);
+    EXPECT_GT(result.deleted, 0u);
+    EXPECT_TRUE(core::criterion_holds(dep.graph, result.active, cb, tau));
+  }
+}
+
+}  // namespace
+}  // namespace tgc

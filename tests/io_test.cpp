@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/io/network_io.hpp"
+#include "tgcover/io/svg.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::io {
+namespace {
+
+std::filesystem::path temp_file(const std::string& name) {
+  return std::filesystem::temp_directory_path() / ("tgc_io_test_" + name);
+}
+
+TEST(NetworkIo, DeploymentRoundTrip) {
+  util::Rng rng(81);
+  const gen::Deployment original = gen::random_udg(120, 4.0, 1.0, rng);
+
+  std::stringstream buffer;
+  save_deployment(original, buffer);
+  const gen::Deployment loaded = load_deployment(buffer);
+
+  ASSERT_EQ(loaded.graph.num_vertices(), original.graph.num_vertices());
+  ASSERT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+  EXPECT_DOUBLE_EQ(loaded.rc, original.rc);
+  EXPECT_DOUBLE_EQ(loaded.area.xmax, original.area.xmax);
+  for (graph::VertexId v = 0; v < original.graph.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(loaded.positions[v].x, original.positions[v].x);
+    EXPECT_DOUBLE_EQ(loaded.positions[v].y, original.positions[v].y);
+  }
+  for (graph::EdgeId e = 0; e < original.graph.num_edges(); ++e) {
+    const auto [u, v] = original.graph.edge(e);
+    EXPECT_TRUE(loaded.graph.has_edge(u, v));
+  }
+}
+
+TEST(NetworkIo, DeploymentFileRoundTrip) {
+  util::Rng rng(82);
+  const gen::Deployment original = gen::random_udg(40, 3.0, 1.0, rng);
+  const auto path = temp_file("net.tgc");
+  save_deployment(original, path.string());
+  const gen::Deployment loaded = load_deployment(path.string());
+  EXPECT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+  std::filesystem::remove(path);
+}
+
+TEST(NetworkIo, MaskRoundTrip) {
+  std::vector<bool> mask(50, false);
+  mask[0] = mask[7] = mask[49] = true;
+  std::stringstream buffer;
+  save_mask(mask, buffer);
+  EXPECT_EQ(load_mask(buffer), mask);
+}
+
+TEST(NetworkIo, EmptyMaskRoundTrip) {
+  const std::vector<bool> mask(10, false);
+  std::stringstream buffer;
+  save_mask(mask, buffer);
+  EXPECT_EQ(load_mask(buffer), mask);
+}
+
+TEST(NetworkIo, RejectsWrongHeader) {
+  std::stringstream buffer("bogus 1\nnodes 3\n");
+  EXPECT_THROW(load_deployment(buffer), tgc::CheckError);
+}
+
+TEST(NetworkIo, RejectsWrongVersion) {
+  std::stringstream buffer("tgcover-network 9\nnodes 1\n");
+  EXPECT_THROW(load_deployment(buffer), tgc::CheckError);
+}
+
+TEST(NetworkIo, RejectsTruncatedFile) {
+  std::stringstream buffer("tgcover-network 1\nnodes 3\nrc 1.0\n");
+  EXPECT_THROW(load_deployment(buffer), tgc::CheckError);
+}
+
+TEST(NetworkIo, RejectsOutOfRangeMaskId) {
+  std::stringstream buffer("tgcover-mask 1\nnodes 3\nset 9\n");
+  EXPECT_THROW(load_mask(buffer), tgc::CheckError);
+}
+
+TEST(NetworkIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream buffer(
+      "# a comment\n\n"
+      "tgcover-mask 1\n"
+      "# sizes\n"
+      "nodes 4\n\n"
+      "set 2\n");
+  const auto mask = load_mask(buffer);
+  EXPECT_EQ(mask, (std::vector<bool>{false, false, true, false}));
+}
+
+TEST(NetworkIo, RolesCsv) {
+  const geom::Embedding pos{{0, 0}, {1, 1}};
+  const std::vector<std::string> roles{"active", "deleted"};
+  const auto path = temp_file("roles.csv");
+  save_roles_csv(pos, roles, path.string());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y,role");
+  std::getline(in, line);
+  EXPECT_NE(line.find("active"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, RendersWellFormedDocument) {
+  util::Rng rng(83);
+  const gen::Deployment dep = gen::random_udg(30, 2.0, 1.0, rng);
+  std::vector<NodeRole> roles(30, NodeRole::kActive);
+  roles[0] = NodeRole::kBoundary;
+  roles[1] = NodeRole::kDeleted;
+  roles[2] = NodeRole::kHidden;
+  const auto path = temp_file("net.svg");
+  render_network_svg(dep.graph, dep.positions, roles, util::Gf2Vector(),
+                     path.string());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string svg = content.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, HighlightsBoundaryCycle) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  const graph::Graph g = b.build();
+  const geom::Embedding pos{{0, 0}, {1, 0}, {0.5, 1}};
+  const std::vector<NodeRole> roles(3, NodeRole::kBoundary);
+  util::Gf2Vector cb(g.num_edges());
+  cb.set(0);
+  cb.set(1);
+  cb.set(2);
+  const auto path = temp_file("cb.svg");
+  SvgStyle style;
+  render_network_svg(g, pos, roles, cb, path.string(), style);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find(style.cb_color), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tgc::io

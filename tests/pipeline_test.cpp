@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tgcover/boundary/ring_select.hpp"
+#include "tgcover/core/criterion.hpp"
+#include "tgcover/core/pipeline.hpp"
+#include "tgcover/cycle/cycle.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/graph/subgraph.hpp"
+#include "tgcover/trace/greenorbs.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc {
+namespace {
+
+using graph::VertexId;
+
+// ------------------------------------------------------------- ring select
+
+TEST(RingSelect, RingIsConnectedCycleElement) {
+  util::Rng rng(61);
+  const auto dep = gen::random_connected_udg(300, 6.1, 1.0, rng);
+  const boundary::BoundaryRing ring = boundary::select_boundary_ring(
+      dep.graph, dep.positions, dep.area, 0.5, 0.9);
+
+  EXPECT_FALSE(ring.cb.is_zero());
+  EXPECT_TRUE(cycle::is_cycle_space_element(dep.graph, ring.cb));
+  EXPECT_GE(ring.anchors.size(), 3u);
+
+  // Every CB edge connects ring nodes.
+  ring.cb.for_each_set_bit([&](std::size_t e) {
+    const auto [u, v] = dep.graph.edge(static_cast<graph::EdgeId>(e));
+    EXPECT_TRUE(ring.mask[u]);
+    EXPECT_TRUE(ring.mask[v]);
+  });
+
+  // The ring subgraph is connected.
+  std::vector<VertexId> ring_nodes;
+  for (VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+    if (ring.mask[v]) ring_nodes.push_back(v);
+  }
+  const auto sub = graph::induce_vertices(dep.graph, ring_nodes);
+  EXPECT_TRUE(graph::is_connected(sub.graph));
+}
+
+TEST(RingSelect, RingIsThin) {
+  // The whole point versus band labeling: the ring should be a small
+  // fraction of the network (the paper's trace boundary is 26 of 296).
+  util::Rng rng(62);
+  const auto dep = gen::random_connected_udg(400, 7.1, 1.0, rng);
+  const boundary::BoundaryRing ring = boundary::select_boundary_ring(
+      dep.graph, dep.positions, dep.area, 0.5, 0.9);
+  const auto count = static_cast<std::size_t>(
+      std::count(ring.mask.begin(), ring.mask.end(), true));
+  EXPECT_LT(count, 400u / 4);
+  EXPECT_GE(count, 12u);
+}
+
+TEST(RingSelect, RespectsEligibleMask) {
+  util::Rng rng(63);
+  const auto dep = gen::random_connected_udg(200, 5.0, 1.0, rng);
+  std::vector<bool> eligible(200, true);
+  for (VertexId v = 0; v < 50; ++v) eligible[v] = false;
+  const boundary::BoundaryRing ring = boundary::select_boundary_ring(
+      dep.graph, dep.positions, dep.area, 0.5, 0.9, &eligible);
+  for (const VertexId a : ring.anchors) EXPECT_TRUE(eligible[a]);
+}
+
+// ---------------------------------------------------------------- pipeline
+
+TEST(Pipeline, PrepareNetworkInvariants) {
+  util::Rng rng(64);
+  const core::Network net = core::prepare_network(
+      gen::random_connected_udg(350, 6.6, 1.0, rng), 1.0);
+  const std::size_t n = net.dep.graph.num_vertices();
+  ASSERT_EQ(net.boundary.size(), n);
+  ASSERT_EQ(net.internal.size(), n);
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_NE(net.boundary[v], net.internal[v]);
+  }
+  EXPECT_TRUE(cycle::is_cycle_space_element(net.dep.graph, net.cb));
+  // Target strictly inside the deployment area.
+  EXPECT_GT(net.target.xmin, net.dep.area.xmin);
+  EXPECT_LT(net.target.xmax, net.dep.area.xmax);
+}
+
+TEST(Pipeline, BandSmallerThanRcThrows) {
+  util::Rng rng(65);
+  auto dep = gen::random_connected_udg(150, 4.2, 1.0, rng);
+  EXPECT_THROW(core::prepare_network(std::move(dep), 0.5), tgc::CheckError);
+}
+
+TEST(Pipeline, RunDccCountsInternals) {
+  util::Rng rng(66);
+  const core::Network net = core::prepare_network(
+      gen::random_connected_udg(250, 5.3, 1.0, rng), 1.0);
+  core::DccConfig config;
+  config.tau = 4;
+  const core::ScheduleSummary s = core::run_dcc(net, config);
+  EXPECT_LE(s.internal_survivors, s.internal_total);
+  EXPECT_EQ(s.internal_total,
+            static_cast<std::size_t>(std::count(net.internal.begin(),
+                                                net.internal.end(), true)));
+  // Boundary survives entirely.
+  std::size_t boundary_count = 0;
+  for (VertexId v = 0; v < net.dep.graph.num_vertices(); ++v) {
+    if (net.boundary[v]) {
+      ++boundary_count;
+      EXPECT_TRUE(s.result.active[v]);
+    }
+  }
+  EXPECT_EQ(s.result.survivors, boundary_count + s.internal_survivors);
+}
+
+// --------------------------------------------------------------- greenorbs
+
+class GreenOrbsFixture : public ::testing::Test {
+ protected:
+  static const trace::GreenOrbsNetwork& net() {
+    static const trace::GreenOrbsNetwork n = [] {
+      trace::GreenOrbsOptions options;
+      options.nodes = 180;
+      options.length = 8.0;
+      options.width = 2.5;
+      options.trace.epochs = 60;
+      return trace::build_greenorbs_network(options);
+    }();
+    return n;
+  }
+};
+
+TEST_F(GreenOrbsFixture, StructureInvariants) {
+  const auto& n = net();
+  EXPECT_EQ(n.graph.num_vertices(), 180u);
+  EXPECT_GT(n.graph.num_edges(), 0u);
+  EXPECT_GT(n.boundary_count(), 10u);
+  EXPECT_GT(n.internal_count(), n.boundary_count());
+  // boundary ∪ internal ⊆ main component; boundary ∩ internal = ∅.
+  for (VertexId v = 0; v < 180; ++v) {
+    if (n.boundary[v] || n.internal[v]) {
+      EXPECT_TRUE(n.in_network[v]);
+    }
+    EXPECT_FALSE(n.boundary[v] && n.internal[v]);
+  }
+  EXPECT_TRUE(cycle::is_cycle_space_element(n.graph, n.cb));
+  EXPECT_FALSE(n.cb.is_zero());
+}
+
+TEST_F(GreenOrbsFixture, ThresholdRetainsRequestedFraction) {
+  const auto& n = net();
+  std::size_t kept = 0;
+  for (const trace::ObservedLink& link : n.trace.links) {
+    if (link.avg_rssi >= n.threshold_dbm) ++kept;
+  }
+  const double frac =
+      static_cast<double>(kept) / static_cast<double>(n.trace.links.size());
+  EXPECT_NEAR(frac, 0.8, 0.05);
+}
+
+TEST_F(GreenOrbsFixture, MainComponentIsConnected) {
+  const auto& n = net();
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < 180; ++v) {
+    if (n.in_network[v]) members.push_back(v);
+  }
+  const auto sub = graph::induce_vertices(n.graph, members);
+  EXPECT_TRUE(graph::is_connected(sub.graph));
+}
+
+}  // namespace
+}  // namespace tgc

@@ -1,0 +1,134 @@
+// Polygon deployment regions: geometry primitives and the end-to-end
+// L-shaped pipeline (deploy → ring → DCC → criterion).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tgcover/boundary/ring_select.hpp"
+#include "tgcover/core/criterion.hpp"
+#include "tgcover/core/scheduler.hpp"
+#include "tgcover/cycle/cycle.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/geom/polygon.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::geom {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+TEST(Polygon, RectangleBasics) {
+  const Polygon p = Polygon::rectangle({0, 0, 4, 2});
+  EXPECT_TRUE(p.contains({2, 1}));
+  EXPECT_TRUE(p.contains({0, 0}));   // boundary counts as inside
+  EXPECT_FALSE(p.contains({5, 1}));
+  EXPECT_FALSE(p.contains({2, 3}));
+  EXPECT_DOUBLE_EQ(p.perimeter(), 12.0);
+  EXPECT_DOUBLE_EQ(std::abs(p.signed_area()), 8.0);
+  EXPECT_NEAR(p.interior_clearance({2, 1}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.interior_clearance({9, 9}), 0.0);
+  const Rect box = p.bounding_box();
+  EXPECT_DOUBLE_EQ(box.xmax, 4.0);
+}
+
+TEST(Polygon, LShape) {
+  // 6×6 square minus its top-right 3×3 quadrant.
+  const Polygon l = Polygon::l_shape({0, 0, 6, 6}, 3.0, 3.0);
+  EXPECT_EQ(l.size(), 6u);
+  EXPECT_TRUE(l.contains({1, 1}));   // bottom-left arm
+  EXPECT_TRUE(l.contains({5, 1}));   // bottom-right arm
+  EXPECT_TRUE(l.contains({1, 5}));   // top-left arm
+  EXPECT_FALSE(l.contains({5, 5}));  // the cut corner
+  EXPECT_FALSE(l.contains({4.5, 3.5}));
+  EXPECT_DOUBLE_EQ(std::abs(l.signed_area()), 27.0);
+  // Clearance at the inner (reflex) corner region: the nearest boundary
+  // point is the reflex corner itself at (3, 3).
+  EXPECT_NEAR(l.interior_clearance({2.5, 2.5}), std::sqrt(0.5), 1e-9);
+}
+
+TEST(Polygon, TriangleContainment) {
+  const Polygon t({{0, 0}, {4, 0}, {2, 3}});
+  EXPECT_TRUE(t.contains({2, 1}));
+  EXPECT_FALSE(t.contains({0.1, 2.9}));
+  EXPECT_DOUBLE_EQ(std::abs(t.signed_area()), 6.0);
+}
+
+TEST(Polygon, DegenerateThrows) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), tgc::CheckError);
+}
+
+TEST(Polygon, InsetWaypointsStayInside) {
+  const Polygon l = Polygon::l_shape({0, 0, 8, 8}, 4.0, 4.0);
+  const auto wps = l.inset_waypoints(0.5, 0.8);
+  EXPECT_GE(wps.size(), 12u);
+  for (const Point& w : wps) {
+    EXPECT_TRUE(l.contains(w));
+    EXPECT_GE(l.interior_clearance(w), 0.25);
+  }
+}
+
+TEST(Polygon, InsetWaypointsCoverAllArms) {
+  const Polygon l = Polygon::l_shape({0, 0, 8, 8}, 4.0, 4.0);
+  const auto wps = l.inset_waypoints(0.5, 0.8);
+  bool bottom_right = false;
+  bool top_left = false;
+  for (const Point& w : wps) {
+    if (w.x > 6.0 && w.y < 2.0) bottom_right = true;
+    if (w.x < 2.0 && w.y > 6.0) top_left = true;
+  }
+  EXPECT_TRUE(bottom_right);
+  EXPECT_TRUE(top_left);
+}
+
+// ------------------------------------------------------------- deployment
+
+TEST(PolygonDeployment, SamplesStayInRegion) {
+  const Polygon l = Polygon::l_shape({0, 0, 7, 7}, 3.5, 3.5);
+  util::Rng rng(701);
+  const auto dep = gen::random_udg_in_polygon(250, l, 1.0, rng);
+  EXPECT_EQ(dep.positions.size(), 250u);
+  for (const Point& p : dep.positions) EXPECT_TRUE(l.contains(p));
+  EXPECT_TRUE(geom::is_valid_udg_embedding(dep.graph, dep.positions, 1.0));
+}
+
+// -------------------------------------------------------------- pipeline
+
+TEST(PolygonDeployment, LShapedPipelineEndToEnd) {
+  const Polygon l = Polygon::l_shape({0, 0, 7, 7}, 3.5, 3.5);
+  util::Rng master(702);
+  gen::Deployment dep;
+  bool connected = false;
+  for (std::uint64_t attempt = 0; attempt < 16 && !connected; ++attempt) {
+    util::Rng rng = master.fork(attempt);
+    dep = gen::random_udg_in_polygon(320, l, 1.0, rng);
+    connected = graph::is_connected(dep.graph);
+  }
+  ASSERT_TRUE(connected);
+
+  const auto ring = boundary::select_boundary_ring_waypoints(
+      dep.graph, dep.positions, l.inset_waypoints(0.5, 0.9));
+  ASSERT_FALSE(ring.cb.is_zero());
+  EXPECT_TRUE(cycle::is_cycle_space_element(dep.graph, ring.cb));
+
+  std::vector<bool> internal(dep.graph.num_vertices());
+  for (graph::VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+    internal[v] = !ring.mask[v];
+  }
+
+  for (const unsigned tau : {4u, 5u}) {
+    const std::vector<bool> all(dep.graph.num_vertices(), true);
+    if (!core::criterion_holds(dep.graph, all, ring.cb, tau)) continue;
+    core::DccConfig config;
+    config.tau = tau;
+    config.seed = 702;
+    const auto result = core::dcc_schedule(dep.graph, internal, config);
+    EXPECT_GT(result.deleted, 0u);
+    EXPECT_TRUE(core::criterion_holds(dep.graph, result.active, ring.cb, tau))
+        << "tau " << tau;
+  }
+}
+
+}  // namespace
+}  // namespace tgc::geom

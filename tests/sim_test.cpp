@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/sim/engine.hpp"
+#include "tgcover/sim/khop.hpp"
+#include "tgcover/sim/mis.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::sim {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Graph path_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(RoundEngine, DeliveryTakesOneRound) {
+  const Graph g = path_graph(3);
+  RoundEngine engine(g);
+  std::vector<std::vector<std::uint32_t>> got(3);
+
+  engine.run_round([&](VertexId node, std::span<const Message> inbox,
+                       Mailer& mailer) {
+    EXPECT_TRUE(inbox.empty());  // nothing sent yet
+    if (node == 0) mailer.send(1, 7, {42});
+  });
+  engine.run_round([&](VertexId node, std::span<const Message> inbox,
+                       Mailer& /*mailer*/) {
+    for (const Message& m : inbox) {
+      EXPECT_EQ(node, 1u);
+      EXPECT_EQ(m.from, 0u);
+      EXPECT_EQ(m.type, 7u);
+      got[node] = m.payload;
+    }
+  });
+  EXPECT_EQ(got[1], (std::vector<std::uint32_t>{42}));
+  EXPECT_EQ(engine.stats().rounds, 2u);
+  EXPECT_EQ(engine.stats().messages, 1u);
+  EXPECT_EQ(engine.stats().payload_words, 1u);
+}
+
+TEST(RoundEngine, SendToNonNeighborThrows) {
+  const Graph g = path_graph(3);
+  RoundEngine engine(g);
+  EXPECT_THROW(engine.run_round([&](VertexId node, std::span<const Message>,
+                                    Mailer& mailer) {
+    if (node == 0) mailer.send(2, 1, {});
+  }),
+               tgc::CheckError);
+}
+
+TEST(RoundEngine, BroadcastReachesActiveNeighbors) {
+  const Graph g = path_graph(3);
+  RoundEngine engine(g);
+  engine.deactivate(2);
+  std::set<VertexId> heard;
+  engine.run_round([&](VertexId node, std::span<const Message>,
+                       Mailer& mailer) {
+    if (node == 1) mailer.broadcast(5, {1, 2, 3});
+  });
+  engine.run_round([&](VertexId node, std::span<const Message> inbox,
+                       Mailer&) {
+    if (!inbox.empty()) heard.insert(node);
+  });
+  EXPECT_EQ(heard, (std::set<VertexId>{0}));
+  // Both transmissions were counted even though one hit a sleeping radio.
+  EXPECT_EQ(engine.stats().messages, 2u);
+  EXPECT_EQ(engine.stats().payload_words, 6u);
+}
+
+TEST(RoundEngine, DeactivatedNodesDoNotParticipate) {
+  const Graph g = path_graph(3);
+  RoundEngine engine(g);
+  engine.deactivate(1);
+  std::size_t calls = 0;
+  engine.run_round([&](VertexId, std::span<const Message>,
+                       Mailer&) { ++calls; });
+  EXPECT_EQ(calls, 2u);
+}
+
+// -------------------------------------------------------------------- khop
+
+TEST(KHop, ViewsMatchGroundTruth) {
+  util::Rng rng(10);
+  const auto dep = gen::random_connected_udg(80, 3.0, 1.0, rng);
+  const Graph& g = dep.graph;
+
+  for (const unsigned k : {1u, 2u, 3u}) {
+    RoundEngine engine(g);
+    const auto views = collect_k_hop_views(engine, k);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      // Expected member set: N^k(v) ∪ {v}.
+      const auto dist = graph::bfs_distances(g, v, k);
+      std::set<VertexId> expected;
+      for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        if (dist[u] != graph::kUnreached) expected.insert(u);
+      }
+      std::set<VertexId> got;
+      for (const auto& [node, adj] : views[v].adjacency) {
+        got.insert(node);
+        // Each recorded adjacency list is the node's true neighbor list.
+        std::vector<VertexId> sorted_adj = adj;
+        std::sort(sorted_adj.begin(), sorted_adj.end());
+        const auto nbrs = g.neighbors(node);
+        EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), sorted_adj.begin(),
+                               sorted_adj.end()))
+            << "node " << node << " in view of " << v;
+      }
+      EXPECT_EQ(got, expected) << "owner " << v << " k " << k;
+    }
+  }
+}
+
+TEST(KHop, TrafficIsCounted) {
+  util::Rng rng(11);
+  const auto dep = gen::random_connected_udg(60, 2.5, 1.0, rng);
+  RoundEngine engine(dep.graph);
+  collect_k_hop_views(engine, 2);
+  EXPECT_GT(engine.stats().messages, dep.graph.num_vertices());
+  EXPECT_GT(engine.stats().payload_words, 0u);
+}
+
+TEST(LocalView, EraseNode) {
+  LocalView view;
+  view.owner = 0;
+  view.adjacency[0] = {1, 2};
+  view.adjacency[1] = {0, 2};
+  view.adjacency[2] = {0, 1};
+  view.erase_node(2);
+  EXPECT_EQ(view.adjacency.count(2), 0u);
+  EXPECT_EQ(view.adjacency[0], (std::vector<VertexId>{1}));
+  EXPECT_EQ(view.adjacency[1], (std::vector<VertexId>{0}));
+}
+
+// --------------------------------------------------------------------- MIS
+
+void check_mis_valid(const Graph& g, const std::vector<bool>& active,
+                     const std::vector<bool>& candidate,
+                     const std::vector<bool>& selected, unsigned radius) {
+  // Independence: selected nodes pairwise more than `radius` hops apart.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!selected[v]) continue;
+    EXPECT_TRUE(candidate[v] && active[v]);
+    // BFS over active topology.
+    std::vector<std::uint32_t> dist(g.num_vertices(), graph::kUnreached);
+    dist[v] = 0;
+    std::vector<VertexId> frontier{v};
+    for (unsigned d = 0; d < radius && !frontier.empty(); ++d) {
+      std::vector<VertexId> next;
+      for (const VertexId u : frontier) {
+        for (const VertexId w : g.neighbors(u)) {
+          if (active[w] && dist[w] == graph::kUnreached) {
+            dist[w] = d + 1;
+            next.push_back(w);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    bool blocked_near = false;
+    bool candidate_near = false;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (u == v || dist[u] == graph::kUnreached) continue;
+      if (selected[u]) blocked_near = true;
+      if (candidate[u]) candidate_near = true;
+    }
+    (void)candidate_near;
+    EXPECT_FALSE(blocked_near) << "two selected within " << radius << " hops";
+  }
+  // Maximality: every unselected candidate is within radius of a selected.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!candidate[v] || !active[v] || selected[v]) continue;
+    std::vector<std::uint32_t> dist(g.num_vertices(), graph::kUnreached);
+    dist[v] = 0;
+    std::vector<VertexId> frontier{v};
+    bool found = false;
+    for (unsigned d = 0; d < radius && !frontier.empty() && !found; ++d) {
+      std::vector<VertexId> next;
+      for (const VertexId u : frontier) {
+        for (const VertexId w : g.neighbors(u)) {
+          if (active[w] && dist[w] == graph::kUnreached) {
+            dist[w] = d + 1;
+            if (selected[w]) found = true;
+            next.push_back(w);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    EXPECT_TRUE(found) << "candidate " << v << " not dominated";
+  }
+}
+
+TEST(Mis, OracleValidOnRandomInputs) {
+  util::Rng rng(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    util::Rng r = rng.fork(trial);
+    const auto dep = gen::random_connected_udg(100, 3.5, 1.0, r);
+    std::vector<bool> active(100, true);
+    std::vector<bool> candidate(100, false);
+    for (VertexId v = 0; v < 100; ++v) candidate[v] = r.bernoulli(0.4);
+    for (const unsigned radius : {1u, 2u, 3u}) {
+      const auto selected = elect_mis_oracle(dep.graph, active, candidate,
+                                             radius, 1000 + trial);
+      check_mis_valid(dep.graph, active, candidate, selected, radius);
+    }
+  }
+}
+
+TEST(Mis, DistributedMatchesOracle) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 4; ++trial) {
+    util::Rng r = rng.fork(trial);
+    const auto dep = gen::random_connected_udg(80, 3.0, 1.0, r);
+    std::vector<bool> candidate(80, false);
+    for (VertexId v = 0; v < 80; ++v) candidate[v] = r.bernoulli(0.5);
+    for (const unsigned radius : {1u, 2u}) {
+      RoundEngine engine(dep.graph);
+      const MisOutcome dist =
+          elect_mis_distributed(engine, candidate, radius, 99 + trial);
+      const auto oracle = elect_mis_oracle(dep.graph, engine.active(),
+                                           candidate, radius, 99 + trial);
+      EXPECT_EQ(dist.selected, oracle) << "trial " << trial << " radius "
+                                       << radius;
+      EXPECT_GE(dist.subrounds, 1u);
+    }
+  }
+}
+
+TEST(Mis, RespectsInactiveTopology) {
+  // A path 0-1-2 with node 1 inactive: 0 and 2 are infinitely far apart, so
+  // both can be selected even with a large radius.
+  const Graph g = path_graph(3);
+  RoundEngine engine(g);
+  engine.deactivate(1);
+  std::vector<bool> candidate{true, false, true};
+  const MisOutcome out = elect_mis_distributed(engine, candidate, 3, 5);
+  EXPECT_TRUE(out.selected[0]);
+  EXPECT_TRUE(out.selected[2]);
+  const auto oracle =
+      elect_mis_oracle(g, engine.active(), candidate, 3, 5);
+  EXPECT_EQ(out.selected, oracle);
+}
+
+TEST(Mis, EmptyCandidateSet) {
+  const Graph g = path_graph(4);
+  RoundEngine engine(g);
+  std::vector<bool> candidate(4, false);
+  const MisOutcome out = elect_mis_distributed(engine, candidate, 2, 1);
+  EXPECT_EQ(std::count(out.selected.begin(), out.selected.end(), true), 0);
+  EXPECT_EQ(out.subrounds, 0u);
+}
+
+TEST(Mis, PrioritiesDeterministic) {
+  EXPECT_EQ(mis_priority(5, 10), mis_priority(5, 10));
+  EXPECT_NE(mis_priority(5, 10), mis_priority(5, 11));
+  EXPECT_NE(mis_priority(5, 10), mis_priority(6, 10));
+}
+
+}  // namespace
+}  // namespace tgc::sim

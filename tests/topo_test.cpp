@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "tgcover/cycle/span.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/gen/fixtures.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/graph/subgraph.hpp"
+#include "tgcover/topo/hgc.hpp"
+#include "tgcover/topo/homology.hpp"
+#include "tgcover/topo/rips.hpp"
+#include "tgcover/util/rng.hpp"
+
+namespace tgc::topo {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Graph complete_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph cycle_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+// -------------------------------------------------------------------- Rips
+
+TEST(Rips, TriangleCounts) {
+  EXPECT_EQ(RipsComplex(complete_graph(3)).num_triangles(), 1u);
+  EXPECT_EQ(RipsComplex(complete_graph(4)).num_triangles(), 4u);
+  EXPECT_EQ(RipsComplex(complete_graph(5)).num_triangles(), 10u);
+  EXPECT_EQ(RipsComplex(cycle_graph(6)).num_triangles(), 0u);
+}
+
+TEST(Rips, TriangleStructure) {
+  const Graph g = complete_graph(4);
+  const RipsComplex complex(g);
+  for (const Triangle& t : complex.triangles()) {
+    EXPECT_LT(t.vertices[0], t.vertices[1]);
+    EXPECT_LT(t.vertices[1], t.vertices[2]);
+    // The three edge ids connect the three vertex pairs.
+    EXPECT_EQ(g.edge_between(t.vertices[0], t.vertices[1]), t.edges[0]);
+    EXPECT_EQ(g.edge_between(t.vertices[0], t.vertices[2]), t.edges[1]);
+    EXPECT_EQ(g.edge_between(t.vertices[1], t.vertices[2]), t.edges[2]);
+  }
+}
+
+TEST(Rips, MobiusHasSixteenTriangles) {
+  const auto fx = gen::mobius_band();
+  EXPECT_EQ(RipsComplex(fx.graph).num_triangles(), 16u);
+}
+
+TEST(Rips, AnnulusHasTwelveTriangles) {
+  const auto fx = gen::triangulated_annulus();
+  EXPECT_EQ(RipsComplex(fx.graph).num_triangles(), 12u);
+}
+
+// ---------------------------------------------------------------- homology
+
+TEST(Homology, CircleHasOneHole) {
+  const RipsComplex complex(cycle_graph(5));
+  const HomologyInfo h = homology(complex);
+  EXPECT_EQ(h.betti0, 1u);
+  EXPECT_EQ(h.betti1, 1u);
+  EXPECT_FALSE(first_homology_trivial(complex));
+}
+
+TEST(Homology, FilledTetrahedronSkeletonIsTrivial) {
+  const RipsComplex complex(complete_graph(4));
+  const HomologyInfo h = homology(complex);
+  EXPECT_EQ(h.betti0, 1u);
+  EXPECT_EQ(h.betti1, 0u);
+  EXPECT_TRUE(first_homology_trivial(complex));
+}
+
+TEST(Homology, TwoComponents) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  const RipsComplex complex(b.build());
+  const HomologyInfo h = homology(complex);
+  EXPECT_EQ(h.betti0, 2u);
+  EXPECT_EQ(h.betti1, 0u);
+}
+
+TEST(Homology, MobiusBandNonTrivialH1) {
+  // The paper's Fig. 1: H1 is non-trivial although the boundary is a sum of
+  // triangles — the homology criterion's false positive.
+  const auto fx = gen::mobius_band();
+  const RipsComplex complex(fx.graph);
+  const HomologyInfo h = homology(complex);
+  EXPECT_EQ(h.betti0, 1u);
+  EXPECT_EQ(h.betti1, 1u);
+  EXPECT_EQ(h.boundary2_rank, 16u);  // all triangles independent
+  EXPECT_FALSE(first_homology_trivial(complex));
+}
+
+TEST(Homology, AnnulusHasInnerHole) {
+  const auto fx = gen::triangulated_annulus();
+  const HomologyInfo h = homology(RipsComplex(fx.graph));
+  EXPECT_EQ(h.betti1, 1u);
+}
+
+TEST(Homology, TrivialH1MatchesTriangleSpanOnRandomGraphs) {
+  // b1 = 0 ⇔ triangles span the cycle space ⇔ S_3 spans — the bridge between
+  // the HGC criterion and the cycle machinery.
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    GraphBuilder b(14);
+    for (int e = 0; e < 34; ++e) {
+      b.add_edge(static_cast<VertexId>(rng.next_below(14)),
+                 static_cast<VertexId>(rng.next_below(14)));
+    }
+    const Graph g = b.build();
+    const RipsComplex complex(g);
+    EXPECT_EQ(first_homology_trivial(complex), cycle::short_cycles_span(g, 3))
+        << "trial " << trial;
+  }
+}
+
+TEST(RelativeHomology, DiskModBoundaryIsTrivial) {
+  // K4 as a triangulated disk with fence = the outer triangle 0-1-2.
+  const Graph g = complete_graph(4);
+  const RipsComplex complex(g);
+  std::vector<bool> fence_edges(g.num_edges(), false);
+  fence_edges[*g.edge_between(0, 1)] = true;
+  fence_edges[*g.edge_between(1, 2)] = true;
+  fence_edges[*g.edge_between(0, 2)] = true;
+  const RelativeHomologyInfo rel = relative_homology(complex, fence_edges);
+  EXPECT_EQ(rel.relative_edges, 3u);
+  EXPECT_EQ(rel.betti1_rel, 0u);
+}
+
+TEST(RelativeHomology, AnnulusModBothBoundaries) {
+  // H1(annulus, ∂annulus; Z2) ≅ Z2 — Lefschetz duality sanity check.
+  const auto fx = gen::triangulated_annulus();
+  std::vector<bool> fence_edges(fx.graph.num_edges(), false);
+  for (std::size_t i = 0; i < fx.outer_cycle.size(); ++i) {
+    fence_edges[*fx.graph.edge_between(
+        fx.outer_cycle[i], fx.outer_cycle[(i + 1) % fx.outer_cycle.size()])] =
+        true;
+  }
+  for (std::size_t i = 0; i < fx.inner_cycle.size(); ++i) {
+    fence_edges[*fx.graph.edge_between(
+        fx.inner_cycle[i], fx.inner_cycle[(i + 1) % fx.inner_cycle.size()])] =
+        true;
+  }
+  const RelativeHomologyInfo rel =
+      relative_homology(RipsComplex(fx.graph), fence_edges);
+  EXPECT_EQ(rel.relative_edges, 12u);  // the spokes
+  EXPECT_EQ(rel.betti1_rel, 1u);
+}
+
+TEST(RelativeHomology, MobiusModOuterBoundary) {
+  // H1(Möbius, ∂Möbius; Z2) ≅ Z2 as well: over Z2 the relative criterion
+  // also flags the band, matching the paper's discussion that homology-based
+  // testing is strictly stronger than cycle partition.
+  const auto fx = gen::mobius_band();
+  std::vector<bool> fence_edges(fx.graph.num_edges(), false);
+  for (std::size_t i = 0; i < fx.outer_cycle.size(); ++i) {
+    fence_edges[*fx.graph.edge_between(
+        fx.outer_cycle[i], fx.outer_cycle[(i + 1) % fx.outer_cycle.size()])] =
+        true;
+  }
+  const RelativeHomologyInfo rel =
+      relative_homology(RipsComplex(fx.graph), fence_edges);
+  EXPECT_EQ(rel.betti1_rel, 1u);
+}
+
+// --------------------------------------------------------------------- HGC
+
+TEST(Hgc, VerifyKnownCases) {
+  EXPECT_TRUE(hgc_verify(complete_graph(4)));
+  EXPECT_FALSE(hgc_verify(cycle_graph(5)));
+  EXPECT_FALSE(hgc_verify(gen::mobius_band().graph));  // the false positive
+  GraphBuilder two(2);  // disconnected
+  EXPECT_FALSE(hgc_verify(two.build()));
+}
+
+TEST(Hgc, ScheduleOnDenseDeployment) {
+  util::Rng rng(7);
+  const auto dep = gen::random_connected_udg(150, 4.0, 1.0, rng);
+  if (!hgc_verify(dep.graph)) GTEST_SKIP() << "initial homology non-trivial";
+
+  // Periphery nodes are not deletable.
+  std::vector<bool> internal(dep.graph.num_vertices(), false);
+  for (VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+    internal[v] = dep.area.interior_clearance(dep.positions[v]) > 1.0;
+  }
+
+  util::Rng sched_rng(8);
+  const HgcResult result = hgc_schedule(dep.graph, internal, sched_rng);
+  ASSERT_TRUE(result.initially_verified);
+  EXPECT_GT(result.deleted, 0u);
+  EXPECT_EQ(result.survivors + result.deleted, dep.graph.num_vertices());
+
+  // The surviving complex still satisfies the criterion.
+  const Graph reduced = graph::filter_active(dep.graph, result.active);
+  std::size_t active_count = 0;
+  for (VertexId v = 0; v < reduced.num_vertices(); ++v) {
+    if (result.active[v]) ++active_count;
+  }
+  EXPECT_EQ(active_count, result.survivors);
+  // Check H1 over the active part: build an induced graph of active nodes.
+  std::vector<VertexId> kept;
+  for (VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+    if (result.active[v]) kept.push_back(v);
+  }
+  const auto sub = graph::induce_vertices(dep.graph, kept);
+  EXPECT_TRUE(hgc_verify(sub.graph));
+
+  // Boundary (non-internal) nodes were never deleted.
+  for (VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+    if (!internal[v]) {
+      EXPECT_TRUE(result.active[v]);
+    }
+  }
+}
+
+TEST(Hgc, ScheduleDeterministicForSeed) {
+  util::Rng rng(9);
+  const auto dep = gen::random_connected_udg(100, 3.2, 1.0, rng);
+  if (!hgc_verify(dep.graph)) GTEST_SKIP();
+  std::vector<bool> internal(dep.graph.num_vertices(), false);
+  for (VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+    internal[v] = dep.area.interior_clearance(dep.positions[v]) > 1.0;
+  }
+  util::Rng r1(33);
+  util::Rng r2(33);
+  const HgcResult a = hgc_schedule(dep.graph, internal, r1);
+  const HgcResult b = hgc_schedule(dep.graph, internal, r2);
+  EXPECT_EQ(a.active, b.active);
+}
+
+TEST(Hgc, RefusesUnverifiedNetwork) {
+  const Graph g = cycle_graph(6);
+  std::vector<bool> internal(6, true);
+  util::Rng rng(1);
+  const HgcResult result = hgc_schedule(g, internal, rng);
+  EXPECT_FALSE(result.initially_verified);
+  EXPECT_EQ(result.deleted, 0u);
+  EXPECT_EQ(result.survivors, 6u);
+}
+
+}  // namespace
+}  // namespace tgc::topo

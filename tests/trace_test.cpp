@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/graph/algorithms.hpp"
+#include "tgcover/trace/rssi.hpp"
+#include "tgcover/trace/trace.hpp"
+#include "tgcover/util/rng.hpp"
+#include "tgcover/util/stats.hpp"
+
+namespace tgc::trace {
+namespace {
+
+TEST(RssiModel, ReferenceValue) {
+  RssiModel m;
+  m.tx_power_dbm = 0.0;
+  m.ref_loss_dbm = 45.0;
+  m.ref_distance = 0.1;
+  EXPECT_DOUBLE_EQ(m.mean_rssi(0.1), -45.0);
+}
+
+TEST(RssiModel, MonotoneDecreasing) {
+  RssiModel m;
+  double prev = m.mean_rssi(0.1);
+  for (double d = 0.2; d <= 3.0; d += 0.1) {
+    const double cur = m.mean_rssi(d);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(RssiModel, ClampsBelowReferenceDistance) {
+  RssiModel m;
+  EXPECT_DOUBLE_EQ(m.mean_rssi(0.01), m.mean_rssi(m.ref_distance));
+}
+
+TEST(RssiModel, TenTimesDistanceCostsTenNdB) {
+  RssiModel m;
+  m.path_loss_exponent = 3.0;
+  EXPECT_NEAR(m.mean_rssi(0.1) - m.mean_rssi(1.0), 30.0, 1e-9);
+}
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(100);
+    dep_ = gen::random_strip_udg(80, 10.0, 2.0, 1.0, rng);
+    options_.epochs = 40;
+    options_.max_records_per_packet = 10;
+    util::Rng trng(101);
+    trace_ = generate_trace(dep_.positions, options_, trng);
+  }
+
+  gen::Deployment dep_;
+  TraceOptions options_;
+  Trace trace_;
+};
+
+TEST_F(TraceFixture, ProducesLinksAndPackets) {
+  EXPECT_GT(trace_.packets, 0u);
+  EXPECT_GT(trace_.records, 0u);
+  EXPECT_GT(trace_.links.size(), 40u);
+  // Each packet reported at most 10 records.
+  EXPECT_LE(trace_.records, trace_.packets * options_.max_records_per_packet);
+}
+
+TEST_F(TraceFixture, LinksAreCanonicalAndAveraged) {
+  for (const ObservedLink& link : trace_.links) {
+    EXPECT_LT(link.u, link.v);
+    EXPECT_GT(link.records, 0u);
+    EXPECT_LT(link.avg_rssi, 0.0);    // dBm below tx power
+    EXPECT_GT(link.avg_rssi, -120.0); // sanity floor
+  }
+  // Canonically sorted, no duplicates.
+  for (std::size_t i = 1; i < trace_.links.size(); ++i) {
+    const auto& a = trace_.links[i - 1];
+    const auto& b = trace_.links[i];
+    EXPECT_TRUE(a.u < b.u || (a.u == b.u && a.v < b.v));
+  }
+}
+
+TEST_F(TraceFixture, DeterministicForSeed) {
+  util::Rng trng(101);
+  const Trace again = generate_trace(dep_.positions, options_, trng);
+  ASSERT_EQ(again.links.size(), trace_.links.size());
+  for (std::size_t i = 0; i < again.links.size(); ++i) {
+    EXPECT_EQ(again.links[i].u, trace_.links[i].u);
+    EXPECT_EQ(again.links[i].v, trace_.links[i].v);
+    EXPECT_DOUBLE_EQ(again.links[i].avg_rssi, trace_.links[i].avg_rssi);
+  }
+}
+
+TEST_F(TraceFixture, NearLinksBeatFarLinks) {
+  // Average RSSI should correlate inversely with distance: compare the mean
+  // over the closest quartile of observed links with the farthest quartile.
+  std::vector<std::pair<double, double>> by_dist;  // (distance, rssi)
+  for (const ObservedLink& link : trace_.links) {
+    by_dist.emplace_back(geom::dist(dep_.positions[link.u], dep_.positions[link.v]),
+                         link.avg_rssi);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  const std::size_t q = by_dist.size() / 4;
+  ASSERT_GT(q, 2u);
+  util::RunningStat near;
+  util::RunningStat far;
+  for (std::size_t i = 0; i < q; ++i) near.add(by_dist[i].second);
+  for (std::size_t i = by_dist.size() - q; i < by_dist.size(); ++i) {
+    far.add(by_dist[i].second);
+  }
+  EXPECT_GT(near.mean(), far.mean() + 5.0);
+}
+
+TEST_F(TraceFixture, ThresholdForFractionRetainsFraction) {
+  const double thr = threshold_for_fraction(trace_, 0.8);
+  std::size_t kept = 0;
+  for (const ObservedLink& link : trace_.links) {
+    if (link.avg_rssi >= thr) ++kept;
+  }
+  const double frac =
+      static_cast<double>(kept) / static_cast<double>(trace_.links.size());
+  EXPECT_NEAR(frac, 0.8, 0.03);
+}
+
+TEST_F(TraceFixture, ThresholdGraphMatchesManualFilter) {
+  const double thr = threshold_for_fraction(trace_, 0.8);
+  const graph::Graph g =
+      threshold_graph(trace_, dep_.positions.size(), thr);
+  std::size_t expected = 0;
+  for (const ObservedLink& link : trace_.links) {
+    if (link.avg_rssi >= thr) {
+      ++expected;
+      EXPECT_TRUE(g.has_edge(link.u, link.v));
+    }
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+  // A stricter threshold keeps fewer edges.
+  const graph::Graph strict =
+      threshold_graph(trace_, dep_.positions.size(), thr + 10.0);
+  EXPECT_LT(strict.num_edges(), g.num_edges());
+}
+
+TEST_F(TraceFixture, GraphDeviatesFromUnitDisk) {
+  // The point of the trace workload: the resulting topology is *not* a UDG
+  // of any radius — some near pairs miss links while some farther pairs keep
+  // them (shadowing). Verify a crossover exists.
+  const double thr = threshold_for_fraction(trace_, 0.8);
+  const graph::Graph g = threshold_graph(trace_, dep_.positions.size(), thr);
+  double longest_link = 0.0;
+  double shortest_nonlink = 1e9;
+  for (graph::VertexId u = 0; u < dep_.positions.size(); ++u) {
+    for (graph::VertexId v = u + 1; v < dep_.positions.size(); ++v) {
+      const double d = geom::dist(dep_.positions[u], dep_.positions[v]);
+      if (g.has_edge(u, v)) {
+        longest_link = std::max(longest_link, d);
+      } else {
+        shortest_nonlink = std::min(shortest_nonlink, d);
+      }
+    }
+  }
+  EXPECT_GT(longest_link, shortest_nonlink);
+}
+
+}  // namespace
+}  // namespace tgc::trace

@@ -1,0 +1,19 @@
+// The `tgcover` command-line tool: generate / schedule / verify / quality /
+// render. All logic lives in tgc_app (src/app/cli.cpp) so it is unit-tested;
+// this translation unit is just the process entry point.
+#include <iostream>
+
+#include "tgcover/app/cli.hpp"
+#include "tgcover/util/check.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    return tgc::app::run_cli(argc, argv, std::cout);
+  } catch (const tgc::CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
