@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lifetime.dir/bench_ablation_lifetime.cpp.o"
+  "CMakeFiles/bench_ablation_lifetime.dir/bench_ablation_lifetime.cpp.o.d"
+  "bench_ablation_lifetime"
+  "bench_ablation_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_micro.dir/bench_ablation_micro.cpp.o"
+  "CMakeFiles/bench_ablation_micro.dir/bench_ablation_micro.cpp.o.d"
+  "bench_ablation_micro"
+  "bench_ablation_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quasi.dir/bench_ablation_quasi.cpp.o"
+  "CMakeFiles/bench_ablation_quasi.dir/bench_ablation_quasi.cpp.o.d"
+  "bench_ablation_quasi"
+  "bench_ablation_quasi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quasi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

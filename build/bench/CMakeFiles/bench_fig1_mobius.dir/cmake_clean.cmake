@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mobius.dir/bench_fig1_mobius.cpp.o"
+  "CMakeFiles/bench_fig1_mobius.dir/bench_fig1_mobius.cpp.o.d"
+  "bench_fig1_mobius"
+  "bench_fig1_mobius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mobius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

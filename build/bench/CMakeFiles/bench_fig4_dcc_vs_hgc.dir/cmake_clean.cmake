@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dcc_vs_hgc.dir/bench_fig4_dcc_vs_hgc.cpp.o"
+  "CMakeFiles/bench_fig4_dcc_vs_hgc.dir/bench_fig4_dcc_vs_hgc.cpp.o.d"
+  "bench_fig4_dcc_vs_hgc"
+  "bench_fig4_dcc_vs_hgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dcc_vs_hgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

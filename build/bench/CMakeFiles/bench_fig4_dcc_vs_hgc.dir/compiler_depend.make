@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_dcc_vs_hgc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_trace_confine.dir/bench_fig6_trace_confine.cpp.o"
+  "CMakeFiles/bench_fig6_trace_confine.dir/bench_fig6_trace_confine.cpp.o.d"
+  "bench_fig6_trace_confine"
+  "bench_fig6_trace_confine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_trace_confine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop1_validation.dir/bench_prop1_validation.cpp.o"
+  "CMakeFiles/bench_prop1_validation.dir/bench_prop1_validation.cpp.o.d"
+  "bench_prop1_validation"
+  "bench_prop1_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop1_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier.dir/barrier.cpp.o"
+  "CMakeFiles/barrier.dir/barrier.cpp.o.d"
+  "barrier"
+  "barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

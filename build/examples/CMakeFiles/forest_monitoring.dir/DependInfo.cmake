@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/forest_monitoring.cpp" "examples/CMakeFiles/forest_monitoring.dir/forest_monitoring.cpp.o" "gcc" "examples/CMakeFiles/forest_monitoring.dir/forest_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tgc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tgc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/boundary/CMakeFiles/tgc_boundary.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tgc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tgc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tgc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycle/CMakeFiles/tgc_cycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiboundary.dir/multiboundary.cpp.o"
+  "CMakeFiles/multiboundary.dir/multiboundary.cpp.o.d"
+  "multiboundary"
+  "multiboundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiboundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

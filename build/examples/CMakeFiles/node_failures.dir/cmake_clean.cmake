@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_failures.dir/node_failures.cpp.o"
+  "CMakeFiles/node_failures.dir/node_failures.cpp.o.d"
+  "node_failures"
+  "node_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_app.dir/cli.cpp.o"
+  "CMakeFiles/tgc_app.dir/cli.cpp.o.d"
+  "libtgc_app.a"
+  "libtgc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

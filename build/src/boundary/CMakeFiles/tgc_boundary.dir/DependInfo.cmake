@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boundary/cone.cpp" "src/boundary/CMakeFiles/tgc_boundary.dir/cone.cpp.o" "gcc" "src/boundary/CMakeFiles/tgc_boundary.dir/cone.cpp.o.d"
+  "/root/repo/src/boundary/cycle_extract.cpp" "src/boundary/CMakeFiles/tgc_boundary.dir/cycle_extract.cpp.o" "gcc" "src/boundary/CMakeFiles/tgc_boundary.dir/cycle_extract.cpp.o.d"
+  "/root/repo/src/boundary/label.cpp" "src/boundary/CMakeFiles/tgc_boundary.dir/label.cpp.o" "gcc" "src/boundary/CMakeFiles/tgc_boundary.dir/label.cpp.o.d"
+  "/root/repo/src/boundary/ring_select.cpp" "src/boundary/CMakeFiles/tgc_boundary.dir/ring_select.cpp.o" "gcc" "src/boundary/CMakeFiles/tgc_boundary.dir/ring_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tgc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_boundary.dir/cone.cpp.o"
+  "CMakeFiles/tgc_boundary.dir/cone.cpp.o.d"
+  "CMakeFiles/tgc_boundary.dir/cycle_extract.cpp.o"
+  "CMakeFiles/tgc_boundary.dir/cycle_extract.cpp.o.d"
+  "CMakeFiles/tgc_boundary.dir/label.cpp.o"
+  "CMakeFiles/tgc_boundary.dir/label.cpp.o.d"
+  "CMakeFiles/tgc_boundary.dir/ring_select.cpp.o"
+  "CMakeFiles/tgc_boundary.dir/ring_select.cpp.o.d"
+  "libtgc_boundary.a"
+  "libtgc_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

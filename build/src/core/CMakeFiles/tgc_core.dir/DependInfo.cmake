@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/confine.cpp" "src/core/CMakeFiles/tgc_core.dir/confine.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/confine.cpp.o.d"
+  "/root/repo/src/core/criterion.cpp" "src/core/CMakeFiles/tgc_core.dir/criterion.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/criterion.cpp.o.d"
+  "/root/repo/src/core/distributed.cpp" "src/core/CMakeFiles/tgc_core.dir/distributed.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/distributed.cpp.o.d"
+  "/root/repo/src/core/edge_scheduler.cpp" "src/core/CMakeFiles/tgc_core.dir/edge_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/edge_scheduler.cpp.o.d"
+  "/root/repo/src/core/lifetime.cpp" "src/core/CMakeFiles/tgc_core.dir/lifetime.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/lifetime.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/tgc_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/tgc_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/tgc_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/repair.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/tgc_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/vpt.cpp" "src/core/CMakeFiles/tgc_core.dir/vpt.cpp.o" "gcc" "src/core/CMakeFiles/tgc_core.dir/vpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycle/CMakeFiles/tgc_cycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tgc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tgc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/boundary/CMakeFiles/tgc_boundary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

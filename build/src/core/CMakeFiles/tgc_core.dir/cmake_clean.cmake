@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_core.dir/confine.cpp.o"
+  "CMakeFiles/tgc_core.dir/confine.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/criterion.cpp.o"
+  "CMakeFiles/tgc_core.dir/criterion.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/distributed.cpp.o"
+  "CMakeFiles/tgc_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/edge_scheduler.cpp.o"
+  "CMakeFiles/tgc_core.dir/edge_scheduler.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/lifetime.cpp.o"
+  "CMakeFiles/tgc_core.dir/lifetime.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/pipeline.cpp.o"
+  "CMakeFiles/tgc_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/quality.cpp.o"
+  "CMakeFiles/tgc_core.dir/quality.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/repair.cpp.o"
+  "CMakeFiles/tgc_core.dir/repair.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/scheduler.cpp.o"
+  "CMakeFiles/tgc_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tgc_core.dir/vpt.cpp.o"
+  "CMakeFiles/tgc_core.dir/vpt.cpp.o.d"
+  "libtgc_core.a"
+  "libtgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cycle/candidates.cpp" "src/cycle/CMakeFiles/tgc_cycle.dir/candidates.cpp.o" "gcc" "src/cycle/CMakeFiles/tgc_cycle.dir/candidates.cpp.o.d"
+  "/root/repo/src/cycle/cycle.cpp" "src/cycle/CMakeFiles/tgc_cycle.dir/cycle.cpp.o" "gcc" "src/cycle/CMakeFiles/tgc_cycle.dir/cycle.cpp.o.d"
+  "/root/repo/src/cycle/horton.cpp" "src/cycle/CMakeFiles/tgc_cycle.dir/horton.cpp.o" "gcc" "src/cycle/CMakeFiles/tgc_cycle.dir/horton.cpp.o.d"
+  "/root/repo/src/cycle/span.cpp" "src/cycle/CMakeFiles/tgc_cycle.dir/span.cpp.o" "gcc" "src/cycle/CMakeFiles/tgc_cycle.dir/span.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

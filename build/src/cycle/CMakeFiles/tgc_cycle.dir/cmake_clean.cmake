@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_cycle.dir/candidates.cpp.o"
+  "CMakeFiles/tgc_cycle.dir/candidates.cpp.o.d"
+  "CMakeFiles/tgc_cycle.dir/cycle.cpp.o"
+  "CMakeFiles/tgc_cycle.dir/cycle.cpp.o.d"
+  "CMakeFiles/tgc_cycle.dir/horton.cpp.o"
+  "CMakeFiles/tgc_cycle.dir/horton.cpp.o.d"
+  "CMakeFiles/tgc_cycle.dir/span.cpp.o"
+  "CMakeFiles/tgc_cycle.dir/span.cpp.o.d"
+  "libtgc_cycle.a"
+  "libtgc_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

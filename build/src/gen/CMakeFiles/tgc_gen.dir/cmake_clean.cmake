@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_gen.dir/deployments.cpp.o"
+  "CMakeFiles/tgc_gen.dir/deployments.cpp.o.d"
+  "CMakeFiles/tgc_gen.dir/fixtures.cpp.o"
+  "CMakeFiles/tgc_gen.dir/fixtures.cpp.o.d"
+  "libtgc_gen.a"
+  "libtgc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/coverage.cpp" "src/geom/CMakeFiles/tgc_geom.dir/coverage.cpp.o" "gcc" "src/geom/CMakeFiles/tgc_geom.dir/coverage.cpp.o.d"
+  "/root/repo/src/geom/embedding.cpp" "src/geom/CMakeFiles/tgc_geom.dir/embedding.cpp.o" "gcc" "src/geom/CMakeFiles/tgc_geom.dir/embedding.cpp.o.d"
+  "/root/repo/src/geom/min_circle.cpp" "src/geom/CMakeFiles/tgc_geom.dir/min_circle.cpp.o" "gcc" "src/geom/CMakeFiles/tgc_geom.dir/min_circle.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/geom/CMakeFiles/tgc_geom.dir/polygon.cpp.o" "gcc" "src/geom/CMakeFiles/tgc_geom.dir/polygon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

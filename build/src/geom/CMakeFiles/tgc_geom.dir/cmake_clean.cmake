@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_geom.dir/coverage.cpp.o"
+  "CMakeFiles/tgc_geom.dir/coverage.cpp.o.d"
+  "CMakeFiles/tgc_geom.dir/embedding.cpp.o"
+  "CMakeFiles/tgc_geom.dir/embedding.cpp.o.d"
+  "CMakeFiles/tgc_geom.dir/min_circle.cpp.o"
+  "CMakeFiles/tgc_geom.dir/min_circle.cpp.o.d"
+  "CMakeFiles/tgc_geom.dir/polygon.cpp.o"
+  "CMakeFiles/tgc_geom.dir/polygon.cpp.o.d"
+  "libtgc_geom.a"
+  "libtgc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/tgc_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/tgc_graph.dir/graph.cpp.o"
+  "CMakeFiles/tgc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/tgc_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/tgc_graph.dir/subgraph.cpp.o.d"
+  "libtgc_graph.a"
+  "libtgc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/network_io.cpp" "src/io/CMakeFiles/tgc_io.dir/network_io.cpp.o" "gcc" "src/io/CMakeFiles/tgc_io.dir/network_io.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/io/CMakeFiles/tgc_io.dir/svg.cpp.o" "gcc" "src/io/CMakeFiles/tgc_io.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tgc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tgc_gen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_io.dir/network_io.cpp.o"
+  "CMakeFiles/tgc_io.dir/network_io.cpp.o.d"
+  "CMakeFiles/tgc_io.dir/svg.cpp.o"
+  "CMakeFiles/tgc_io.dir/svg.cpp.o.d"
+  "libtgc_io.a"
+  "libtgc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

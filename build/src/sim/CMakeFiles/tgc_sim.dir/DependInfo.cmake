@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async.cpp" "src/sim/CMakeFiles/tgc_sim.dir/async.cpp.o" "gcc" "src/sim/CMakeFiles/tgc_sim.dir/async.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/tgc_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/tgc_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/khop.cpp" "src/sim/CMakeFiles/tgc_sim.dir/khop.cpp.o" "gcc" "src/sim/CMakeFiles/tgc_sim.dir/khop.cpp.o.d"
+  "/root/repo/src/sim/mis.cpp" "src/sim/CMakeFiles/tgc_sim.dir/mis.cpp.o" "gcc" "src/sim/CMakeFiles/tgc_sim.dir/mis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_sim.dir/async.cpp.o"
+  "CMakeFiles/tgc_sim.dir/async.cpp.o.d"
+  "CMakeFiles/tgc_sim.dir/engine.cpp.o"
+  "CMakeFiles/tgc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tgc_sim.dir/khop.cpp.o"
+  "CMakeFiles/tgc_sim.dir/khop.cpp.o.d"
+  "CMakeFiles/tgc_sim.dir/mis.cpp.o"
+  "CMakeFiles/tgc_sim.dir/mis.cpp.o.d"
+  "libtgc_sim.a"
+  "libtgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

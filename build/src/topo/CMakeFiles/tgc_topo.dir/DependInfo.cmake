@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/hgc.cpp" "src/topo/CMakeFiles/tgc_topo.dir/hgc.cpp.o" "gcc" "src/topo/CMakeFiles/tgc_topo.dir/hgc.cpp.o.d"
+  "/root/repo/src/topo/homology.cpp" "src/topo/CMakeFiles/tgc_topo.dir/homology.cpp.o" "gcc" "src/topo/CMakeFiles/tgc_topo.dir/homology.cpp.o.d"
+  "/root/repo/src/topo/laplacian.cpp" "src/topo/CMakeFiles/tgc_topo.dir/laplacian.cpp.o" "gcc" "src/topo/CMakeFiles/tgc_topo.dir/laplacian.cpp.o.d"
+  "/root/repo/src/topo/rips.cpp" "src/topo/CMakeFiles/tgc_topo.dir/rips.cpp.o" "gcc" "src/topo/CMakeFiles/tgc_topo.dir/rips.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

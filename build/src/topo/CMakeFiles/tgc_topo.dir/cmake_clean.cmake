@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_topo.dir/hgc.cpp.o"
+  "CMakeFiles/tgc_topo.dir/hgc.cpp.o.d"
+  "CMakeFiles/tgc_topo.dir/homology.cpp.o"
+  "CMakeFiles/tgc_topo.dir/homology.cpp.o.d"
+  "CMakeFiles/tgc_topo.dir/laplacian.cpp.o"
+  "CMakeFiles/tgc_topo.dir/laplacian.cpp.o.d"
+  "CMakeFiles/tgc_topo.dir/rips.cpp.o"
+  "CMakeFiles/tgc_topo.dir/rips.cpp.o.d"
+  "libtgc_topo.a"
+  "libtgc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/greenorbs.cpp" "src/trace/CMakeFiles/tgc_trace.dir/greenorbs.cpp.o" "gcc" "src/trace/CMakeFiles/tgc_trace.dir/greenorbs.cpp.o.d"
+  "/root/repo/src/trace/rssi.cpp" "src/trace/CMakeFiles/tgc_trace.dir/rssi.cpp.o" "gcc" "src/trace/CMakeFiles/tgc_trace.dir/rssi.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/tgc_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/tgc_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tgc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tgc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/boundary/CMakeFiles/tgc_boundary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

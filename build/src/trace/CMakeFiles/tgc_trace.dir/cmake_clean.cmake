@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_trace.dir/greenorbs.cpp.o"
+  "CMakeFiles/tgc_trace.dir/greenorbs.cpp.o.d"
+  "CMakeFiles/tgc_trace.dir/rssi.cpp.o"
+  "CMakeFiles/tgc_trace.dir/rssi.cpp.o.d"
+  "CMakeFiles/tgc_trace.dir/trace.cpp.o"
+  "CMakeFiles/tgc_trace.dir/trace.cpp.o.d"
+  "libtgc_trace.a"
+  "libtgc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgc_util.dir/args.cpp.o"
+  "CMakeFiles/tgc_util.dir/args.cpp.o.d"
+  "CMakeFiles/tgc_util.dir/gf2.cpp.o"
+  "CMakeFiles/tgc_util.dir/gf2.cpp.o.d"
+  "CMakeFiles/tgc_util.dir/gf2_elim.cpp.o"
+  "CMakeFiles/tgc_util.dir/gf2_elim.cpp.o.d"
+  "CMakeFiles/tgc_util.dir/rng.cpp.o"
+  "CMakeFiles/tgc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tgc_util.dir/stats.cpp.o"
+  "CMakeFiles/tgc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tgc_util.dir/table.cpp.o"
+  "CMakeFiles/tgc_util.dir/table.cpp.o.d"
+  "libtgc_util.a"
+  "libtgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

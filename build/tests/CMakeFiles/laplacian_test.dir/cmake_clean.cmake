@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplacian_test.dir/laplacian_test.cpp.o"
+  "CMakeFiles/laplacian_test.dir/laplacian_test.cpp.o.d"
+  "laplacian_test"
+  "laplacian_test.pdb"
+  "laplacian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplacian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

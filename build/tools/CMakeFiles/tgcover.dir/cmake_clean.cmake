@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgcover.dir/tgcover_cli.cpp.o"
+  "CMakeFiles/tgcover.dir/tgcover_cli.cpp.o.d"
+  "tgcover"
+  "tgcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
