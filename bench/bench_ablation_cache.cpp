@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const double degree = args.get_double("degree", 20.0, "target avg degree");
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 13, "workload seed"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   util::Rng rng(seed);
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
 
   for (unsigned tau = 3; tau <= 6; ++tau) {
     core::DccConfig cached;
+    cached.num_threads = threads;
     cached.tau = tau;
     cached.seed = seed;
     core::DccConfig uncached = cached;

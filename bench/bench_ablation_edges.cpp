@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   const double degree = args.get_double("degree", 15.0, "target avg degree");
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 29, "workload seed"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   util::Rng rng(seed);
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
 
   for (unsigned tau = 3; tau <= 5; ++tau) {
     core::DccConfig config;
+    config.num_threads = threads;
     config.tau = tau;
     config.seed = seed;
     const core::ScheduleSummary nodes = core::run_dcc(net, config);

@@ -59,6 +59,24 @@ void BM_VptVertexTest(benchmark::State& state) {
 }
 BENCHMARK(BM_VptVertexTest)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
+/// Same test through a warm VptWorkspace — the scheduler's steady-state
+/// configuration. The gap to BM_VptVertexTest is the per-test allocation
+/// cost the workspace eliminates.
+void BM_VptVertexTestWorkspace(benchmark::State& state) {
+  const auto tau = static_cast<unsigned>(state.range(0));
+  const auto& dep = deployment();
+  const std::vector<bool> active(dep.graph.num_vertices(), true);
+  const core::VptConfig config{tau, 0};
+  core::VptWorkspace ws;
+  graph::VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::vpt_vertex_deletable(dep.graph, active, v, config, ws));
+    v = (v + 17) % static_cast<graph::VertexId>(dep.graph.num_vertices());
+  }
+}
+BENCHMARK(BM_VptVertexTestWorkspace)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
 void BM_SpanEarlyExit(benchmark::State& state) {
   const auto tau = static_cast<unsigned>(state.range(0));
   const graph::Graph h = punctured_neighbourhood(tau);

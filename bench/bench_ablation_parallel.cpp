@@ -1,0 +1,181 @@
+// Parallel-engine ablation: VPT deletability-test throughput (tests/sec)
+// versus worker-thread count, at two deployment scales.
+//
+// This measures exactly the fan-out the scheduler parallelises — a sweep of
+// `vpt_vertex_deletable` over every internal node of a fixed snapshot, fanned
+// over a util::ThreadPool with one warm VptWorkspace per worker — so the
+// numbers predict the Step-1 wall-clock of `dcc_schedule` directly. Verdicts
+// are pure functions of the snapshot; the sweep also cross-checks that every
+// thread count produces identical verdict vectors.
+//
+// `--json PATH` additionally emits a machine-readable record so future PRs
+// can diff perf trajectories (the committed baseline is BENCH_parallel.json).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tgcover/core/pipeline.hpp"
+#include "tgcover/core/vpt.hpp"
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/util/args.hpp"
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/rng.hpp"
+#include "tgcover/util/table.hpp"
+#include "tgcover/util/thread_pool.hpp"
+
+namespace {
+
+using namespace tgc;
+
+struct Sample {
+  std::size_t nodes = 0;
+  unsigned threads = 0;
+  std::size_t tests = 0;
+  double seconds = 0.0;
+  double tests_per_sec = 0.0;
+  double speedup = 1.0;  // vs the 1-thread row of the same deployment
+};
+
+/// One timed sweep: every internal node's verdict, fanned over `threads`
+/// workers. Returns wall-clock seconds and fills `verdicts`.
+double timed_sweep(const core::Network& net, const core::VptConfig& vpt,
+                   const std::vector<graph::VertexId>& to_test,
+                   unsigned threads, std::vector<char>& verdicts) {
+  util::ThreadPool pool(threads);
+  std::vector<core::VptWorkspace> workspaces(pool.num_workers());
+  verdicts.assign(to_test.size(), 0);
+  const std::vector<bool> active(net.dep.graph.num_vertices(), true);
+
+  const auto start = std::chrono::steady_clock::now();
+  pool.parallel_for(0, to_test.size(), [&](std::size_t i, unsigned worker) {
+    verdicts[i] = core::vpt_vertex_deletable(net.dep.graph, active, to_test[i],
+                                             vpt, workspaces[worker])
+                      ? 1
+                      : 0;
+  });
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const double degree =
+      args.get_double("degree", 25.0, "target avg degree (paper: 25)");
+  const auto tau =
+      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42, "deployment seed"));
+  const auto reps = static_cast<std::size_t>(
+      args.get_int("reps", 3, "timed repetitions per configuration (best-of)"));
+  const std::string json_path = args.get_string(
+      "json", "", "write machine-readable results to this file");
+  const auto small_n = static_cast<std::size_t>(
+      args.get_int("nodes-small", 400, "small deployment size"));
+  const auto large_n = static_cast<std::size_t>(
+      args.get_int("nodes-large", 1600, "large deployment size"));
+  args.finish();
+
+  // Open the JSON sink up front so a bad path fails before the sweep runs.
+  std::ofstream json_out;
+  if (!json_path.empty()) {
+    json_out.open(json_path);
+    TGC_CHECK_MSG(json_out.good(), "cannot open '" << json_path << "'");
+  }
+
+  const unsigned hw = util::ThreadPool::resolve_num_threads(0);
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+
+  std::printf("Parallel VPT engine ablation: tests/sec vs thread count\n");
+  std::printf("tau %u, degree %.0f, hardware concurrency %u\n\n", tau, degree,
+              hw);
+
+  const core::VptConfig vpt{tau, 0};
+  std::vector<Sample> samples;
+
+  for (const std::size_t n : {small_n, large_n}) {
+    util::Rng rng(seed);
+    const core::Network net = core::prepare_network(
+        gen::random_connected_udg(
+            n, gen::side_for_average_degree(n, 1.0, degree), 1.0, rng),
+        1.0);
+    std::vector<graph::VertexId> to_test;
+    for (graph::VertexId v = 0; v < net.dep.graph.num_vertices(); ++v) {
+      if (net.internal[v]) to_test.push_back(v);
+    }
+
+    std::vector<char> reference;  // 1-thread verdicts, the ground truth
+    double serial_rate = 0.0;
+    for (const unsigned threads : thread_counts) {
+      std::vector<char> verdicts;
+      double best = 1e300;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        best = std::min(best, timed_sweep(net, vpt, to_test, threads, verdicts));
+      }
+      if (threads == 1) {
+        reference = verdicts;
+      } else {
+        TGC_CHECK_MSG(verdicts == reference,
+                      "parallel verdicts diverge from serial at threads="
+                          << threads);
+      }
+
+      Sample s;
+      s.nodes = n;
+      s.threads = threads;
+      s.tests = to_test.size();
+      s.seconds = best;
+      s.tests_per_sec = static_cast<double>(to_test.size()) / best;
+      if (threads == 1) serial_rate = s.tests_per_sec;
+      s.speedup = s.tests_per_sec / serial_rate;
+      samples.push_back(s);
+      std::fprintf(stderr, "  n %zu threads %u: %.3fs (%.0f tests/sec)\n", n,
+                   threads, best, s.tests_per_sec);
+    }
+  }
+
+  util::Table table({"nodes", "threads", "vpt tests", "seconds", "tests/sec",
+                     "speedup vs 1T"});
+  for (const Sample& s : samples) {
+    table.add_row({std::to_string(s.nodes), std::to_string(s.threads),
+                   std::to_string(s.tests), util::Table::num(s.seconds, 3),
+                   util::Table::num(s.tests_per_sec, 1),
+                   util::Table::num(s.speedup, 2)});
+  }
+  table.print();
+  std::puts("\nVerdicts are bit-identical across all thread counts (checked");
+  std::puts("every run). Speedup tracks the physical core count; on a");
+  std::puts("single-core host all rows collapse to ~1x.");
+
+  if (!json_path.empty()) {
+    std::ofstream& out = json_out;
+    out << "{\n"
+        << "  \"bench\": \"bench_ablation_parallel\",\n"
+        << "  \"tau\": " << tau << ",\n"
+        << "  \"degree\": " << degree << ",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      out << "    {\"nodes\": " << s.nodes << ", \"threads\": " << s.threads
+          << ", \"vpt_tests\": " << s.tests << ", \"seconds\": " << s.seconds
+          << ", \"tests_per_sec\": " << s.tests_per_sec
+          << ", \"speedup_vs_1t\": " << s.speedup << "}"
+          << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

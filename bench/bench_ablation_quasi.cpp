@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 23, "workload seed"));
   const auto tau =
       static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   struct Model {
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
     const bool initial_ok =
         core::criterion_holds(net.dep.graph, all, net.cb, tau);
     core::DccConfig config;
+    config.num_threads = threads;
     config.tau = tau;
     config.seed = seed;
     const auto s = core::run_dcc(net, config);

@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 19, "workload seed"));
   const auto tau_max =
       static_cast<unsigned>(args.get_int("tau-max", 7, "largest confine size"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   util::Rng rng(seed);
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
                      "matches oracle"});
   for (unsigned tau = 3; tau <= tau_max; ++tau) {
     core::DccConfig config;
+    config.num_threads = threads;
     config.tau = tau;
     config.seed = seed;
     const auto dist =

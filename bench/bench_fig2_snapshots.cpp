@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
       args.get_string("dump", "", "CSV prefix for snapshot dumps");
   const std::string svg =
       args.get_string("svg", "", "SVG prefix for snapshot renders");
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   const double side = gen::side_for_average_degree(n, 1.0, degree);
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   const std::vector<bool> everyone(net.dep.graph.num_vertices(), true);
   for (unsigned tau = tau_min; tau <= tau_max; ++tau) {
     core::DccConfig config;
+    config.num_threads = threads;
     config.tau = tau;
     config.seed = seed;
     const core::ScheduleSummary s = core::run_dcc(net, config);

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(args.get_int("tau-max", 9, "largest confine size"));
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42, "base seed"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   const double side = gen::side_for_average_degree(n, 1.0, degree);
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
     std::size_t base = 0;
     for (unsigned tau = 3; tau <= tau_max; ++tau) {
       core::DccConfig config;
+      config.num_threads = threads;
       config.tau = tau;
       config.seed = seed + run;
       const core::ScheduleSummary s = core::run_dcc(net, config);

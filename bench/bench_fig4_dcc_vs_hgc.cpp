@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
       "paper-bound", "use only the paper's (tau-2)Rc bound for tau selection");
   const auto tau_cap =
       static_cast<unsigned>(args.get_int("tau-cap", 9, "largest tau tried"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   const double side = gen::side_for_average_degree(n, 1.0, degree);
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
     auto dcc_survivors = [&](unsigned tau) {
       if (dcc_by_tau[tau] < 0.0) {
         core::DccConfig config;
+        config.num_threads = threads;
         config.tau = tau;
         config.seed = seed + run;
         dcc_by_tau[tau] =

@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
       args.get_int("epochs", 288, "packet epochs accumulated"));
   const auto tau_max =
       static_cast<unsigned>(args.get_int("tau-max", 8, "largest confine size"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   const trace::GreenOrbsNetwork net = trace::build_greenorbs_network(options);
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
                      "criterion holds"});
   for (unsigned tau = 3; tau <= tau_max; ++tau) {
     core::DccConfig config;
+    config.num_threads = threads;
     config.tau = tau;
     config.seed = options.seed;
     const core::DccResult result =

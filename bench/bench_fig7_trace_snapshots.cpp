@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
       args.get_string("dump", "", "CSV prefix for snapshot dumps");
   const std::string svg =
       args.get_string("svg", "", "SVG prefix for snapshot renders");
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   const trace::GreenOrbsNetwork net = trace::build_greenorbs_network(options);
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
   util::Table table({"tau", "inner nodes left", "criterion holds"});
   for (unsigned tau = 3; tau <= 7; ++tau) {
     core::DccConfig config;
+    config.num_threads = threads;
     config.tau = tau;
     config.seed = options.seed;
     const core::DccResult result =

@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("runs", 2, "runs per cell"));
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 11, "base seed"));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
 
   const double side = gen::side_for_average_degree(n, 1.0, degree);
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
         continue;  // instance does not certify; Prop. 1 has no claim here
       }
       core::DccConfig config;
+      config.num_threads = threads;
       config.tau = cell.tau;
       config.seed = seed + run;
       const core::ScheduleSummary s = core::run_dcc(net, config);

@@ -1,5 +1,6 @@
 #include "tgcover/app/cli.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <ostream>
 #include <string>
@@ -92,12 +93,18 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
   const double band = args.get_double("band", 1.0, "periphery band width");
+  const std::int64_t threads_arg = args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)");
+  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
+                "--threads must be in [0, 1024], got " << threads_arg);
+  const auto threads = static_cast<unsigned>(threads_arg);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
   core::DccConfig config;
   config.tau = tau;
   config.seed = seed;
+  config.num_threads = threads;
   const core::ScheduleSummary s = core::run_dcc(net, config);
   io::save_mask(s.result.active, out_path);
   out << "scheduled tau=" << tau << ": " << s.result.survivors << " of "
@@ -275,6 +282,11 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   const auto tau =
       static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
   const double band = args.get_double("band", 1.0, "periphery band width");
+  const std::int64_t threads_arg = args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)");
+  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
+                "--threads must be in [0, 1024], got " << threads_arg);
+  const auto threads = static_cast<unsigned>(threads_arg);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
@@ -285,6 +297,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
                 "mask sizes do not match the network");
   core::DccConfig config;
   config.tau = tau;
+  config.num_threads = threads;
   const core::RepairResult result = core::dcc_repair(
       net.dep.graph, net.internal, active, failed, net.cb, config);
   io::save_mask(result.active, out_path);
@@ -302,7 +315,7 @@ void print_help(std::ostream& out) {
          "commands:\n"
          "  generate   create a deployment (--type udg|quasi|strip --nodes N"
          " --degree D --seed S --out FILE)\n"
-         "  schedule   run DCC (--in FILE --tau T --out MASK)\n"
+         "  schedule   run DCC (--in FILE --tau T --out MASK --threads N)\n"
          "  verify     certify a schedule (--in FILE --schedule MASK --tau T)\n"
          "  quality    void sizes + smallest certifiable tau (--in FILE"
          " [--schedule MASK] [--gamma G])\n"

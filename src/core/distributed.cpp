@@ -68,6 +68,11 @@ DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
   // Phase 0: every node collects its k-hop neighbourhood.
   std::vector<sim::LocalView> views = sim::collect_k_hop_views(engine, k);
 
+  // In the field every node evaluates its own verdict; the simulator runs
+  // them on one thread and shares a single workspace across all nodes.
+  VptWorkspace ws;
+  ws.ensure(g.num_vertices());
+
   while (out.schedule.rounds < config.max_rounds) {
     // Phase 1: local VPT verdicts — no communication needed.
     std::vector<bool> candidate(g.num_vertices(), false);
@@ -75,7 +80,7 @@ DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (!out.schedule.active[v] || !internal[v]) continue;
       ++out.schedule.vpt_tests;
-      if (vpt_vertex_deletable_local(views[v], vpt)) {
+      if (vpt_vertex_deletable_local(views[v], vpt, ws)) {
         candidate[v] = true;
         ++num_candidates;
       }

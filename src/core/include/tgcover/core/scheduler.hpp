@@ -25,6 +25,11 @@ struct DccConfig {
   /// overriding the seeded random ones. Used by the energy-aware lifetime
   /// scheduler. Oracle executor only; must be empty for the distributed one.
   std::vector<std::uint64_t> mis_priorities;
+  /// Worker threads for the Step-1 VPT verdict fan-out (0 = hardware
+  /// concurrency, 1 = fully serial). Verdicts are pure functions of the
+  /// pre-round active snapshot, so the schedule is bit-identical for every
+  /// value — this knob only changes wall-clock (see DESIGN.md §7).
+  unsigned num_threads = 1;
 
   VptConfig vpt() const { return VptConfig{tau, k}; }
 };

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "tgcover/cycle/span.hpp"
 #include "tgcover/graph/graph.hpp"
 #include "tgcover/sim/khop.hpp"
+#include "tgcover/util/stamped.hpp"
 
 namespace tgc::core {
 
@@ -20,6 +22,33 @@ struct VptConfig {
   unsigned mis_radius() const { return effective_k(); }
 };
 
+/// Reusable scratch storage for the VPT kernels.
+///
+/// A VPT test is a pure function of (graph, active, vertex), but evaluating
+/// it needs a BFS frontier, an induced punctured subgraph, and GF(2)
+/// candidate vectors — previously all allocated per test through hash maps.
+/// The workspace hoists them into flat epoch-stamped arrays sized once to
+/// the graph order, so back-to-back tests (the scheduler runs thousands per
+/// round) touch the allocator only on capacity growth.
+///
+/// One workspace per thread: instances are not synchronized. The scheduler
+/// keeps one per pool worker; results are bit-identical with or without a
+/// workspace.
+struct VptWorkspace {
+  util::StampedArray<std::uint32_t> dist;    ///< BFS hop counts, O(1) reset
+  util::StampedArray<graph::VertexId> local; ///< parent id → punctured-local id
+  std::vector<graph::VertexId> queue;        ///< flat BFS frontier
+  std::vector<graph::VertexId> members;      ///< collected k-hop neighbourhood
+  graph::GraphBuilder builder{0};            ///< reusable punctured-graph builder
+  cycle::SpanScratch span;                   ///< candidate vector + dedup table
+
+  /// Grows the vertex-indexed arrays to cover ids < n (never shrinks).
+  void ensure(std::size_t n) {
+    dist.resize(n);
+    local.resize(n);
+  }
+};
+
 /// The τ-VPT vertex-deletability test (Definition 5): vertex `v` may be
 /// deleted iff its punctured k-hop neighbourhood Γ^k(v) — the subgraph
 /// induced by the nodes within k hops of v, v excluded — is connected and
@@ -32,12 +61,22 @@ bool vpt_vertex_deletable(const graph::Graph& g,
                           const std::vector<bool>& active, graph::VertexId v,
                           const VptConfig& config);
 
+/// Workspace overload: identical verdicts, no per-test allocations.
+bool vpt_vertex_deletable(const graph::Graph& g,
+                          const std::vector<bool>& active, graph::VertexId v,
+                          const VptConfig& config, VptWorkspace& ws);
+
 /// Same test evaluated on a node's local view (the data a real node has
 /// after the k-hop collection protocol). Produces exactly the same verdict
 /// as the oracle variant on a consistent view — the distributed/oracle
 /// equivalence tests rely on this.
 bool vpt_vertex_deletable_local(const sim::LocalView& view,
                                 const VptConfig& config);
+
+/// Workspace overload of the local-view test (the distributed executor
+/// evaluates one verdict per node per round through a shared workspace).
+bool vpt_vertex_deletable_local(const sim::LocalView& view,
+                                const VptConfig& config, VptWorkspace& ws);
 
 /// The τ-VPT edge-deletability test: edge (u, v) may be deleted iff the
 /// k-hop neighbourhood of the edge (nodes within k hops of u or v) minus the
@@ -46,5 +85,10 @@ bool vpt_vertex_deletable_local(const sim::LocalView& view,
 /// the link-pruning extension exercised in tests and ablations.
 bool vpt_edge_deletable(const graph::Graph& g, const std::vector<bool>& active,
                         graph::EdgeId e, const VptConfig& config);
+
+/// Workspace overload: identical verdicts, no per-test allocations.
+bool vpt_edge_deletable(const graph::Graph& g, const std::vector<bool>& active,
+                        graph::EdgeId e, const VptConfig& config,
+                        VptWorkspace& ws);
 
 }  // namespace tgc::core

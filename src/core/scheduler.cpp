@@ -1,11 +1,11 @@
 #include "tgcover/core/scheduler.hpp"
 
-#include <deque>
-
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/sim/mis.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
+#include "tgcover/util/stamped.hpp"
+#include "tgcover/util/thread_pool.hpp"
 
 namespace tgc::core {
 
@@ -15,20 +15,26 @@ using graph::Graph;
 using graph::VertexId;
 
 /// Marks every active node within `radius` hops of `source` (over the
-/// active topology, `source` included) in `out`.
+/// active topology, `source` included) in `out`. The stamped dist array and
+/// flat frontier are caller-owned: Step 3 runs one ball per selected MIS
+/// vertex per round, and re-allocating an O(n) dist vector for each was a
+/// measurable slice of large-deployment runs.
 void mark_ball(const Graph& g, const std::vector<bool>& active,
-               VertexId source, unsigned radius, std::vector<bool>& out) {
-  std::vector<std::uint32_t> dist(g.num_vertices(), graph::kUnreached);
-  dist[source] = 0;
+               VertexId source, unsigned radius,
+               util::StampedArray<std::uint32_t>& dist,
+               std::vector<VertexId>& queue, std::vector<bool>& out) {
+  dist.clear();
+  queue.clear();
+  dist.put(source, 0);
   out[source] = true;
-  std::deque<VertexId> queue{source};
-  while (!queue.empty()) {
-    const VertexId u = queue.front();
-    queue.pop_front();
-    if (dist[u] == radius) continue;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    const std::uint32_t du = dist.get(u);
+    if (du == radius) continue;
     for (const VertexId w : g.neighbors(u)) {
-      if (active[w] && dist[w] == graph::kUnreached) {
-        dist[w] = dist[u] + 1;
+      if (active[w] && !dist.contains(w)) {
+        dist.put(w, du + 1);
         out[w] = true;
         queue.push_back(w);
       }
@@ -53,6 +59,11 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
   const VptConfig vpt = config.vpt();
   const unsigned k = vpt.effective_k();
 
+  // The verdict fan-out pool. Each worker owns a private VptWorkspace; every
+  // other scratch buffer below is touched only by the scheduler thread.
+  util::ThreadPool pool(config.num_threads);
+  std::vector<VptWorkspace> workspaces(pool.num_workers());
+
   DccResult result;
   result.active = initial_active;
 
@@ -62,21 +73,40 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
   std::vector<Verdict> verdict(g.num_vertices(), Verdict::kUnknown);
   std::vector<bool> dirty(g.num_vertices(), true);
 
+  std::vector<VertexId> to_test;
+  util::StampedArray<std::uint32_t> ball_dist;
+  std::vector<VertexId> ball_queue;
+  ball_dist.resize(g.num_vertices());
+
   while (result.rounds < config.max_rounds) {
     // Step 1 (Section V-B): every internal node tests its own deletability
-    // from local connectivity.
-    std::vector<bool> candidate(g.num_vertices(), false);
-    std::size_t num_candidates = 0;
+    // from local connectivity. Each verdict reads only the graph and the
+    // pre-round `active` snapshot and writes only its own slot of `verdict`
+    // (a distinct char — no word sharing), so the dirty set fans out over
+    // the pool and the outcome is bit-identical to the serial loop; `dirty`
+    // is packed bits and is therefore cleared serially afterwards.
+    to_test.clear();
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (!result.active[v] || !internal[v]) continue;
       if (dirty[v] || config.disable_verdict_cache ||
           verdict[v] == Verdict::kUnknown) {
-        ++result.vpt_tests;
-        verdict[v] = vpt_vertex_deletable(g, result.active, v, vpt)
-                         ? Verdict::kDeletable
-                         : Verdict::kNotDeletable;
-        dirty[v] = false;
+        to_test.push_back(v);
       }
+    }
+    result.vpt_tests += to_test.size();
+    pool.parallel_for(0, to_test.size(), [&](std::size_t i, unsigned worker) {
+      const VertexId v = to_test[i];
+      verdict[v] = vpt_vertex_deletable(g, result.active, v, vpt,
+                                        workspaces[worker])
+                       ? Verdict::kDeletable
+                       : Verdict::kNotDeletable;
+    });
+    for (const VertexId v : to_test) dirty[v] = false;
+
+    std::vector<bool> candidate(g.num_vertices(), false);
+    std::size_t num_candidates = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!result.active[v] || !internal[v]) continue;
       if (verdict[v] == Verdict::kDeletable) {
         candidate[v] = true;
         ++num_candidates;
@@ -106,7 +136,7 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     std::size_t num_selected = 0;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (!selected[v]) continue;
-      mark_ball(g, result.active, v, k, stale);
+      mark_ball(g, result.active, v, k, ball_dist, ball_queue, stale);
       ++num_selected;
     }
     TGC_CHECK(num_selected > 0);  // a MIS of a non-empty set is non-empty

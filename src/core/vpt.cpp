@@ -1,12 +1,9 @@
 #include "tgcover/core/vpt.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_map>
 
 #include "tgcover/cycle/span.hpp"
 #include "tgcover/graph/algorithms.hpp"
-#include "tgcover/graph/subgraph.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::core {
@@ -17,120 +14,170 @@ using graph::Graph;
 using graph::VertexId;
 
 /// BFS over the active topology from `source`, truncated at `k` hops;
-/// returns the visited vertices excluding the source, sorted by id.
-std::vector<VertexId> active_k_hop(const Graph& g,
-                                   const std::vector<bool>& active,
-                                   VertexId source, unsigned k) {
-  std::unordered_map<VertexId, unsigned> dist;
-  dist.emplace(source, 0);
-  std::deque<VertexId> queue{source};
-  std::vector<VertexId> out;
-  while (!queue.empty()) {
-    const VertexId u = queue.front();
-    queue.pop_front();
-    const unsigned du = dist.at(u);
+/// appends the visited vertices excluding the source to `out` (unsorted,
+/// BFS discovery order). Uses the workspace's stamped dist array and flat
+/// frontier — no per-call allocation once the buffers are warm.
+void append_active_k_hop(const Graph& g, const std::vector<bool>& active,
+                         VertexId source, unsigned k, VptWorkspace& ws,
+                         std::vector<VertexId>& out) {
+  ws.dist.clear();
+  ws.queue.clear();
+  ws.dist.put(source, 0);
+  ws.queue.push_back(source);
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const VertexId u = ws.queue[head];
+    const std::uint32_t du = ws.dist.get(u);
     if (du == k) continue;
     for (const VertexId w : g.neighbors(u)) {
-      if (!active[w] || dist.count(w) > 0) continue;
-      dist.emplace(w, du + 1);
+      if (!active[w] || ws.dist.contains(w)) continue;
+      ws.dist.put(w, du + 1);
       out.push_back(w);
-      queue.push_back(w);
+      ws.queue.push_back(w);
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+}
+
+/// Assigns punctured-local ids 0..|members|-1 in member order through the
+/// workspace's stamped `local` array (replacing the per-test hash map).
+void assign_local_ids(const std::vector<VertexId>& members, VptWorkspace& ws) {
+  ws.local.clear();
+  for (VertexId i = 0; i < members.size(); ++i) ws.local.put(members[i], i);
 }
 
 /// The two Definition-5 conditions on an already-built punctured
 /// neighbourhood graph.
-bool neighbourhood_passes(const Graph& punctured, unsigned tau) {
+bool neighbourhood_passes(const Graph& punctured, unsigned tau,
+                          cycle::SpanScratch& scratch) {
   if (punctured.num_vertices() == 0) return true;  // nothing local to preserve
   if (!graph::is_connected(punctured)) return false;
-  return cycle::short_cycles_span(punctured, tau);
+  return cycle::short_cycles_span(punctured, tau, scratch);
 }
 
 }  // namespace
 
 bool vpt_vertex_deletable(const Graph& g, const std::vector<bool>& active,
                           VertexId v, const VptConfig& config) {
+  VptWorkspace ws;
+  return vpt_vertex_deletable(g, active, v, config, ws);
+}
+
+bool vpt_vertex_deletable(const Graph& g, const std::vector<bool>& active,
+                          VertexId v, const VptConfig& config,
+                          VptWorkspace& ws) {
   TGC_CHECK(active.size() == g.num_vertices());
   TGC_CHECK_MSG(active[v], "VPT test on inactive vertex " << v);
   const unsigned k = config.effective_k();
-  const std::vector<VertexId> members = active_k_hop(g, active, v, k);
-  const graph::InducedSubgraph punctured = graph::induce_vertices(g, members);
-  return neighbourhood_passes(punctured.graph, config.tau);
+  ws.ensure(g.num_vertices());
+
+  ws.members.clear();
+  append_active_k_hop(g, active, v, k, ws, ws.members);
+  std::sort(ws.members.begin(), ws.members.end());
+
+  // Build the punctured neighbourhood directly: v is not a member, so its
+  // edges never materialize.
+  assign_local_ids(ws.members, ws);
+  ws.builder.reset(ws.members.size());
+  for (const VertexId a : ws.members) {
+    const VertexId la = ws.local.get(a);
+    for (const VertexId b : g.neighbors(a)) {
+      if (!active[b] || !ws.local.contains(b)) continue;
+      ws.builder.add_edge(la, ws.local.get(b));
+    }
+  }
+  return neighbourhood_passes(ws.builder.build(), config.tau, ws.span);
 }
 
 bool vpt_vertex_deletable_local(const sim::LocalView& view,
                                 const VptConfig& config) {
+  VptWorkspace ws;
+  return vpt_vertex_deletable_local(view, config, ws);
+}
+
+bool vpt_vertex_deletable_local(const sim::LocalView& view,
+                                const VptConfig& config, VptWorkspace& ws) {
   TGC_CHECK(view.owner != graph::kInvalidVertex);
   const unsigned k = config.effective_k();
 
+  // The view's records carry global ids; size the stamped arrays to cover
+  // every id they mention (cheap single scan, amortized by resize-only-grows).
+  VertexId bound = view.owner;
+  for (const auto& [node, nbrs] : view.adjacency) {
+    bound = std::max(bound, node);
+    for (const VertexId w : nbrs) bound = std::max(bound, w);
+  }
+  ws.ensure(static_cast<std::size_t>(bound) + 1);
+
   // BFS inside the view: deletions may have lengthened paths since the view
   // was collected, so recompute which recorded nodes are still within k hops.
-  std::unordered_map<VertexId, unsigned> dist;
-  dist.emplace(view.owner, 0);
-  std::deque<VertexId> queue{view.owner};
-  std::vector<VertexId> members;
-  while (!queue.empty()) {
-    const VertexId u = queue.front();
-    queue.pop_front();
-    const unsigned du = dist.at(u);
+  ws.dist.clear();
+  ws.queue.clear();
+  ws.members.clear();
+  ws.dist.put(view.owner, 0);
+  ws.queue.push_back(view.owner);
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const VertexId u = ws.queue[head];
+    const std::uint32_t du = ws.dist.get(u);
     if (du == k) continue;
     const auto it = view.adjacency.find(u);
     if (it == view.adjacency.end()) continue;
     for (const VertexId w : it->second) {
-      if (dist.count(w) > 0) continue;
-      dist.emplace(w, du + 1);
-      members.push_back(w);
-      queue.push_back(w);
+      if (ws.dist.contains(w)) continue;
+      ws.dist.put(w, du + 1);
+      ws.members.push_back(w);
+      ws.queue.push_back(w);
     }
   }
-  std::sort(members.begin(), members.end());
+  std::sort(ws.members.begin(), ws.members.end());
 
   // Build the punctured neighbourhood from the view's adjacency records.
-  std::unordered_map<VertexId, VertexId> local_of;
-  for (VertexId i = 0; i < members.size(); ++i) local_of.emplace(members[i], i);
-  graph::GraphBuilder builder(members.size());
-  for (const VertexId u : members) {
+  assign_local_ids(ws.members, ws);
+  ws.builder.reset(ws.members.size());
+  for (const VertexId u : ws.members) {
     const auto it = view.adjacency.find(u);
     if (it == view.adjacency.end()) continue;
+    const VertexId lu = ws.local.get(u);
     for (const VertexId w : it->second) {
-      const auto lw = local_of.find(w);
-      if (lw != local_of.end()) builder.add_edge(local_of.at(u), lw->second);
+      if (ws.local.contains(w)) ws.builder.add_edge(lu, ws.local.get(w));
     }
   }
-  return neighbourhood_passes(builder.build(), config.tau);
+  return neighbourhood_passes(ws.builder.build(), config.tau, ws.span);
 }
 
 bool vpt_edge_deletable(const Graph& g, const std::vector<bool>& active,
                         graph::EdgeId e, const VptConfig& config) {
+  VptWorkspace ws;
+  return vpt_edge_deletable(g, active, e, config, ws);
+}
+
+bool vpt_edge_deletable(const Graph& g, const std::vector<bool>& active,
+                        graph::EdgeId e, const VptConfig& config,
+                        VptWorkspace& ws) {
   TGC_CHECK(active.size() == g.num_vertices());
   const auto [u, v] = g.edge(e);
   TGC_CHECK(active[u] && active[v]);
   const unsigned k = config.effective_k();
+  ws.ensure(g.num_vertices());
 
-  std::vector<VertexId> members = active_k_hop(g, active, u, k);
-  const std::vector<VertexId> from_v = active_k_hop(g, active, v, k);
-  members.push_back(u);  // the edge's endpoints stay; only the link goes
-  for (const VertexId w : from_v) members.push_back(w);
-  members.push_back(v);
-  std::sort(members.begin(), members.end());
-  members.erase(std::unique(members.begin(), members.end()), members.end());
+  ws.members.clear();
+  append_active_k_hop(g, active, u, k, ws, ws.members);
+  ws.members.push_back(u);  // the edge's endpoints stay; only the link goes
+  append_active_k_hop(g, active, v, k, ws, ws.members);
+  ws.members.push_back(v);
+  std::sort(ws.members.begin(), ws.members.end());
+  ws.members.erase(std::unique(ws.members.begin(), ws.members.end()),
+                   ws.members.end());
 
-  std::unordered_map<VertexId, VertexId> local_of;
-  for (VertexId i = 0; i < members.size(); ++i) local_of.emplace(members[i], i);
-  graph::GraphBuilder builder(members.size());
-  for (const VertexId a : members) {
+  assign_local_ids(ws.members, ws);
+  ws.builder.reset(ws.members.size());
+  for (const VertexId a : ws.members) {
+    const VertexId la = ws.local.get(a);
     for (const VertexId b : g.neighbors(a)) {
-      if (!active[b]) continue;
-      const auto lb = local_of.find(b);
-      if (lb == local_of.end()) continue;
+      if (!active[b] || !ws.local.contains(b)) continue;
       if ((a == u && b == v) || (a == v && b == u)) continue;  // puncture
-      builder.add_edge(local_of.at(a), lb->second);
+      ws.builder.add_edge(la, ws.local.get(b));
     }
   }
-  return neighbourhood_passes(builder.build(), config.tau);
+  return neighbourhood_passes(ws.builder.build(), config.tau, ws.span);
 }
 
 }  // namespace tgc::core

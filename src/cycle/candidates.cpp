@@ -15,15 +15,15 @@ using graph::Graph;
 using graph::ShortestPathTree;
 using graph::VertexId;
 
-/// Incidence vector of the fundamental cycle of chord (x, y) in `spt`.
-util::Gf2Vector fundamental_cycle(const Graph& g, const ShortestPathTree& spt,
-                                  VertexId x, VertexId y, EdgeId chord,
-                                  VertexId lca) {
-  util::Gf2Vector vec(g.num_edges());
+/// Writes the incidence vector of the fundamental cycle of chord (x, y) in
+/// `spt` into `vec` (re-zeroed here; capacity is reused across candidates).
+void fundamental_cycle(const Graph& g, const ShortestPathTree& spt, VertexId x,
+                       VertexId y, EdgeId chord, VertexId lca,
+                       util::Gf2Vector& vec) {
+  vec.assign_zero(g.num_edges());
   for (VertexId u = x; u != lca; u = spt.parent(u)) vec.set(spt.parent_edge(u));
   for (VertexId u = y; u != lca; u = spt.parent(u)) vec.set(spt.parent_edge(u));
   vec.set(chord);
-  return vec;
 }
 
 }  // namespace
@@ -32,7 +32,14 @@ std::vector<CandidateCycle> fundamental_cycle_candidates(
     const Graph& g, const CandidateOptions& options) {
   std::vector<CandidateCycle> out;
   // Dedup by content hash; collisions are resolved by comparing vectors.
+  // Buckets hold indices into `out` so each kept vector is stored once. The
+  // table spans every root — reserve from the chord-count estimate (ν chords
+  // per spanning tree; deeper overlap between roots mostly dedups away).
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> seen;
+  const std::size_t nu = g.num_edges() + 1 - std::min(g.num_edges() + 1,
+                                                      g.num_vertices());
+  seen.reserve(std::max<std::size_t>(16, 2 * nu));
+  util::Gf2Vector scratch;  // one allocation per growth, not per candidate
 
   for (VertexId root = 0; root < g.num_vertices(); ++root) {
     const ShortestPathTree spt(g, root, options.depth_limit);
@@ -47,21 +54,23 @@ std::vector<CandidateCycle> fundamental_cycle_candidates(
         if (spt.parent_edge(x) == e || spt.parent_edge(y) == e) continue;
         const VertexId lca = spt.lca(x, y);
         if (options.lca_at_root_only && lca != root) continue;
+        // Length from tree depths alone — the incidence vector is only
+        // materialised for candidates that survive the cap.
         const std::uint32_t len =
             spt.depth(x) + spt.depth(y) + 1 - 2 * spt.depth(lca);
         if (len > options.max_length) continue;
         if (len < 3) continue;  // chord parallel to a tree edge cannot occur
                                 // in a simple graph; defensive only
-        util::Gf2Vector vec = fundamental_cycle(g, spt, x, y, e, lca);
-        const std::uint64_t h = vec.hash();
+        fundamental_cycle(g, spt, x, y, e, lca, scratch);
+        const std::uint64_t h = scratch.hash();
         auto& bucket = seen[h];
         const bool duplicate =
             std::any_of(bucket.begin(), bucket.end(), [&](std::size_t idx) {
-              return out[idx].edges == vec;
+              return out[idx].edges == scratch;
             });
         if (duplicate) continue;
         bucket.push_back(out.size());
-        out.push_back(CandidateCycle{std::move(vec), len});
+        out.push_back(CandidateCycle{scratch, len});
       }
     }
   }

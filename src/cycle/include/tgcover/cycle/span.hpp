@@ -21,6 +21,20 @@ namespace tgc::cycle {
 /// materializing the full candidate set.
 bool short_cycles_span(const graph::Graph& g, std::uint32_t tau);
 
+/// Reusable scratch for the streaming span kernel: the candidate incidence
+/// vector is built in place and the dedup table keeps its buckets across
+/// calls. One instance per worker thread (it is not synchronized); the VPT
+/// workspace owns one so back-to-back deletability tests stop hitting the
+/// allocator.
+struct SpanScratch {
+  CycleDedup seen;
+  util::Gf2Vector vec;
+};
+
+/// `short_cycles_span` evaluated through caller-owned scratch storage.
+bool short_cycles_span(const graph::Graph& g, std::uint32_t tau,
+                       SpanScratch& scratch);
+
 /// Streaming membership test: is `target` (an edge-incidence vector over g's
 /// edges) in the subspace S_τ spanned by cycles of length ≤ τ? This is the
 /// τ-partitionability test of Definitions 2/3 without materializing the full

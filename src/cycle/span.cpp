@@ -1,7 +1,6 @@
 #include "tgcover/cycle/span.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/util/check.hpp"
@@ -16,12 +15,13 @@ using graph::ShortestPathTree;
 using graph::VertexId;
 
 /// Shared per-root candidate enumeration for the streaming span test:
-/// calls `sink(vec, length)` for every fundamental cycle of length ≤ tau of
-/// the depth-⌊τ/2⌋ tree rooted at `root`. Returns false early when the sink
-/// asks to stop.
+/// builds each fundamental cycle of length ≤ tau of the depth-⌊τ/2⌋ tree
+/// rooted at `root` into `scratch` and calls `sink(scratch, length)`; the
+/// sink copies only what it keeps. Returns false early when the sink asks to
+/// stop.
 template <typename Sink>
 bool emit_root_candidates(const Graph& g, VertexId root, std::uint32_t tau,
-                          Sink&& sink) {
+                          util::Gf2Vector& scratch, Sink&& sink) {
   const ShortestPathTree spt(g, root, tau / 2);
   for (VertexId x = 0; x < g.num_vertices(); ++x) {
     if (!spt.reached(x)) continue;
@@ -36,41 +36,36 @@ bool emit_root_candidates(const Graph& g, VertexId root, std::uint32_t tau,
       const std::uint32_t len =
           spt.depth(x) + spt.depth(y) + 1 - 2 * spt.depth(lca);
       if (len > tau) continue;
-      util::Gf2Vector vec(g.num_edges());
+      scratch.assign_zero(g.num_edges());
       for (VertexId u = x; u != lca; u = spt.parent(u))
-        vec.set(spt.parent_edge(u));
+        scratch.set(spt.parent_edge(u));
       for (VertexId u = y; u != lca; u = spt.parent(u))
-        vec.set(spt.parent_edge(u));
-      vec.set(e);
-      if (!sink(std::move(vec), len)) return false;
+        scratch.set(spt.parent_edge(u));
+      scratch.set(e);
+      if (!sink(scratch, len)) return false;
     }
   }
   return true;
 }
 
-}  // namespace
-
-namespace {
-
 /// Streams all short-cycle candidates into an eliminator, stopping early as
 /// soon as the rank reaches `nu` (S_τ then spans the whole cycle space).
 util::Gf2Eliminator build_streaming_basis(const Graph& g, std::uint32_t tau,
-                                          std::size_t nu) {
+                                          std::size_t nu,
+                                          SpanScratch& scratch) {
   util::Gf2Eliminator elim(g.num_edges());
   // Identical candidates are regenerated from many roots, and every
   // dependent insert costs a full reduction pass, so dedup by content hash
-  // with exact comparison on collision.
-  std::unordered_map<std::uint64_t, std::vector<util::Gf2Vector>> seen;
+  // with exact comparison on collision (CycleDedup).
+  scratch.seen.clear();
+  scratch.seen.reserve(std::max<std::size_t>(16, 2 * nu));
 
   for (VertexId root = 0; root < g.num_vertices(); ++root) {
     const bool keep_going = emit_root_candidates(
-        g, root, tau, [&](util::Gf2Vector vec, std::uint32_t /*len*/) {
-          auto& bucket = seen[vec.hash()];
-          for (const auto& prev : bucket) {
-            if (prev == vec) return true;  // duplicate, skip
-          }
-          bucket.push_back(vec);
-          elim.insert(std::move(vec));
+        g, root, tau, scratch.vec,
+        [&](const util::Gf2Vector& vec, std::uint32_t /*len*/) {
+          if (!scratch.seen.insert(vec)) return true;  // duplicate, skip
+          elim.insert(vec);
           return elim.rank() < nu;  // stop as soon as S_τ spans
         });
     if (!keep_going) break;
@@ -81,10 +76,16 @@ util::Gf2Eliminator build_streaming_basis(const Graph& g, std::uint32_t tau,
 }  // namespace
 
 bool short_cycles_span(const Graph& g, std::uint32_t tau) {
+  SpanScratch scratch;
+  return short_cycles_span(g, tau, scratch);
+}
+
+bool short_cycles_span(const Graph& g, std::uint32_t tau,
+                       SpanScratch& scratch) {
   TGC_CHECK(tau >= 3);
   const std::size_t nu = graph::cycle_space_dimension(g);
   if (nu == 0) return true;
-  return build_streaming_basis(g, tau, nu).rank() == nu;
+  return build_streaming_basis(g, tau, nu, scratch).rank() == nu;
 }
 
 bool short_cycles_contain(const Graph& g, std::uint32_t tau,
@@ -93,9 +94,10 @@ bool short_cycles_contain(const Graph& g, std::uint32_t tau,
   TGC_CHECK(target.size() == g.num_edges());
   if (target.is_zero()) return true;
   const std::size_t nu = graph::cycle_space_dimension(g);
+  SpanScratch scratch;
   // When the basis spans the whole cycle space, membership in S_τ reduces to
   // membership in the cycle space, which the reduction also decides exactly.
-  return build_streaming_basis(g, tau, nu).in_span(target);
+  return build_streaming_basis(g, tau, nu, scratch).in_span(target);
 }
 
 ShortCycleBasis::ShortCycleBasis(const Graph& g, std::uint32_t tau,

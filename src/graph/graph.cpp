@@ -31,6 +31,12 @@ bool GraphBuilder::has_edge(VertexId u, VertexId v) const {
   return edge_index_.count(detail::edge_key(u, v)) > 0;
 }
 
+void GraphBuilder::reset(std::size_t num_vertices) {
+  n_ = num_vertices;
+  edges_.clear();
+  edge_index_.clear();  // keeps the bucket array
+}
+
 Graph GraphBuilder::build() const {
   Graph g;
   g.edges_ = edges_;

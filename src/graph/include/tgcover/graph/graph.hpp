@@ -82,6 +82,11 @@ class GraphBuilder {
 
   bool has_edge(VertexId u, VertexId v) const;
 
+  /// Re-targets the builder at a fresh `num_vertices`-vertex graph while
+  /// keeping the edge-list and dedup-table allocations. The VPT workspace
+  /// builds thousands of small punctured neighbourhoods through one builder.
+  void reset(std::size_t num_vertices);
+
   Graph build() const;
 
  private:

@@ -18,26 +18,27 @@ void append_record(std::vector<std::uint32_t>& payload, graph::VertexId node,
   payload.insert(payload.end(), nbrs.begin(), nbrs.end());
 }
 
-/// Parses records from a message into `view`; returns the ids that were new.
-std::vector<graph::VertexId> absorb(LocalView& view, const Message& msg) {
-  std::vector<graph::VertexId> learned;
+/// Parses records from a message into `view`; appends the ids that were new
+/// to `learned` (caller-owned so one buffer serves the whole inbox).
+void absorb(LocalView& view, const Message& msg,
+            std::vector<graph::VertexId>& learned) {
   std::size_t i = 0;
   while (i < msg.payload.size()) {
     TGC_CHECK(i + 2 <= msg.payload.size());
     const graph::VertexId who = msg.payload[i++];
     const std::uint32_t deg = msg.payload[i++];
     TGC_CHECK(i + deg <= msg.payload.size());
-    if (view.adjacency.count(who) == 0) {
-      view.adjacency.emplace(
-          who,
-          std::vector<graph::VertexId>(
-              msg.payload.begin() + static_cast<std::ptrdiff_t>(i),
-              msg.payload.begin() + static_cast<std::ptrdiff_t>(i + deg)));
+    // try_emplace probes the table once; the neighbor list is only copied
+    // out of the payload when the record is actually new.
+    const auto [it, inserted] = view.adjacency.try_emplace(who);
+    if (inserted) {
+      it->second.assign(
+          msg.payload.begin() + static_cast<std::ptrdiff_t>(i),
+          msg.payload.begin() + static_cast<std::ptrdiff_t>(i + deg));
       learned.push_back(who);
     }
     i += deg;
   }
-  return learned;
 }
 
 }  // namespace
@@ -77,13 +78,17 @@ std::vector<LocalView> collect_k_hop_views(RoundEngine& engine, unsigned k) {
                          Mailer& mailer) {
       std::vector<graph::VertexId> learned;
       for (const Message& msg : inbox) {
-        const auto batch = absorb(views[node], msg);
-        learned.insert(learned.end(), batch.begin(), batch.end());
+        absorb(views[node], msg, learned);
       }
       const std::vector<graph::VertexId> to_send =
           round == 0 ? std::vector<graph::VertexId>{node} : learned;
       if (round < k && !to_send.empty()) {
         std::vector<std::uint32_t> payload;
+        std::size_t payload_size = 0;
+        for (const graph::VertexId who : to_send) {
+          payload_size += 2 + views[node].adjacency.at(who).size();
+        }
+        payload.reserve(payload_size);
         for (const graph::VertexId who : to_send) {
           append_record(payload, who, views[node].adjacency.at(who));
         }

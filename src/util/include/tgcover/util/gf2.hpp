@@ -33,6 +33,14 @@ class Gf2Vector {
 
   void flip(std::size_t i) { words_[i >> 6] ^= std::uint64_t{1} << (i & 63); }
 
+  /// Re-shapes to an all-zero vector of `size` bits, reusing the existing
+  /// word storage when it is large enough (the scratch-vector idiom of the
+  /// candidate kernels).
+  void assign_zero(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
   /// GF(2) addition: *this += other (bitwise XOR). Sizes must match.
   void xor_assign(const Gf2Vector& other);
 

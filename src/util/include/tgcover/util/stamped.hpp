@@ -1,0 +1,55 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tgc::util {
+
+/// A flat array with O(1) bulk reset via epoch stamping.
+///
+/// Replaces the `std::unordered_map<VertexId, T>` pattern in hot BFS loops:
+/// a slot is "present" only when its stamp matches the current epoch, so
+/// clearing between BFS runs is a single counter bump instead of a rehash
+/// or an O(n) fill. Sized once to the graph order and reused across every
+/// VPT test a worker performs.
+template <typename T>
+class StampedArray {
+ public:
+  StampedArray() = default;
+
+  std::size_t size() const { return values_.size(); }
+
+  /// Grows to at least `n` slots (never shrinks; new slots are absent).
+  void resize(std::size_t n) {
+    if (n > values_.size()) {
+      values_.resize(n);
+      stamps_.resize(n, 0);
+    }
+  }
+
+  /// Forgets every slot in O(1).
+  void clear() {
+    if (++epoch_ == 0) {  // epoch wrapped: lazily invalidate all stamps
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool contains(std::size_t i) const { return stamps_[i] == epoch_; }
+
+  void put(std::size_t i, T value) {
+    stamps_[i] = epoch_;
+    values_[i] = value;
+  }
+
+  /// Value at `i`; only valid when contains(i).
+  T get(std::size_t i) const { return values_[i]; }
+
+ private:
+  std::vector<T> values_;
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 1;  // stamps start at 0, so fresh slots are absent
+};
+
+}  // namespace tgc::util

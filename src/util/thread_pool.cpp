@@ -1,0 +1,132 @@
+#include "tgcover/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tgc::util {
+
+/// Shared state of one parallel_for call. Lives on the caller's stack; the
+/// workers only touch it between the generation handshake and the final
+/// busy_ decrement, both of which happen-before the caller returns.
+struct ThreadPool::Job {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> cursor{0};
+  const std::function<void(std::size_t, unsigned)>* body = nullptr;
+  std::mutex error_mutex;
+  std::exception_ptr error;  // first exception wins
+};
+
+unsigned ThreadPool::resolve_num_threads(unsigned num_threads) {
+  // Hard cap: a wild request (e.g. a negative CLI value cast to unsigned)
+  // must not translate into billions of std::thread constructions.
+  constexpr unsigned kMaxWorkers = 1024;
+  if (num_threads != 0) return std::min(num_threads, kMaxWorkers);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned workers = resolve_num_threads(num_threads);
+  threads_.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_job(Job& job, unsigned worker) {
+  for (;;) {
+    const std::size_t start =
+        job.begin + job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (start >= job.end) break;
+    const std::size_t stop = std::min(start + job.chunk, job.end);
+    for (std::size_t i = start; i < stop; ++i) {
+      try {
+        (*job.body)(i, worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+        // Keep draining the range: peers may already be mid-chunk, and the
+        // caller expects the pool quiescent when parallel_for returns.
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop(unsigned worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    run_job(*job, worker);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--busy_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  if (begin >= end) return;
+
+  if (threads_.empty()) {
+    // Serial pool: no handshake, no chunking — but the same drain-then-throw
+    // contract as the threaded path, so callers see one behaviour.
+    std::exception_ptr error;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        body(i, 0);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  // ~8 chunks per worker balances load without contending on the cursor.
+  job.chunk = std::max<std::size_t>(1, (end - begin) / (num_workers() * 8));
+  job.body = &body;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    busy_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  run_job(job, 0);  // the caller is worker 0
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return busy_ == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace tgc::util

@@ -27,7 +27,11 @@ int run(std::initializer_list<const char*> argv, std::string* captured = nullptr
 class CliFixture : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "tgc_cli_test";
+    // One directory per test process: ctest runs each discovered TEST as its
+    // own process, possibly concurrently, and TearDown removes the tree.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("tgc_cli_test_") + info->name());
     fs::create_directories(dir_);
     net_ = (dir_ / "net.tgc").string();
     sched_ = (dir_ / "sched.tgc").string();

@@ -17,6 +17,7 @@
 #include "tgcover/graph/subgraph.hpp"
 #include "tgcover/sim/khop.hpp"
 #include "tgcover/util/rng.hpp"
+#include "tgcover/util/thread_pool.hpp"
 
 namespace tgc::core {
 namespace {
@@ -400,6 +401,47 @@ TEST_F(SchedulerFixture, VerdictCacheDoesNotChangeResult) {
   const DccResult b = dcc_schedule(dep_.graph, internal_, uncached);
   EXPECT_EQ(a.active, b.active);
   EXPECT_LT(a.vpt_tests, b.vpt_tests);  // the cache must actually save work
+}
+
+TEST(Scheduler, ParallelScheduleBitIdenticalToSerial) {
+  // The Step-1 verdict fan-out reads only the pre-round active snapshot, so
+  // every thread count must produce the exact same schedule — active mask,
+  // round trace, deletion counts, and VPT-test tally included.
+  const unsigned hw = util::ThreadPool::resolve_num_threads(0);
+  for (const std::uint64_t instance : {0ull, 1ull, 2ull}) {
+    util::Rng rng(500 + instance);
+    const gen::Deployment dep = gen::random_connected_udg(160, 5.4, 1.0, rng);
+    const auto boundary =
+        boundary::label_outer_band(dep.positions, dep.area, 1.0);
+    std::vector<bool> internal(dep.graph.num_vertices());
+    for (VertexId v = 0; v < dep.graph.num_vertices(); ++v) {
+      internal[v] = !boundary[v];
+    }
+
+    DccConfig config;
+    config.tau = 4;
+    config.seed = 77 + instance;
+    config.num_threads = 1;
+    const DccResult serial = dcc_schedule(dep.graph, internal, config);
+    EXPECT_GT(serial.deleted, 0u) << "instance " << instance;
+
+    for (const unsigned threads : {2u, hw == 1 ? 3u : hw}) {
+      config.num_threads = threads;
+      const DccResult parallel = dcc_schedule(dep.graph, internal, config);
+      EXPECT_EQ(parallel.active, serial.active)
+          << "instance " << instance << " threads " << threads;
+      EXPECT_EQ(parallel.rounds, serial.rounds);
+      EXPECT_EQ(parallel.deleted, serial.deleted);
+      EXPECT_EQ(parallel.survivors, serial.survivors);
+      EXPECT_EQ(parallel.vpt_tests, serial.vpt_tests);
+      ASSERT_EQ(parallel.per_round.size(), serial.per_round.size());
+      for (std::size_t r = 0; r < serial.per_round.size(); ++r) {
+        EXPECT_EQ(parallel.per_round[r].candidates,
+                  serial.per_round[r].candidates);
+        EXPECT_EQ(parallel.per_round[r].deleted, serial.per_round[r].deleted);
+      }
+    }
+  }
 }
 
 TEST_F(SchedulerFixture, FixpointNoFurtherCandidates) {

@@ -260,6 +260,48 @@ TEST(Candidates, LengthCapFilters) {
   for (const auto& c : cands) EXPECT_LE(c.length, 4u);
 }
 
+// Builds a 128-bit vector from two explicit words.
+util::Gf2Vector vector_from_words(std::uint64_t w0, std::uint64_t w1) {
+  util::Gf2Vector v(128);
+  for (std::size_t b = 0; b < 64; ++b) {
+    if ((w0 >> b) & 1u) v.set(b);
+    if ((w1 >> b) & 1u) v.set(64 + b);
+  }
+  return v;
+}
+
+TEST(Candidates, DedupSurvivesHashCollision) {
+  // Engineer two distinct edge vectors with identical Gf2Vector::hash().
+  // The hash folds words with h = (h ^ w) * p and finishes with a bijective
+  // avalanche, so two 2-word vectors collide iff their pre-avalanche values
+  // match: flip word 0 by `a`, then word 1 must absorb the resulting fold
+  // difference `d`.
+  const std::uint64_t p = 0x100000001b3ull;
+  const std::uint64_t seed = 0xcbf29ce484222325ull ^ 128u;
+  const std::uint64_t w0 = 0x0123456789abcdefull;
+  const std::uint64_t w1 = 0xfedcba9876543210ull;
+  const std::uint64_t a = 0x5555aaaa5555aaaaull;
+  const std::uint64_t d = ((seed ^ w0) * p) ^ ((seed ^ w0 ^ a) * p);
+
+  const util::Gf2Vector c1 = vector_from_words(w0, w1);
+  const util::Gf2Vector c2 = vector_from_words(w0 ^ a, w1 ^ d);
+  ASSERT_FALSE(c1 == c2);
+  ASSERT_EQ(c1.hash(), c2.hash());
+
+  // A hash-only dedup would drop the second cycle; the exact-compare bucket
+  // must keep both, while genuine duplicates are still rejected.
+  CycleDedup dedup;
+  EXPECT_TRUE(dedup.insert(c1));
+  EXPECT_TRUE(dedup.insert(c2));
+  EXPECT_FALSE(dedup.insert(c1));
+  EXPECT_FALSE(dedup.insert(c2));
+  EXPECT_EQ(dedup.size(), 2u);
+
+  dedup.clear();
+  EXPECT_EQ(dedup.size(), 0u);
+  EXPECT_TRUE(dedup.insert(c2));
+}
+
 TEST(Candidates, CandidatesSpanCycleSpace) {
   const Graph g = random_graph(12, 24, 99);
   const auto cands = fundamental_cycle_candidates(g);

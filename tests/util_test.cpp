@@ -1,17 +1,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "tgcover/util/args.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/gf2.hpp"
 #include "tgcover/util/gf2_elim.hpp"
 #include "tgcover/util/rng.hpp"
+#include "tgcover/util/stamped.hpp"
 #include "tgcover/util/stats.hpp"
 #include "tgcover/util/table.hpp"
+#include "tgcover/util/thread_pool.hpp"
 
 namespace tgc::util {
 namespace {
@@ -349,6 +353,116 @@ TEST(Table, AlignsAndCsv) {
 TEST(Table, RowWidthMismatchThrows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"1"}), tgc::CheckError);
+}
+
+// -------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i, unsigned worker) {
+    EXPECT_LT(worker, pool.num_workers());
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 0, [&](std::size_t, unsigned) { calls.fetch_add(1); });
+  pool.parallel_for(7, 7, [&](std::size_t, unsigned) { calls.fetch_add(1); });
+  pool.parallel_for(9, 5, [&](std::size_t, unsigned) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(3, 8, [&](std::size_t i, unsigned worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(6), 6u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), ThreadPool::resolve_num_threads(0));
+}
+
+TEST(ThreadPool, ExceptionPropagatesAfterRangeDrains) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> done{0};
+    EXPECT_THROW(
+        pool.parallel_for(0, 200,
+                          [&](std::size_t i, unsigned) {
+                            if (i == 13) throw std::runtime_error("boom");
+                            done.fetch_add(1);
+                          }),
+        std::runtime_error);
+    // Every non-throwing index still ran: the pool is quiescent afterwards.
+    EXPECT_EQ(done.load(), 199);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  // Nested-free reuse: one pool serving many back-to-back loops (the
+  // scheduler issues one fan-out per round).
+  ThreadPool pool(4);
+  std::vector<long> data(257, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, data.size(),
+                      [&](std::size_t i, unsigned) { data[i] += i; });
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], 50 * static_cast<long>(i));
+  }
+}
+
+// ------------------------------------------------------------ StampedArray
+
+TEST(StampedArray, PutGetClear) {
+  StampedArray<std::uint32_t> a;
+  a.resize(8);
+  EXPECT_FALSE(a.contains(3));
+  a.put(3, 7);
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_EQ(a.get(3), 7u);
+  a.clear();
+  EXPECT_FALSE(a.contains(3));
+  a.put(3, 9);
+  EXPECT_EQ(a.get(3), 9u);
+}
+
+TEST(StampedArray, ResizeGrowsAndKeepsStamps) {
+  StampedArray<int> a;
+  a.resize(4);
+  a.put(2, -5);
+  a.resize(16);  // grow: existing slot stays present, new slots absent
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_EQ(a.get(2), -5);
+  EXPECT_FALSE(a.contains(15));
+  a.resize(8);  // never shrinks
+  EXPECT_EQ(a.size(), 16u);
+}
+
+TEST(StampedArray, ManyEpochsStayIsolated) {
+  StampedArray<std::size_t> a;
+  a.resize(3);
+  for (std::size_t epoch = 0; epoch < 10000; ++epoch) {
+    a.clear();
+    EXPECT_FALSE(a.contains(epoch % 3));
+    a.put(epoch % 3, epoch);
+    EXPECT_EQ(a.get(epoch % 3), epoch);
+  }
 }
 
 }  // namespace
