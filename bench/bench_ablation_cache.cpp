@@ -8,7 +8,9 @@
 
 #include "tgcover/core/pipeline.hpp"
 #include "tgcover/gen/deployments.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/args.hpp"
+#include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
 #include "tgcover/util/table.hpp"
 
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(args.get_int(
       "threads", 1, "VPT worker threads (0 = hardware concurrency)"));
   args.finish();
+  obs::set_enabled(true);
 
   util::Rng rng(seed);
   const core::Network net = core::prepare_network(
@@ -45,10 +48,26 @@ int main(int argc, char** argv) {
     uncached.disable_verdict_cache = true;
 
     const auto t0 = std::chrono::steady_clock::now();
+    const obs::Metrics m0 = obs::snapshot();
     const auto a = core::run_dcc(net, cached);
     const auto t1 = std::chrono::steady_clock::now();
+    const obs::Metrics m1 = obs::snapshot();
     const auto b = core::run_dcc(net, uncached);
     const auto t2 = std::chrono::steady_clock::now();
+    const obs::Metrics m2 = obs::snapshot();
+
+    // Cross-check the scheduler's own tally against the shared telemetry
+    // registry — the same counter `tgcover --metrics` reports.
+    if (obs::kCompiledIn) {
+      const auto reg_cached = (m1 - m0).get(obs::CounterId::kVptTests);
+      const auto reg_uncached = (m2 - m1).get(obs::CounterId::kVptTests);
+      TGC_CHECK_MSG(reg_cached == a.result.vpt_tests &&
+                        reg_uncached == b.result.vpt_tests,
+                    "registry VPT-test counts (" << reg_cached << ", "
+                        << reg_uncached << ") diverge from scheduler tallies ("
+                        << a.result.vpt_tests << ", " << b.result.vpt_tests
+                        << ")");
+    }
 
     const double ms_cached =
         std::chrono::duration<double, std::milli>(t1 - t0).count();

@@ -21,6 +21,7 @@
 #include "tgcover/core/pipeline.hpp"
 #include "tgcover/core/vpt.hpp"
 #include "tgcover/gen/deployments.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/args.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
   const auto large_n = static_cast<std::size_t>(
       args.get_int("nodes-large", 1600, "large deployment size"));
   args.finish();
+  obs::set_enabled(true);
 
   // Open the JSON sink up front so a bad path fails before the sweep runs.
   std::ofstream json_out;
@@ -118,8 +120,20 @@ int main(int argc, char** argv) {
     for (const unsigned threads : thread_counts) {
       std::vector<char> verdicts;
       double best = 1e300;
+      // The test count is read back from the shared telemetry registry (the
+      // same counters `tgcover --metrics` reports) rather than a private
+      // tally, so bench numbers and CLI telemetry cannot drift apart.
+      const obs::Metrics before = obs::snapshot();
       for (std::size_t rep = 0; rep < reps; ++rep) {
         best = std::min(best, timed_sweep(net, vpt, to_test, threads, verdicts));
+      }
+      const obs::Metrics delta = obs::snapshot() - before;
+      std::size_t tests = to_test.size();
+      if (obs::kCompiledIn) {
+        tests = delta.get(obs::CounterId::kVptTests) / reps;
+        TGC_CHECK_MSG(tests == to_test.size(),
+                      "registry counted " << tests << " VPT tests per sweep, "
+                                          << "expected " << to_test.size());
       }
       if (threads == 1) {
         reference = verdicts;
@@ -132,7 +146,7 @@ int main(int argc, char** argv) {
       Sample s;
       s.nodes = n;
       s.threads = threads;
-      s.tests = to_test.size();
+      s.tests = tests;
       s.seconds = best;
       s.tests_per_sec = static_cast<double>(to_test.size()) / best;
       if (threads == 1) serial_rate = s.tests_per_sec;

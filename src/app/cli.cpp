@@ -1,7 +1,10 @@
 #include "tgcover/app/cli.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <iostream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -16,10 +19,14 @@
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/io/network_io.hpp"
 #include "tgcover/io/svg.hpp"
+#include "tgcover/obs/jsonl.hpp"
+#include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/round_log.hpp"
 #include "tgcover/trace/greenorbs.hpp"
 #include "tgcover/util/args.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
+#include "tgcover/util/table.hpp"
 
 namespace tgc::app {
 
@@ -30,6 +37,149 @@ namespace {
 /// so saved files stay small and tool-agnostic.
 core::Network network_of(gen::Deployment dep, double band) {
   return core::prepare_network(std::move(dep), band);
+}
+
+// ------------------------------------------------------------- telemetry
+
+/// The two telemetry knobs shared by the scheduling commands. Declaring them
+/// turns the runtime counters on for the duration of the command.
+struct MetricsOptions {
+  std::string out_path;  ///< JSONL sink (empty = none)
+  bool table = false;    ///< print the per-round table to stderr
+
+  bool requested() const { return table || !out_path.empty(); }
+};
+
+MetricsOptions declare_metrics_options(util::ArgParser& args) {
+  MetricsOptions m;
+  m.out_path = args.get_string("metrics-out", "",
+                               "write per-round telemetry JSONL here");
+  m.table = args.get_flag("metrics", "print per-round telemetry to stderr");
+  if (m.requested()) obs::set_enabled(true);
+  return m;
+}
+
+/// One row of the paper-style per-round overhead table, buildable both from
+/// a live RoundCollector and from a parsed JSONL file (`tgcover stats`).
+struct RoundRow {
+  std::uint64_t round = 0;
+  std::uint64_t active = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t vpt_tests = 0;
+  std::uint64_t bfs_expansions = 0;
+  std::uint64_t horton_candidates = 0;
+  std::uint64_t gf2_pivots = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t ns_verdicts = 0;
+  std::uint64_t ns_mis = 0;
+  std::uint64_t ns_deletion = 0;
+
+  RoundRow& operator+=(const RoundRow& rhs) {
+    active = rhs.active;  // totals row shows the final awake count
+    candidates += rhs.candidates;
+    deleted += rhs.deleted;
+    vpt_tests += rhs.vpt_tests;
+    bfs_expansions += rhs.bfs_expansions;
+    horton_candidates += rhs.horton_candidates;
+    gf2_pivots += rhs.gf2_pivots;
+    messages += rhs.messages;
+    ns_verdicts += rhs.ns_verdicts;
+    ns_mis += rhs.ns_mis;
+    ns_deletion += rhs.ns_deletion;
+    return *this;
+  }
+};
+
+RoundRow row_from_event(const obs::RoundEvent& ev) {
+  RoundRow r;
+  r.round = ev.round;
+  r.active = ev.active;
+  r.candidates = ev.candidates;
+  r.deleted = ev.deleted;
+  r.vpt_tests = ev.delta.get(obs::CounterId::kVptTests);
+  r.bfs_expansions = ev.delta.get(obs::CounterId::kBfsExpansions);
+  r.horton_candidates = ev.delta.get(obs::CounterId::kHortonCandidates);
+  r.gf2_pivots = ev.delta.get(obs::CounterId::kGf2Pivots);
+  r.messages = ev.delta.get(obs::CounterId::kMessages);
+  r.ns_verdicts = ev.delta.span(obs::SpanId::kVerdicts).sum_ns;
+  r.ns_mis = ev.delta.span(obs::SpanId::kMis).sum_ns;
+  r.ns_deletion = ev.delta.span(obs::SpanId::kDeletion).sum_ns;
+  return r;
+}
+
+RoundRow row_from_record(const obs::JsonRecord& rec) {
+  RoundRow r;
+  r.round = rec.u64("round");
+  r.active = rec.u64("active");
+  r.candidates = rec.u64("candidates");
+  r.deleted = rec.u64("deleted");
+  r.vpt_tests = rec.u64("vpt_tests");
+  r.bfs_expansions = rec.u64("bfs_expansions");
+  r.horton_candidates = rec.u64("horton_candidates");
+  r.gf2_pivots = rec.u64("gf2_pivots");
+  r.messages = rec.u64("messages");
+  r.ns_verdicts = rec.u64("ns_verdicts");
+  r.ns_mis = rec.u64("ns_mis");
+  r.ns_deletion = rec.u64("ns_deletion");
+  return r;
+}
+
+std::string render_round_table(const std::vector<RoundRow>& rows) {
+  util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
+                     "gf2", "msgs", "verdict ms", "mis ms", "del ms"});
+  const auto ms = [](std::uint64_t ns) {
+    return util::Table::num(static_cast<double>(ns) / 1e6, 2);
+  };
+  RoundRow total;
+  for (const RoundRow& r : rows) {
+    total += r;
+    table.add_row({std::to_string(r.round), std::to_string(r.active),
+                   std::to_string(r.candidates), std::to_string(r.deleted),
+                   std::to_string(r.vpt_tests),
+                   std::to_string(r.bfs_expansions),
+                   std::to_string(r.horton_candidates),
+                   std::to_string(r.gf2_pivots), std::to_string(r.messages),
+                   ms(r.ns_verdicts), ms(r.ns_mis), ms(r.ns_deletion)});
+  }
+  if (!rows.empty()) {
+    table.add_row({"total", std::to_string(total.active),
+                   std::to_string(total.candidates),
+                   std::to_string(total.deleted),
+                   std::to_string(total.vpt_tests),
+                   std::to_string(total.bfs_expansions),
+                   std::to_string(total.horton_candidates),
+                   std::to_string(total.gf2_pivots),
+                   std::to_string(total.messages), ms(total.ns_verdicts),
+                   ms(total.ns_mis), ms(total.ns_deletion)});
+  }
+  return table.to_string();
+}
+
+/// Writes the JSONL sink and/or the stderr table after a metered command.
+void emit_metrics(const MetricsOptions& opts, const obs::RoundCollector& c,
+                  std::ostream& out) {
+  if (!opts.out_path.empty()) {
+    std::ofstream f(opts.out_path);
+    TGC_CHECK_MSG(f.good(), "cannot open '" << opts.out_path << "'");
+    c.write_jsonl(f);
+    out << "wrote " << c.events().size() << " round records + summary to "
+        << opts.out_path << "\n";
+  }
+  if (opts.table) {
+    std::vector<RoundRow> rows;
+    rows.reserve(c.events().size());
+    for (const obs::RoundEvent& ev : c.events()) {
+      rows.push_back(row_from_event(ev));
+    }
+    std::cerr << render_round_table(rows) << "wall time "
+              << util::Table::num(static_cast<double>(c.wall_ns()) / 1e6, 1)
+              << " ms";
+    if (!obs::kCompiledIn) {
+      std::cerr << " (telemetry compiled out: counters are zero)";
+    }
+    std::cerr << "\n";
+  }
 }
 
 int cmd_generate(util::ArgParser& args, std::ostream& out) {
@@ -98,6 +248,7 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
                 "--threads must be in [0, 1024], got " << threads_arg);
   const auto threads = static_cast<unsigned>(threads_arg);
+  const MetricsOptions metrics = declare_metrics_options(args);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
@@ -105,7 +256,11 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   config.tau = tau;
   config.seed = seed;
   config.num_threads = threads;
+  obs::RoundCollector collector;
+  if (metrics.requested()) config.collector = &collector;
   const core::ScheduleSummary s = core::run_dcc(net, config);
+  collector.finalize(s.result.survivors);
+  emit_metrics(metrics, collector, out);
   io::save_mask(s.result.active, out_path);
   out << "scheduled tau=" << tau << ": " << s.result.survivors << " of "
       << net.dep.graph.num_vertices() << " nodes awake ("
@@ -251,14 +406,19 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
   const double band = args.get_double("band", 1.0, "periphery band width");
+  const MetricsOptions metrics = declare_metrics_options(args);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
   core::DccConfig config;
   config.tau = tau;
   config.seed = seed;
+  obs::RoundCollector collector;
+  if (metrics.requested()) config.collector = &collector;
   const core::DccDistributedResult result =
       core::dcc_schedule_distributed(net.dep.graph, net.internal, config);
+  collector.finalize(result.schedule.survivors);
+  emit_metrics(metrics, collector, out);
   io::save_mask(result.schedule.active, out_path);
   out << "distributed DCC (tau=" << tau
       << "): " << result.schedule.survivors << " nodes awake after "
@@ -287,6 +447,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
                 "--threads must be in [0, 1024], got " << threads_arg);
   const auto threads = static_cast<unsigned>(threads_arg);
+  const MetricsOptions metrics = declare_metrics_options(args);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
@@ -298,8 +459,13 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   core::DccConfig config;
   config.tau = tau;
   config.num_threads = threads;
+  obs::RoundCollector collector;
+  if (metrics.requested()) config.collector = &collector;
   const core::RepairResult result = core::dcc_repair(
       net.dep.graph, net.internal, active, failed, net.cb, config);
+  collector.finalize(static_cast<std::uint64_t>(
+      std::count(result.active.begin(), result.active.end(), true)));
+  emit_metrics(metrics, collector, out);
   io::save_mask(result.active, out_path);
   out << "repair: woke " << result.woken << " sleepers (radius "
       << result.final_radius << "), re-slept " << result.redeleted
@@ -307,6 +473,78 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
       << (result.criterion_restored ? "RESTORED" : "not restorable")
       << "; wrote " << out_path << "\n";
   return result.criterion_restored ? 0 : 1;
+}
+
+int cmd_stats(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "metrics.jsonl", "telemetry JSONL file");
+  const bool csv = args.get_flag("csv", "emit the round table as CSV");
+  args.finish();
+
+  std::ifstream f(in_path);
+  TGC_CHECK_MSG(f.good(), "cannot open '" << in_path << "'");
+
+  std::vector<RoundRow> rows;
+  std::optional<obs::JsonRecord> summary;
+  std::size_t lineno = 0;
+  std::size_t skipped = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::optional<obs::JsonRecord> rec = obs::parse_jsonl_line(line);
+    if (!rec.has_value()) {
+      std::cerr << in_path << ":" << lineno << ": skipping malformed record\n";
+      ++skipped;
+      continue;
+    }
+    const std::string type = rec->text("type");
+    if (type == "round") {
+      rows.push_back(row_from_record(*rec));
+    } else if (type == "summary") {
+      summary = *rec;
+    } else {
+      std::cerr << in_path << ":" << lineno << ": skipping unknown record type '"
+                << type << "'\n";
+      ++skipped;
+    }
+  }
+  if (rows.empty() && !summary.has_value()) {
+    out << "no telemetry records in " << in_path << "\n";
+    return skipped > 0 ? 1 : 0;
+  }
+
+  if (csv) {
+    // Re-render through Table for the CSV path too, so columns stay in sync.
+    util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
+                       "gf2", "msgs", "ns_verdicts", "ns_mis", "ns_deletion"});
+    for (const RoundRow& r : rows) {
+      table.add_row({std::to_string(r.round), std::to_string(r.active),
+                     std::to_string(r.candidates), std::to_string(r.deleted),
+                     std::to_string(r.vpt_tests),
+                     std::to_string(r.bfs_expansions),
+                     std::to_string(r.horton_candidates),
+                     std::to_string(r.gf2_pivots), std::to_string(r.messages),
+                     std::to_string(r.ns_verdicts), std::to_string(r.ns_mis),
+                     std::to_string(r.ns_deletion)});
+    }
+    out << table.to_csv();
+    return skipped > 0 ? 1 : 0;
+  }
+
+  out << render_round_table(rows);
+  if (summary.has_value()) {
+    out << "summary: " << summary->u64("rounds") << " rounds, "
+        << summary->u64("survivors") << " survivors, wall "
+        << util::Table::num(summary->number("wall_ns") / 1e6, 1) << " ms, "
+        << summary->u64("vpt_tests") << " VPT tests, "
+        << summary->u64("messages") << " messages";
+    if (summary->u64("obs_compiled") == 0) {
+      out << " (telemetry was compiled out: counters are zero)";
+    }
+    out << "\n";
+  }
+  return skipped > 0 ? 1 : 0;
 }
 
 void print_help(std::ostream& out) {
@@ -323,7 +561,12 @@ void print_help(std::ostream& out) {
          "  trace      synthesize a GreenOrbs-style RSSI-trace network\n"
          "  distributed run the real message-passing scheduler, report cost\n"
          "  repair     wake sleepers around crashed nodes and re-certify\n"
-         "  help       this text\n";
+         "  stats      aggregate a telemetry JSONL into a per-round table"
+         " (stats FILE | --in FILE [--csv])\n"
+         "  help       this text\n\n"
+         "schedule / distributed / repair accept --metrics (per-round table on"
+         " stderr)\nand --metrics-out FILE (per-round JSONL for `tgcover"
+         " stats`).\n";
 }
 
 }  // namespace
@@ -335,9 +578,17 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   }
   const std::string command = argv[1];
   // Re-pack so ArgParser sees "<prog> --k v ..." without the subcommand.
+  // `stats` also accepts its input positionally (`tgcover stats m.jsonl`);
+  // rewrite that form to `--in m.jsonl` before parsing.
   std::vector<const char*> rest;
   rest.push_back(argv[0]);
-  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  int first = 2;
+  if (command == "stats" && argc > 2 && argv[2][0] != '-') {
+    rest.push_back("--in");
+    rest.push_back(argv[2]);
+    first = 3;
+  }
+  for (int i = first; i < argc; ++i) rest.push_back(argv[i]);
   util::ArgParser args(static_cast<int>(rest.size()), rest.data());
 
   if (command == "generate") return cmd_generate(args, out);
@@ -348,6 +599,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "trace") return cmd_trace(args, out);
   if (command == "distributed") return cmd_distributed(args, out);
   if (command == "repair") return cmd_repair(args, out);
+  if (command == "stats") return cmd_stats(args, out);
   if (command == "help" || command == "--help" || command == "-h") {
     print_help(out);
     return 0;

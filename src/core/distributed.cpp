@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/round_log.hpp"
 #include "tgcover/sim/khop.hpp"
 #include "tgcover/sim/mis.hpp"
 #include "tgcover/util/check.hpp"
@@ -66,7 +68,12 @@ DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
 
   sim::RoundEngine engine(g);
   // Phase 0: every node collects its k-hop neighbourhood.
-  std::vector<sim::LocalView> views = sim::collect_k_hop_views(engine, k);
+  std::vector<sim::LocalView> views;
+  {
+    TGC_OBS_SPAN(obs::SpanId::kKhopCollect);
+    views = sim::collect_k_hop_views(engine, k);
+  }
+  std::size_t num_active = g.num_vertices();
 
   // In the field every node evaluates its own verdict; the simulator runs
   // them on one thread and shares a single workspace across all nodes.
@@ -74,39 +81,55 @@ DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
   ws.ensure(g.num_vertices());
 
   while (out.schedule.rounds < config.max_rounds) {
+    if (config.collector != nullptr) config.collector->begin_round();
     // Phase 1: local VPT verdicts — no communication needed.
     std::vector<bool> candidate(g.num_vertices(), false);
     std::size_t num_candidates = 0;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (!out.schedule.active[v] || !internal[v]) continue;
-      ++out.schedule.vpt_tests;
-      if (vpt_vertex_deletable_local(views[v], vpt, ws)) {
-        candidate[v] = true;
-        ++num_candidates;
+    {
+      TGC_OBS_SPAN(obs::SpanId::kVerdicts);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (!out.schedule.active[v] || !internal[v]) continue;
+        ++out.schedule.vpt_tests;
+        if (vpt_vertex_deletable_local(views[v], vpt, ws)) {
+          candidate[v] = true;
+          ++num_candidates;
+        }
       }
     }
     if (num_candidates == 0) break;
     ++out.schedule.rounds;
 
     // Phase 2: m-hop MIS election among candidates.
-    const std::uint64_t round_seed =
-        util::splitmix64(config.seed + out.schedule.rounds);
-    const sim::MisOutcome mis = sim::elect_mis_distributed(
-        engine, candidate, vpt.mis_radius(), round_seed);
-    out.mis_subrounds += mis.subrounds;
+    std::vector<bool> selected;
+    {
+      TGC_OBS_SPAN(obs::SpanId::kMis);
+      const std::uint64_t round_seed =
+          util::splitmix64(config.seed + out.schedule.rounds);
+      const sim::MisOutcome mis = sim::elect_mis_distributed(
+          engine, candidate, vpt.mis_radius(), round_seed);
+      out.mis_subrounds += mis.subrounds;
+      selected = mis.selected;
+    }
 
     // Phase 3: deletion announcements, then power-down.
-    flood_deletions(engine, mis.selected, k, views);
     std::size_t num_selected = 0;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (!mis.selected[v]) continue;
-      engine.deactivate(v);
-      out.schedule.active[v] = false;
-      ++out.schedule.deleted;
-      ++num_selected;
+    {
+      TGC_OBS_SPAN(obs::SpanId::kDeletion);
+      flood_deletions(engine, selected, k, views);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (!selected[v]) continue;
+        engine.deactivate(v);
+        out.schedule.active[v] = false;
+        ++out.schedule.deleted;
+        ++num_selected;
+      }
     }
     out.schedule.per_round.push_back(
         DccRoundInfo{num_candidates, num_selected});
+    num_active -= num_selected;
+    if (config.collector != nullptr) {
+      config.collector->end_round(num_active, num_candidates, num_selected);
+    }
   }
 
   out.schedule.survivors = g.num_vertices() - out.schedule.deleted;

@@ -5,6 +5,7 @@
 
 #include "tgcover/core/criterion.hpp"
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::core {
@@ -61,6 +62,8 @@ RepairResult dcc_repair(const Graph& g, const std::vector<bool>& internal,
   const unsigned k = config.vpt().effective_k();
 
   for (unsigned radius = k;; radius *= 2) {
+    TGC_OBS_SPAN(obs::SpanId::kRepairWave);
+    obs::add(obs::CounterId::kRepairWaves, 1);
     // Wake the sleeping nodes near the failures (cumulative as the radius
     // escalates: near_failures is monotone in radius).
     const auto near = near_failures(g, failed, radius);

@@ -1,6 +1,8 @@
 #include "tgcover/core/scheduler.hpp"
 
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/round_log.hpp"
 #include "tgcover/sim/mis.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
@@ -40,6 +42,7 @@ void mark_ball(const Graph& g, const std::vector<bool>& active,
       }
     }
   }
+  obs::add(obs::CounterId::kBfsExpansions, queue.size() - 1);  // minus source
 }
 
 }  // namespace
@@ -78,30 +81,40 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
   std::vector<VertexId> ball_queue;
   ball_dist.resize(g.num_vertices());
 
+  // Running awake count, maintained for the round log only.
+  std::size_t num_active = 0;
+  for (const bool a : result.active) {
+    if (a) ++num_active;
+  }
+
   while (result.rounds < config.max_rounds) {
+    if (config.collector != nullptr) config.collector->begin_round();
     // Step 1 (Section V-B): every internal node tests its own deletability
     // from local connectivity. Each verdict reads only the graph and the
     // pre-round `active` snapshot and writes only its own slot of `verdict`
     // (a distinct char — no word sharing), so the dirty set fans out over
     // the pool and the outcome is bit-identical to the serial loop; `dirty`
     // is packed bits and is therefore cleared serially afterwards.
-    to_test.clear();
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (!result.active[v] || !internal[v]) continue;
-      if (dirty[v] || config.disable_verdict_cache ||
-          verdict[v] == Verdict::kUnknown) {
-        to_test.push_back(v);
+    {
+      TGC_OBS_SPAN(obs::SpanId::kVerdicts);
+      to_test.clear();
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (!result.active[v] || !internal[v]) continue;
+        if (dirty[v] || config.disable_verdict_cache ||
+            verdict[v] == Verdict::kUnknown) {
+          to_test.push_back(v);
+        }
       }
+      result.vpt_tests += to_test.size();
+      pool.parallel_for(0, to_test.size(), [&](std::size_t i, unsigned worker) {
+        const VertexId v = to_test[i];
+        verdict[v] = vpt_vertex_deletable(g, result.active, v, vpt,
+                                          workspaces[worker])
+                         ? Verdict::kDeletable
+                         : Verdict::kNotDeletable;
+      });
+      for (const VertexId v : to_test) dirty[v] = false;
     }
-    result.vpt_tests += to_test.size();
-    pool.parallel_for(0, to_test.size(), [&](std::size_t i, unsigned worker) {
-      const VertexId v = to_test[i];
-      verdict[v] = vpt_vertex_deletable(g, result.active, v, vpt,
-                                        workspaces[worker])
-                       ? Verdict::kDeletable
-                       : Verdict::kNotDeletable;
-    });
-    for (const VertexId v : to_test) dirty[v] = false;
 
     std::vector<bool> candidate(g.num_vertices(), false);
     std::size_t num_candidates = 0;
@@ -119,35 +132,45 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     // delete themselves simultaneously (pairwise distance ≥ k+1 keeps their
     // punctured neighbourhoods disjoint from each other).
     std::vector<bool> selected;
-    if (config.mis_priorities.empty()) {
-      const std::uint64_t round_seed =
-          util::splitmix64(config.seed + result.rounds);
-      selected = sim::elect_mis_oracle(g, result.active, candidate,
-                                       vpt.mis_radius(), round_seed);
-    } else {
-      selected = sim::elect_mis_oracle_with_priorities(
-          g, result.active, candidate, vpt.mis_radius(),
-          config.mis_priorities);
+    {
+      TGC_OBS_SPAN(obs::SpanId::kMis);
+      if (config.mis_priorities.empty()) {
+        const std::uint64_t round_seed =
+            util::splitmix64(config.seed + result.rounds);
+        selected = sim::elect_mis_oracle(g, result.active, candidate,
+                                         vpt.mis_radius(), round_seed);
+      } else {
+        selected = sim::elect_mis_oracle_with_priorities(
+            g, result.active, candidate, vpt.mis_radius(),
+            config.mis_priorities);
+      }
     }
 
     // Step 3: delete the MIS; verdicts within k hops of a deletion (over the
     // pre-deletion topology) become stale.
     std::vector<bool> stale(g.num_vertices(), false);
     std::size_t num_selected = 0;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (!selected[v]) continue;
-      mark_ball(g, result.active, v, k, ball_dist, ball_queue, stale);
-      ++num_selected;
-    }
-    TGC_CHECK(num_selected > 0);  // a MIS of a non-empty set is non-empty
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (selected[v]) {
-        result.active[v] = false;
-        ++result.deleted;
+    {
+      TGC_OBS_SPAN(obs::SpanId::kDeletion);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (!selected[v]) continue;
+        mark_ball(g, result.active, v, k, ball_dist, ball_queue, stale);
+        ++num_selected;
       }
-      if (stale[v]) dirty[v] = true;
+      TGC_CHECK(num_selected > 0);  // a MIS of a non-empty set is non-empty
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (selected[v]) {
+          result.active[v] = false;
+          ++result.deleted;
+        }
+        if (stale[v]) dirty[v] = true;
+      }
     }
     result.per_round.push_back(DccRoundInfo{num_candidates, num_selected});
+    num_active -= num_selected;
+    if (config.collector != nullptr) {
+      config.collector->end_round(num_active, num_candidates, num_selected);
+    }
   }
 
   result.survivors = 0;

@@ -4,6 +4,7 @@
 
 #include "tgcover/cycle/span.hpp"
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::core {
@@ -53,6 +54,17 @@ bool neighbourhood_passes(const Graph& punctured, unsigned tau,
   return cycle::short_cycles_span(punctured, tau, scratch);
 }
 
+/// Accounts one finished deletability test (any operator flavour): the test
+/// itself, its verdict, and the BFS frontier it expanded.
+bool record_verdict(bool deletable, std::size_t members) {
+  obs::add(obs::CounterId::kVptTests, 1);
+  obs::add(deletable ? obs::CounterId::kVptDeletable
+                     : obs::CounterId::kVptVetoed,
+           1);
+  obs::add(obs::CounterId::kBfsExpansions, members);
+  return deletable;
+}
+
 }  // namespace
 
 bool vpt_vertex_deletable(const Graph& g, const std::vector<bool>& active,
@@ -84,7 +96,9 @@ bool vpt_vertex_deletable(const Graph& g, const std::vector<bool>& active,
       ws.builder.add_edge(la, ws.local.get(b));
     }
   }
-  return neighbourhood_passes(ws.builder.build(), config.tau, ws.span);
+  return record_verdict(
+      neighbourhood_passes(ws.builder.build(), config.tau, ws.span),
+      ws.members.size());
 }
 
 bool vpt_vertex_deletable_local(const sim::LocalView& view,
@@ -140,7 +154,9 @@ bool vpt_vertex_deletable_local(const sim::LocalView& view,
       if (ws.local.contains(w)) ws.builder.add_edge(lu, ws.local.get(w));
     }
   }
-  return neighbourhood_passes(ws.builder.build(), config.tau, ws.span);
+  return record_verdict(
+      neighbourhood_passes(ws.builder.build(), config.tau, ws.span),
+      ws.members.size());
 }
 
 bool vpt_edge_deletable(const Graph& g, const std::vector<bool>& active,
@@ -177,7 +193,9 @@ bool vpt_edge_deletable(const Graph& g, const std::vector<bool>& active,
       ws.builder.add_edge(la, ws.local.get(b));
     }
   }
-  return neighbourhood_passes(ws.builder.build(), config.tau, ws.span);
+  return record_verdict(
+      neighbourhood_passes(ws.builder.build(), config.tau, ws.span),
+      ws.members.size());
 }
 
 }  // namespace tgc::core

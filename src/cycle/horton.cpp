@@ -2,6 +2,7 @@
 
 #include "tgcover/cycle/candidates.hpp"
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/gf2_elim.hpp"
 
@@ -16,6 +17,7 @@ MinimumCycleBasis minimum_cycle_basis(const graph::Graph& g,
   CandidateOptions options;
   options.lca_at_root_only = lca_at_root_only;
   const auto candidates = fundamental_cycle_candidates(g, options);
+  obs::add(obs::CounterId::kHortonCandidates, candidates.size());
 
   util::Gf2Eliminator elim(g.num_edges());
   for (const CandidateCycle& cand : candidates) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::cycle {
@@ -60,16 +61,19 @@ util::Gf2Eliminator build_streaming_basis(const Graph& g, std::uint32_t tau,
   scratch.seen.clear();
   scratch.seen.reserve(std::max<std::size_t>(16, 2 * nu));
 
+  std::uint64_t emitted = 0;
   for (VertexId root = 0; root < g.num_vertices(); ++root) {
     const bool keep_going = emit_root_candidates(
         g, root, tau, scratch.vec,
         [&](const util::Gf2Vector& vec, std::uint32_t /*len*/) {
+          ++emitted;
           if (!scratch.seen.insert(vec)) return true;  // duplicate, skip
           elim.insert(vec);
           return elim.rank() < nu;  // stop as soon as S_τ spans
         });
     if (!keep_going) break;
   }
+  obs::add(obs::CounterId::kHortonCandidates, emitted);
   return elim;
 }
 

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace tgc::obs {
+
+/// A parsed flat JSON object (one JSONL record). Values are kept as raw
+/// token text; typed accessors convert on demand. This deliberately covers
+/// only what `RoundCollector::write_jsonl` emits — one-level objects with
+/// string keys and number/string/bool values — rather than full JSON.
+class JsonRecord {
+ public:
+  bool has(const std::string& key) const { return fields_.count(key) != 0; }
+
+  /// Numeric field, or `def` when absent/non-numeric.
+  double number(const std::string& key, double def = 0.0) const;
+  std::uint64_t u64(const std::string& key, std::uint64_t def = 0) const;
+
+  /// String field (quotes stripped), or `def` when absent.
+  std::string text(const std::string& key, const std::string& def = "") const;
+
+  std::map<std::string, std::string>& fields() { return fields_; }
+  const std::map<std::string, std::string>& fields() const { return fields_; }
+
+ private:
+  std::map<std::string, std::string> fields_;  // key -> raw value token
+};
+
+/// Parses one `{"key":value,...}` line. Returns nullopt on malformed input
+/// (including trailing garbage) — `tgcover stats` skips such lines loudly.
+std::optional<JsonRecord> parse_jsonl_line(const std::string& line);
+
+}  // namespace tgc::obs

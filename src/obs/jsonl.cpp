@@ -1,0 +1,112 @@
+#include "tgcover/obs/jsonl.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tgc::obs {
+
+double JsonRecord::number(const std::string& key, double def) const {
+  const auto it = fields_.find(key);
+  if (it == fields_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0' && end != it->second.c_str()) ? v
+                                                                       : def;
+}
+
+std::uint64_t JsonRecord::u64(const std::string& key, std::uint64_t def) const {
+  const auto it = fields_.find(key);
+  if (it == fields_.end()) return def;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0' && end != it->second.c_str())
+             ? static_cast<std::uint64_t>(v)
+             : def;
+}
+
+std::string JsonRecord::text(const std::string& key,
+                             const std::string& def) const {
+  const auto it = fields_.find(key);
+  return it != fields_.end() ? it->second : def;
+}
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+}
+
+/// Parses a double-quoted string (no escape handling beyond \" — the writer
+/// never emits escapes). Returns false on malformed input.
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;
+    out.push_back(s[i++]);
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+/// Parses an unquoted scalar token (number / true / false / null) verbatim.
+bool parse_scalar(const std::string& s, std::size_t& i, std::string& out) {
+  out.clear();
+  while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+         std::isspace(static_cast<unsigned char>(s[i])) == 0) {
+    out.push_back(s[i++]);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+std::optional<JsonRecord> parse_jsonl_line(const std::string& line) {
+  JsonRecord rec;
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      std::string key;
+      if (!parse_string(line, i, key)) return std::nullopt;
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') return std::nullopt;
+      ++i;
+      skip_ws(line, i);
+      std::string value;
+      if (i < line.size() && line[i] == '"') {
+        if (!parse_string(line, i, value)) return std::nullopt;
+      } else if (!parse_scalar(line, i, value)) {
+        return std::nullopt;
+      }
+      rec.fields()[key] = value;
+      skip_ws(line, i);
+      if (i >= line.size()) return std::nullopt;
+      if (line[i] == ',') {
+        ++i;
+        skip_ws(line, i);
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      return std::nullopt;
+    }
+  }
+  skip_ws(line, i);
+  if (i != line.size()) return std::nullopt;  // trailing garbage
+  return rec;
+}
+
+}  // namespace tgc::obs

@@ -1,0 +1,130 @@
+#include "tgcover/obs/obs.hpp"
+
+#include <deque>
+#include <mutex>
+
+namespace tgc::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
+    "vpt_tests",      "vpt_deletable",     "vpt_vetoed",
+    "bfs_expansions", "horton_candidates", "gf2_pivots",
+    "messages",       "payload_words",     "repair_waves",
+};
+
+constexpr std::array<std::string_view, kNumSpans> kSpanNames = {
+    "verdicts", "mis", "deletion", "khop_collect", "repair_wave",
+};
+
+// A new enumerator without a matching name entry would value-initialize the
+// trailing slot to an empty view; catch that at compile time.
+static_assert(!kCounterNames.back().empty(),
+              "counter name table out of sync with CounterId");
+static_assert(!kSpanNames.back().empty(),
+              "span name table out of sync with SpanId");
+
+}  // namespace
+
+std::string_view counter_name(CounterId id) {
+  return kCounterNames[static_cast<std::size_t>(id)];
+}
+
+std::string_view span_name(SpanId id) {
+  return kSpanNames[static_cast<std::size_t>(id)];
+}
+
+Metrics& Metrics::operator-=(const Metrics& rhs) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) counters[i] -= rhs.counters[i];
+  for (std::size_t i = 0; i < kNumSpans; ++i) {
+    spans[i].count -= rhs.spans[i].count;
+    spans[i].sum_ns -= rhs.spans[i].sum_ns;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      spans[i].buckets[b] -= rhs.spans[i].buckets[b];
+    }
+  }
+  return *this;
+}
+
+#if TGC_OBS_ENABLED
+
+namespace {
+
+/// The process-wide shard registry. Shards live in a deque (stable
+/// addresses, no moves on growth) and are never reclaimed: a worker thread
+/// that exits leaves its accumulated totals behind, which is exactly right
+/// for monotonic counters.
+struct ShardRegistry {
+  std::mutex mutex;
+  std::deque<detail::Shard> shards;
+  std::atomic<bool> enabled{false};
+};
+
+ShardRegistry& shard_registry() {
+  static ShardRegistry r;
+  return r;
+}
+
+detail::Shard* register_shard() {
+  ShardRegistry& r = shard_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return &r.shards.emplace_back();
+}
+
+}  // namespace
+
+namespace detail {
+
+Shard& local_shard() {
+  thread_local Shard* shard = register_shard();
+  return *shard;
+}
+
+std::atomic<bool>& enabled_flag() { return shard_registry().enabled; }
+
+int& span_depth_slot() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void record_span(SpanId id, std::uint64_t ns) {
+  if (!enabled()) return;
+  auto& hist = detail::local_shard().hists[static_cast<std::size_t>(id)];
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  // Bucket = floor(log2(ns)) clamped to the table; 0 ns lands in bucket 0.
+  std::size_t bucket = 0;
+  while (bucket + 1 < kHistBuckets && (ns >> (bucket + 1)) != 0) ++bucket;
+  hist.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Metrics snapshot() {
+  ShardRegistry& r = shard_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  Metrics m;
+  for (const detail::Shard& shard : r.shards) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      m.counters[i] += shard.counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kNumSpans; ++i) {
+      m.spans[i].count += shard.hists[i].count.load(std::memory_order_relaxed);
+      m.spans[i].sum_ns +=
+          shard.hists[i].sum_ns.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        m.spans[i].buckets[b] +=
+            shard.hists[i].buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return m;
+}
+
+#endif  // TGC_OBS_ENABLED
+
+}  // namespace tgc::obs

@@ -1,0 +1,70 @@
+#include "tgcover/obs/round_log.hpp"
+
+#include <ostream>
+
+namespace tgc::obs {
+
+namespace {
+
+/// Shared key order for round and summary records: scheduler-provided
+/// fields, then every counter by name, then per-span nanoseconds.
+void write_metrics_fields(std::ostream& out, const Metrics& m) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    out << ",\"" << counter_name(static_cast<CounterId>(i))
+        << "\":" << m.counters[i];
+  }
+  for (std::size_t i = 0; i < kNumSpans; ++i) {
+    out << ",\"ns_" << span_name(static_cast<SpanId>(i))
+        << "\":" << m.spans[i].sum_ns;
+  }
+}
+
+}  // namespace
+
+RoundCollector::RoundCollector()
+    : baseline_(snapshot()), round_start_(baseline_), t0_ns_(now_ns()) {}
+
+void RoundCollector::begin_round() { round_start_ = snapshot(); }
+
+void RoundCollector::end_round(std::uint64_t active, std::uint64_t candidates,
+                               std::uint64_t deleted) {
+  RoundEvent ev;
+  ev.round = static_cast<std::uint64_t>(events_.size()) + 1;
+  ev.active = active;
+  ev.candidates = candidates;
+  ev.deleted = deleted;
+  ev.delta = snapshot() - round_start_;
+  events_.push_back(std::move(ev));
+}
+
+void RoundCollector::finalize(std::uint64_t survivors) {
+  survivors_ = survivors;
+  wall_ns_ = now_ns() - t0_ns_;
+  final_totals_ = snapshot() - baseline_;
+  finalized_ = true;
+}
+
+Metrics RoundCollector::totals() const {
+  return finalized_ ? final_totals_ : snapshot() - baseline_;
+}
+
+std::uint64_t RoundCollector::wall_ns() const {
+  return finalized_ ? wall_ns_ : now_ns() - t0_ns_;
+}
+
+void RoundCollector::write_jsonl(std::ostream& out) const {
+  for (const RoundEvent& ev : events_) {
+    out << "{\"type\":\"round\",\"round\":" << ev.round
+        << ",\"active\":" << ev.active << ",\"candidates\":" << ev.candidates
+        << ",\"deleted\":" << ev.deleted;
+    write_metrics_fields(out, ev.delta);
+    out << "}\n";
+  }
+  out << "{\"type\":\"summary\",\"rounds\":" << events_.size()
+      << ",\"survivors\":" << survivors_ << ",\"wall_ns\":" << wall_ns()
+      << ",\"obs_compiled\":" << (kCompiledIn ? 1 : 0);
+  write_metrics_fields(out, totals());
+  out << "}\n";
+}
+
+}  // namespace tgc::obs

@@ -1,5 +1,6 @@
 #include "tgcover/sim/engine.hpp"
 
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::sim {
@@ -24,6 +25,8 @@ class EngineMailer final : public Mailer {
                   "node " << from_ << " cannot send to non-neighbor " << to);
     ++stats_->messages;
     stats_->payload_words += payload.size();
+    obs::add(obs::CounterId::kMessages, 1);
+    obs::add(obs::CounterId::kPayloadWords, payload.size());
     if (!(*active_)[to]) return;  // transmitted into the void
     (*next_inbox_)[to].push_back(
         Message{from_, to, type, std::move(payload)});

@@ -1,5 +1,6 @@
 #include "tgcover/util/gf2_elim.hpp"
 
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::util {
@@ -15,13 +16,16 @@ bool Gf2Eliminator::insert(Gf2Vector v) {
   if (aug_dim_ > 0) aug.set(inserted_);
   ++inserted_;
 
+  std::uint64_t steps = 0;
   std::size_t pivot = v.highest_set_bit();
   while (pivot != Gf2Vector::npos && pivot_to_row_[pivot] >= 0) {
     const auto row = static_cast<std::size_t>(pivot_to_row_[pivot]);
     v.xor_assign(rows_[row]);
     if (aug_dim_ > 0) aug.xor_assign(aug_rows_[row]);
     pivot = v.highest_set_bit();
+    ++steps;
   }
+  obs::add(obs::CounterId::kGf2Pivots, steps);
   if (pivot == Gf2Vector::npos) return false;
 
   pivot_to_row_[pivot] = static_cast<std::int32_t>(rows_.size());
@@ -32,11 +36,14 @@ bool Gf2Eliminator::insert(Gf2Vector v) {
 
 Gf2Vector Gf2Eliminator::reduce(Gf2Vector v) const {
   TGC_CHECK(v.size() == dim_);
+  std::uint64_t steps = 0;
   std::size_t pivot = v.highest_set_bit();
   while (pivot != Gf2Vector::npos && pivot_to_row_[pivot] >= 0) {
     v.xor_assign(rows_[static_cast<std::size_t>(pivot_to_row_[pivot])]);
     pivot = v.highest_set_bit();
+    ++steps;
   }
+  obs::add(obs::CounterId::kGf2Pivots, steps);
   return v;
 }
 
@@ -50,13 +57,16 @@ std::optional<std::vector<std::size_t>> Gf2Eliminator::combination_for(
   TGC_CHECK(v.size() == dim_);
   Gf2Vector residual = v;
   Gf2Vector combo(aug_dim_);
+  std::uint64_t steps = 0;
   std::size_t pivot = residual.highest_set_bit();
   while (pivot != Gf2Vector::npos && pivot_to_row_[pivot] >= 0) {
     const auto row = static_cast<std::size_t>(pivot_to_row_[pivot]);
     residual.xor_assign(rows_[row]);
     combo.xor_assign(aug_rows_[row]);
     pivot = residual.highest_set_bit();
+    ++steps;
   }
+  obs::add(obs::CounterId::kGf2Pivots, steps);
   if (!residual.is_zero()) return std::nullopt;
   return combo.set_bits();
 }

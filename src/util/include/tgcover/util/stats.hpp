@@ -28,20 +28,25 @@ class RunningStat {
 };
 
 /// Empirical CDF over a sample (used for the RSSI distribution of Figure 5).
+/// An empty sample is legal — a trace with zero packets or a bench sweep with
+/// no qualifying edges still builds a CDF; see the per-method empty semantics.
 class EmpiricalCdf {
  public:
   explicit EmpiricalCdf(std::vector<double> samples);
 
   std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
 
-  /// P(X <= x).
+  /// P(X <= x); 0 over an empty sample.
   double at(double x) const;
 
   /// Smallest sample value v such that P(X <= v) >= q, for q in (0, 1].
+  /// NaN over an empty sample (there is no value to return).
   double quantile(double q) const;
 
   /// Fraction of samples >= threshold (the paper's Fig. 5 y-axis is the
-  /// proportion of edges with RSSI greater than or equal to a threshold).
+  /// proportion of edges with RSSI greater than or equal to a threshold);
+  /// 0 over an empty sample.
   double fraction_at_least(double threshold) const;
 
   const std::vector<double>& sorted_samples() const { return sorted_; }

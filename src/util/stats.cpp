@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "tgcover/util/check.hpp"
 
@@ -25,11 +26,11 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
     : sorted_(std::move(samples)) {
-  TGC_CHECK(!sorted_.empty());
   std::sort(sorted_.begin(), sorted_.end());
 }
 
 double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
   return static_cast<double>(it - sorted_.begin()) /
          static_cast<double>(sorted_.size());
@@ -37,12 +38,14 @@ double EmpiricalCdf::at(double x) const {
 
 double EmpiricalCdf::quantile(double q) const {
   TGC_CHECK(q > 0.0 && q <= 1.0);
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
   const auto idx = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
   return sorted_[std::min(idx, sorted_.size() - 1)];
 }
 
 double EmpiricalCdf::fraction_at_least(double threshold) const {
+  if (sorted_.empty()) return 0.0;
   const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), threshold);
   return static_cast<double>(sorted_.end() - it) /
          static_cast<double>(sorted_.size());

@@ -310,6 +310,41 @@ TEST(EmpiricalCdf, QuantilesAndFractions) {
   EXPECT_DOUBLE_EQ(cdf.fraction_at_least(-5.0), 1.0);
 }
 
+TEST(EmpiricalCdf, EmptySampleIsSafe) {
+  EmpiricalCdf cdf({});
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(-1e9), 0.0);
+  EXPECT_TRUE(std::isnan(cdf.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(cdf.quantile(1.0)));
+}
+
+TEST(EmpiricalCdf, SingleSample) {
+  EmpiricalCdf cdf({3.0});
+  EXPECT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(2.9), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 1.0);
+  // Every quantile of a one-point sample is that point, including q small
+  // enough that ceil(q*n) rounds to the first (only) order statistic.
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(3.1), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // n-1 denominator is undefined; 0
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
 // -------------------------------------------------------------------- Args
 
 TEST(ArgParser, ParsesTypedOptions) {
