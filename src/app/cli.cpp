@@ -7,6 +7,9 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "tgcover/core/confine.hpp"
@@ -22,6 +25,8 @@
 #include "tgcover/obs/jsonl.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/round_log.hpp"
+#include "tgcover/obs/trace.hpp"
+#include "tgcover/obs/trace_export.hpp"
 #include "tgcover/trace/greenorbs.hpp"
 #include "tgcover/util/args.hpp"
 #include "tgcover/util/check.hpp"
@@ -71,6 +76,8 @@ struct RoundRow {
   std::uint64_t horton_candidates = 0;
   std::uint64_t gf2_pivots = 0;
   std::uint64_t messages = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t retransmissions = 0;
   std::uint64_t ns_verdicts = 0;
   std::uint64_t ns_mis = 0;
   std::uint64_t ns_deletion = 0;
@@ -84,6 +91,8 @@ struct RoundRow {
     horton_candidates += rhs.horton_candidates;
     gf2_pivots += rhs.gf2_pivots;
     messages += rhs.messages;
+    messages_lost += rhs.messages_lost;
+    retransmissions += rhs.retransmissions;
     ns_verdicts += rhs.ns_verdicts;
     ns_mis += rhs.ns_mis;
     ns_deletion += rhs.ns_deletion;
@@ -102,6 +111,8 @@ RoundRow row_from_event(const obs::RoundEvent& ev) {
   r.horton_candidates = ev.delta.get(obs::CounterId::kHortonCandidates);
   r.gf2_pivots = ev.delta.get(obs::CounterId::kGf2Pivots);
   r.messages = ev.delta.get(obs::CounterId::kMessages);
+  r.messages_lost = ev.delta.get(obs::CounterId::kMessagesLost);
+  r.retransmissions = ev.delta.get(obs::CounterId::kRetransmissions);
   r.ns_verdicts = ev.delta.span(obs::SpanId::kVerdicts).sum_ns;
   r.ns_mis = ev.delta.span(obs::SpanId::kMis).sum_ns;
   r.ns_deletion = ev.delta.span(obs::SpanId::kDeletion).sum_ns;
@@ -119,6 +130,8 @@ RoundRow row_from_record(const obs::JsonRecord& rec) {
   r.horton_candidates = rec.u64("horton_candidates");
   r.gf2_pivots = rec.u64("gf2_pivots");
   r.messages = rec.u64("messages");
+  r.messages_lost = rec.u64("messages_lost");
+  r.retransmissions = rec.u64("retransmissions");
   r.ns_verdicts = rec.u64("ns_verdicts");
   r.ns_mis = rec.u64("ns_mis");
   r.ns_deletion = rec.u64("ns_deletion");
@@ -127,7 +140,8 @@ RoundRow row_from_record(const obs::JsonRecord& rec) {
 
 std::string render_round_table(const std::vector<RoundRow>& rows) {
   util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
-                     "gf2", "msgs", "verdict ms", "mis ms", "del ms"});
+                     "gf2", "msgs", "lost", "rexmit", "verdict ms", "mis ms",
+                     "del ms"});
   const auto ms = [](std::uint64_t ns) {
     return util::Table::num(static_cast<double>(ns) / 1e6, 2);
   };
@@ -140,7 +154,9 @@ std::string render_round_table(const std::vector<RoundRow>& rows) {
                    std::to_string(r.bfs_expansions),
                    std::to_string(r.horton_candidates),
                    std::to_string(r.gf2_pivots), std::to_string(r.messages),
-                   ms(r.ns_verdicts), ms(r.ns_mis), ms(r.ns_deletion)});
+                   std::to_string(r.messages_lost),
+                   std::to_string(r.retransmissions), ms(r.ns_verdicts),
+                   ms(r.ns_mis), ms(r.ns_deletion)});
   }
   if (!rows.empty()) {
     table.add_row({"total", std::to_string(total.active),
@@ -150,19 +166,27 @@ std::string render_round_table(const std::vector<RoundRow>& rows) {
                    std::to_string(total.bfs_expansions),
                    std::to_string(total.horton_candidates),
                    std::to_string(total.gf2_pivots),
-                   std::to_string(total.messages), ms(total.ns_verdicts),
+                   std::to_string(total.messages),
+                   std::to_string(total.messages_lost),
+                   std::to_string(total.retransmissions), ms(total.ns_verdicts),
                    ms(total.ns_mis), ms(total.ns_deletion)});
   }
   return table.to_string();
 }
 
 /// Writes the JSONL sink and/or the stderr table after a metered command.
-void emit_metrics(const MetricsOptions& opts, const obs::RoundCollector& c,
-                  std::ostream& out) {
+/// Returns false (after reporting on stderr) when the sink failed — the
+/// caller turns that into a non-zero exit code.
+[[nodiscard]] bool emit_metrics(const MetricsOptions& opts,
+                                const obs::RoundCollector& c,
+                                std::ostream& out) {
   if (!opts.out_path.empty()) {
-    std::ofstream f(opts.out_path);
-    TGC_CHECK_MSG(f.good(), "cannot open '" << opts.out_path << "'");
-    c.write_jsonl(f);
+    obs::JsonlWriter w(opts.out_path);
+    if (w.ok()) c.write_jsonl(w.stream());
+    if (!w.close()) {
+      std::cerr << "error: " << w.error() << "\n";
+      return false;
+    }
     out << "wrote " << c.events().size() << " round records + summary to "
         << opts.out_path << "\n";
   }
@@ -180,6 +204,7 @@ void emit_metrics(const MetricsOptions& opts, const obs::RoundCollector& c,
     }
     std::cerr << "\n";
   }
+  return true;
 }
 
 int cmd_generate(util::ArgParser& args, std::ostream& out) {
@@ -260,7 +285,7 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   if (metrics.requested()) config.collector = &collector;
   const core::ScheduleSummary s = core::run_dcc(net, config);
   collector.finalize(s.result.survivors);
-  emit_metrics(metrics, collector, out);
+  if (!emit_metrics(metrics, collector, out)) return 1;
   io::save_mask(s.result.active, out_path);
   out << "scheduled tau=" << tau << ": " << s.result.survivors << " of "
       << net.dep.graph.num_vertices() << " nodes awake ("
@@ -406,19 +431,94 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
   const double band = args.get_double("band", 1.0, "periphery band width");
+  const std::int64_t threads_arg = args.get_int(
+      "threads", 1, "VPT worker threads (0 = hardware concurrency)");
+  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
+                "--threads must be in [0, 1024], got " << threads_arg);
+  const auto threads = static_cast<unsigned>(threads_arg);
+  const std::string trace_out = args.get_string(
+      "trace-out", "", "write Chrome trace-event JSON here (open in Perfetto)");
+  const std::string trace_jsonl = args.get_string(
+      "trace-jsonl", "", "write the JSONL event trace here (trace-analyze)");
+  const std::string trace_clock = args.get_string(
+      "trace-clock", "wall", "Chrome trace timeline: wall | sim");
+  const bool async = args.get_flag(
+      "async", "run over the asynchronous lossy-link engine (α-synchronized)");
+  const double loss =
+      args.get_double("loss", 0.0, "per-message loss probability (async)");
+  const double min_delay =
+      args.get_double("min-delay", 0.5, "minimum link delay (async)");
+  const double max_delay =
+      args.get_double("max-delay", 1.5, "maximum link delay (async)");
+  const auto net_seed = static_cast<std::uint64_t>(
+      args.get_int("net-seed", 1, "link delay / loss seed (async)"));
+  const double retransmit = args.get_double(
+      "retransmit", 4.0, "retransmission interval for unacked messages");
   const MetricsOptions metrics = declare_metrics_options(args);
   args.finish();
+
+  TGC_CHECK_MSG(trace_clock == "wall" || trace_clock == "sim",
+                "--trace-clock must be 'wall' or 'sim'");
+  TGC_CHECK_MSG(async || loss == 0.0, "--loss requires --async");
+  const bool tracing = !trace_out.empty() || !trace_jsonl.empty();
+  if (tracing && !obs::kCompiledIn) {
+    std::cerr << "note: tracing is compiled out (TGC_OBS=OFF); traces will "
+                 "contain no events\n";
+  }
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
   core::DccConfig config;
   config.tau = tau;
   config.seed = seed;
+  config.num_threads = threads;
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
-  const core::DccDistributedResult result =
-      core::dcc_schedule_distributed(net.dep.graph, net.internal, config);
+
+  if (tracing) obs::trace_begin();
+  core::DccDistributedResult result;
+  if (async) {
+    core::DccAsyncOptions options;
+    options.net.min_delay = min_delay;
+    options.net.max_delay = max_delay;
+    options.net.loss_probability = loss;
+    options.net.seed = net_seed;
+    options.retransmit_interval = retransmit;
+    result = core::dcc_schedule_distributed_async(net.dep.graph, net.internal,
+                                                  config, options);
+  } else {
+    result = core::dcc_schedule_distributed(net.dep.graph, net.internal,
+                                            config);
+  }
+  const std::vector<obs::TraceEvent> events =
+      tracing ? obs::trace_end() : std::vector<obs::TraceEvent>{};
+
   collector.finalize(result.schedule.survivors);
-  emit_metrics(metrics, collector, out);
+  if (!emit_metrics(metrics, collector, out)) return 1;
+  if (!trace_out.empty()) {
+    obs::JsonlWriter w(trace_out);
+    if (w.ok()) {
+      obs::write_chrome_trace(events, w.stream(),
+                              trace_clock == "sim" ? obs::TraceClock::kSim
+                                                   : obs::TraceClock::kWall);
+    }
+    if (!w.close()) {
+      std::cerr << "error: " << w.error() << "\n";
+      return 1;
+    }
+    out << "wrote Chrome trace (" << events.size() << " events) to "
+        << trace_out << "\n";
+  }
+  if (!trace_jsonl.empty()) {
+    obs::JsonlWriter w(trace_jsonl);
+    if (w.ok()) obs::write_trace_jsonl(events, w.stream());
+    if (!w.close()) {
+      std::cerr << "error: " << w.error() << "\n";
+      return 1;
+    }
+    out << "wrote JSONL trace (" << events.size() << " events) to "
+        << trace_jsonl << "\n";
+  }
+
   io::save_mask(result.schedule.active, out_path);
   out << "distributed DCC (tau=" << tau
       << "): " << result.schedule.survivors << " nodes awake after "
@@ -427,6 +527,11 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
       << result.traffic.payload_bytes() / 1024 << " KiB over "
       << result.traffic.rounds << " engine rounds; wrote " << out_path
       << "\n";
+  if (async) {
+    out << "async substrate: sim duration " << result.sim_duration << ", "
+        << result.messages_lost << " transmissions lost, "
+        << result.retransmissions << " retransmissions\n";
+  }
   return 0;
 }
 
@@ -465,7 +570,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
       net.dep.graph, net.internal, active, failed, net.cb, config);
   collector.finalize(static_cast<std::uint64_t>(
       std::count(result.active.begin(), result.active.end(), true)));
-  emit_metrics(metrics, collector, out);
+  if (!emit_metrics(metrics, collector, out)) return 1;
   io::save_mask(result.active, out_path);
   out << "repair: woke " << result.woken << " sleepers (radius "
       << result.final_radius << "), re-slept " << result.redeleted
@@ -517,7 +622,8 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
   if (csv) {
     // Re-render through Table for the CSV path too, so columns stay in sync.
     util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
-                       "gf2", "msgs", "ns_verdicts", "ns_mis", "ns_deletion"});
+                       "gf2", "msgs", "lost", "rexmit", "ns_verdicts", "ns_mis",
+                       "ns_deletion"});
     for (const RoundRow& r : rows) {
       table.add_row({std::to_string(r.round), std::to_string(r.active),
                      std::to_string(r.candidates), std::to_string(r.deleted),
@@ -525,6 +631,8 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
                      std::to_string(r.bfs_expansions),
                      std::to_string(r.horton_candidates),
                      std::to_string(r.gf2_pivots), std::to_string(r.messages),
+                     std::to_string(r.messages_lost),
+                     std::to_string(r.retransmissions),
                      std::to_string(r.ns_verdicts), std::to_string(r.ns_mis),
                      std::to_string(r.ns_deletion)});
     }
@@ -547,6 +655,273 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
   return skipped > 0 ? 1 : 0;
 }
 
+// ---------------------------------------------------------- trace-analyze
+
+/// One parsed JSONL trace event. Fields the export omitted (because they
+/// held their zero/sentinel defaults) come back as those defaults.
+struct ParsedTraceEvent {
+  std::uint64_t seq = 0;
+  std::string kind;
+  double sim = 0.0;
+  std::uint32_t node = obs::kTraceNoNode;
+  std::uint32_t peer = obs::kTraceNoNode;
+  std::uint64_t type = 0;
+  std::uint64_t value = 0;
+  std::uint64_t flow = 0;
+};
+
+std::uint64_t median_of(std::vector<std::uint64_t> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+int cmd_trace_analyze(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path = args.get_string(
+      "in", "trace.jsonl", "JSONL trace (from distributed --trace-jsonl)");
+  const bool check = args.get_flag(
+      "check", "validate trace invariants; non-zero exit on violation");
+  const auto top = static_cast<std::size_t>(
+      args.get_int("top", 5, "busiest nodes to list"));
+  args.finish();
+
+  std::ifstream f(in_path);
+  TGC_CHECK_MSG(f.good(), "cannot open '" << in_path << "'");
+
+  std::optional<obs::JsonRecord> header;
+  std::vector<ParsedTraceEvent> events;
+  std::size_t violations = 0;
+  const auto violation = [&](const std::string& what) {
+    out << "violation: " << what << "\n";
+    ++violations;
+  };
+
+  std::size_t lineno = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::optional<obs::JsonRecord> rec = obs::parse_jsonl_line(line);
+    if (!rec.has_value()) {
+      violation(in_path + ":" + std::to_string(lineno) + ": malformed record");
+      continue;
+    }
+    if (rec->text("type") == "trace_header") {
+      header = *rec;
+      continue;
+    }
+    ParsedTraceEvent ev;
+    ev.seq = rec->u64("seq");
+    ev.kind = rec->text("kind");
+    ev.sim = rec->number("sim");
+    ev.node = static_cast<std::uint32_t>(rec->u64("node", obs::kTraceNoNode));
+    ev.peer = static_cast<std::uint32_t>(rec->u64("peer", obs::kTraceNoNode));
+    ev.type = rec->u64("type");
+    ev.value = rec->u64("value");
+    ev.flow = rec->u64("flow");
+    events.push_back(std::move(ev));
+  }
+
+  // ---- Invariant checks (always computed; --check makes them fatal).
+  if (!header.has_value()) {
+    violation("missing trace_header record");
+  } else if (header->u64("events") != events.size()) {
+    violation("header claims " + std::to_string(header->u64("events")) +
+              " events, file has " + std::to_string(events.size()));
+  }
+  std::uint64_t prev_seq = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> open_handler;
+  std::vector<std::uint64_t> phase_stack;
+  bool round_open = false;
+  std::unordered_set<std::uint64_t> sent_flows;
+  std::unordered_set<std::uint64_t> timer_flows;
+  for (const ParsedTraceEvent& ev : events) {
+    if (ev.seq <= prev_seq) {
+      violation("seq " + std::to_string(ev.seq) + " not increasing after " +
+                std::to_string(prev_seq));
+    }
+    prev_seq = ev.seq;
+    if (ev.kind == "send") {
+      sent_flows.insert(ev.flow);
+    } else if (ev.kind == "timer_set") {
+      timer_flows.insert(ev.flow);
+    } else if (ev.kind == "deliver" || ev.kind == "drop" ||
+               ev.kind == "loss") {
+      if (ev.flow != 0 && sent_flows.count(ev.flow) == 0) {
+        violation(ev.kind + " seq " + std::to_string(ev.seq) +
+                  " references unknown send flow " + std::to_string(ev.flow));
+      }
+    } else if (ev.kind == "timer_fire") {
+      if (ev.flow != 0 && timer_flows.count(ev.flow) == 0) {
+        violation("timer_fire seq " + std::to_string(ev.seq) +
+                  " references unknown timer flow " + std::to_string(ev.flow));
+      }
+    } else if (ev.kind == "handler_begin") {
+      if (!open_handler.emplace(ev.node, ev.seq).second) {
+        violation("nested handler_begin at node " + std::to_string(ev.node) +
+                  ", seq " + std::to_string(ev.seq));
+      }
+    } else if (ev.kind == "handler_end") {
+      if (open_handler.erase(ev.node) == 0) {
+        violation("handler_end without begin at node " +
+                  std::to_string(ev.node) + ", seq " + std::to_string(ev.seq));
+      }
+    } else if (ev.kind == "phase_begin") {
+      phase_stack.push_back(ev.type);
+    } else if (ev.kind == "phase_end") {
+      if (phase_stack.empty() || phase_stack.back() != ev.type) {
+        violation("unbalanced phase_end (type " + std::to_string(ev.type) +
+                  ") at seq " + std::to_string(ev.seq));
+      } else {
+        phase_stack.pop_back();
+      }
+    } else if (ev.kind == "sched_round_begin") {
+      if (round_open) violation("sched_round_begin inside an open round");
+      round_open = true;
+    } else if (ev.kind == "sched_round_end") {
+      if (!round_open) violation("sched_round_end without begin");
+      round_open = false;
+    }
+  }
+  for (const auto& [node, seq] : open_handler) {
+    violation("handler at node " + std::to_string(node) +
+              " (seq " + std::to_string(seq) + ") never closed");
+  }
+  if (!phase_stack.empty()) violation("phase never closed");
+  if (round_open) violation("scheduler round never closed");
+
+  // ---- Causal critical path: longest send→deliver chain per scheduler
+  // segment (segments are separated by sched_round_end — rounds are global
+  // barriers, so the critical path to convergence is the sum over segments).
+  std::unordered_map<std::uint32_t, std::uint64_t> chain_at_node;
+  std::unordered_map<std::uint64_t, std::uint64_t> chain_of_flow;
+  std::uint64_t segment_max = 0;
+  std::uint64_t critical_path = 0;
+  std::size_t deletion_rounds = 0;
+  std::size_t fixpoint_probes = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> sent_per_node;
+  std::unordered_map<std::uint32_t, std::uint64_t> recv_per_node;
+  std::unordered_map<std::uint64_t, double> send_time;
+  std::size_t latency_samples = 0;
+  double latency_sum = 0.0, latency_min = 0.0, latency_max = 0.0;
+  std::size_t sends = 0, delivers = 0, drops = 0, losses = 0;
+  std::size_t retransmits = 0, lost_words = 0;
+  std::size_t engine_rounds = 0;
+  for (const ParsedTraceEvent& ev : events) {
+    if (ev.kind == "send") {
+      ++sends;
+      ++sent_per_node[ev.node];
+      const std::uint64_t depth = chain_at_node[ev.node] + 1;
+      chain_of_flow[ev.flow] = depth;
+      segment_max = std::max(segment_max, depth);
+      send_time[ev.flow] = ev.sim;
+    } else if (ev.kind == "deliver") {
+      ++delivers;
+      ++recv_per_node[ev.node];
+      if (ev.flow != 0) {
+        const auto it = chain_of_flow.find(ev.flow);
+        if (it != chain_of_flow.end()) {
+          chain_at_node[ev.node] =
+              std::max(chain_at_node[ev.node], it->second);
+        }
+        const auto st = send_time.find(ev.flow);
+        if (st != send_time.end()) {
+          const double lat = ev.sim - st->second;
+          if (latency_samples == 0 || lat < latency_min) latency_min = lat;
+          if (latency_samples == 0 || lat > latency_max) latency_max = lat;
+          latency_sum += lat;
+          ++latency_samples;
+        }
+      }
+    } else if (ev.kind == "drop") {
+      ++drops;
+    } else if (ev.kind == "loss") {
+      ++losses;
+      lost_words += ev.value;
+    } else if (ev.kind == "retransmit") {
+      ++retransmits;
+    } else if (ev.kind == "engine_round") {
+      ++engine_rounds;
+    } else if (ev.kind == "sched_round_end") {
+      if (ev.type == 1) {
+        ++deletion_rounds;
+      } else {
+        ++fixpoint_probes;
+      }
+      critical_path += segment_max;
+      segment_max = 0;
+      chain_at_node.clear();
+      chain_of_flow.clear();
+    }
+  }
+  critical_path += segment_max;  // the pre-round khop segment / a tail
+
+  // ---- Report.
+  out << "trace: " << events.size() << " events";
+  if (header.has_value() && header->u64("obs_compiled") == 0) {
+    out << " (tracing was compiled out)";
+  }
+  out << "\n";
+  if (!events.empty()) {
+    out << "scheduler: " << deletion_rounds << " deletion rounds, "
+        << fixpoint_probes << " fixpoint probe(s), " << engine_rounds
+        << " engine rounds\n";
+    out << "messages: " << sends << " sent, " << delivers << " delivered, "
+        << drops << " dropped, " << losses << " lost, " << retransmits
+        << " retransmissions\n";
+    out << "causal critical path: " << critical_path
+        << " message hops to convergence across " << deletion_rounds
+        << " deletion rounds\n";
+    if (latency_samples > 0) {
+      out << "delivery latency: min " << latency_min << ", mean "
+          << latency_sum / static_cast<double>(latency_samples) << ", max "
+          << latency_max << " (" << latency_samples << " samples)\n";
+    }
+    if (losses > 0 || retransmits > 0) {
+      out << "loss recovery: " << losses << " transmissions (" << lost_words
+          << " words) lost on the air, recovered by " << retransmits
+          << " retransmissions\n";
+    }
+    std::vector<std::uint64_t> sent_counts, recv_counts;
+    for (const auto& [node, c] : sent_per_node) sent_counts.push_back(c);
+    for (const auto& [node, c] : recv_per_node) recv_counts.push_back(c);
+    if (!sent_counts.empty()) {
+      out << "per-node sent: min "
+          << *std::min_element(sent_counts.begin(), sent_counts.end())
+          << ", median " << median_of(sent_counts) << ", max "
+          << *std::max_element(sent_counts.begin(), sent_counts.end())
+          << "; received: min "
+          << *std::min_element(recv_counts.begin(), recv_counts.end())
+          << ", median " << median_of(recv_counts) << ", max "
+          << *std::max_element(recv_counts.begin(), recv_counts.end())
+          << "\n";
+    }
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> busiest;
+    for (const auto& [node, c] : sent_per_node) {
+      const auto r = recv_per_node.find(node);
+      busiest.emplace_back(c + (r == recv_per_node.end() ? 0 : r->second),
+                           node);
+    }
+    std::sort(busiest.begin(), busiest.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    if (!busiest.empty()) {
+      out << "busiest nodes:";
+      for (std::size_t i = 0; i < std::min(top, busiest.size()); ++i) {
+        out << " " << busiest[i].second << " (" << busiest[i].first << ")";
+      }
+      out << "\n";
+    }
+  }
+
+  if (violations > 0) {
+    out << violations << " invariant violation(s)\n";
+    return check ? 1 : 0;
+  }
+  if (check) out << "trace OK\n";
+  return 0;
+}
+
 void print_help(std::ostream& out) {
   out << "tgcover — distributed confine coverage (ICDCS'10 reproduction)\n"
          "usage: tgcover <command> [--key value ...]\n\n"
@@ -560,9 +935,21 @@ void print_help(std::ostream& out) {
          "  render     draw as SVG (--in FILE [--schedule MASK] --out SVG)\n"
          "  trace      synthesize a GreenOrbs-style RSSI-trace network\n"
          "  distributed run the real message-passing scheduler, report cost\n"
+         "             (--threads N; --async [--loss P --min-delay D"
+         " --max-delay D\n"
+         "             --net-seed S --retransmit I] runs over the lossy"
+         " asynchronous\n"
+         "             engine; --trace-out FILE writes Chrome/Perfetto JSON,\n"
+         "             --trace-jsonl FILE the compact causal event trace,\n"
+         "             --trace-clock wall|sim picks the Chrome timeline)\n"
          "  repair     wake sleepers around crashed nodes and re-certify\n"
          "  stats      aggregate a telemetry JSONL into a per-round table"
          " (stats FILE | --in FILE [--csv])\n"
+         "  trace-analyze  causal analysis of a --trace-jsonl file: critical"
+         " path,\n"
+         "             per-node traffic, latency, loss recovery"
+         " (trace-analyze FILE\n"
+         "             [--check] [--top N])\n"
          "  help       this text\n\n"
          "schedule / distributed / repair accept --metrics (per-round table on"
          " stderr)\nand --metrics-out FILE (per-round JSONL for `tgcover"
@@ -578,12 +965,13 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   }
   const std::string command = argv[1];
   // Re-pack so ArgParser sees "<prog> --k v ..." without the subcommand.
-  // `stats` also accepts its input positionally (`tgcover stats m.jsonl`);
-  // rewrite that form to `--in m.jsonl` before parsing.
+  // `stats` and `trace-analyze` also accept their input positionally
+  // (`tgcover stats m.jsonl`); rewrite that form to `--in m.jsonl`.
   std::vector<const char*> rest;
   rest.push_back(argv[0]);
   int first = 2;
-  if (command == "stats" && argc > 2 && argv[2][0] != '-') {
+  if ((command == "stats" || command == "trace-analyze") && argc > 2 &&
+      argv[2][0] != '-') {
     rest.push_back("--in");
     rest.push_back(argv[2]);
     first = 3;
@@ -600,6 +988,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "distributed") return cmd_distributed(args, out);
   if (command == "repair") return cmd_repair(args, out);
   if (command == "stats") return cmd_stats(args, out);
+  if (command == "trace-analyze") return cmd_trace_analyze(args, out);
   if (command == "help" || command == "--help" || command == "-h") {
     print_help(out);
     return 0;

@@ -4,10 +4,12 @@
 
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/round_log.hpp"
+#include "tgcover/obs/trace.hpp"
 #include "tgcover/sim/khop.hpp"
 #include "tgcover/sim/mis.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
+#include "tgcover/util/thread_pool.hpp"
 
 namespace tgc::core {
 
@@ -17,18 +19,45 @@ using graph::VertexId;
 
 constexpr std::uint32_t kMsgDeleted = 20;
 
+double sched_clock(const sim::SyncRunner& runner) {
+  return static_cast<double>(runner.stats().rounds);
+}
+
+/// RAII kPhaseBegin/kPhaseEnd pair around one scheduler phase.
+class TracedPhase {
+ public:
+  TracedPhase(const sim::SyncRunner& runner, obs::TracePhase phase)
+      : runner_(&runner), phase_(static_cast<std::uint32_t>(phase)) {
+    if (obs::trace_active()) {
+      obs::trace_emit(obs::TraceKind::kPhaseBegin, obs::kTraceNoNode,
+                      obs::kTraceNoNode, phase_, 0, sched_clock(*runner_));
+    }
+  }
+  ~TracedPhase() {
+    if (obs::trace_active()) {
+      obs::trace_emit(obs::TraceKind::kPhaseEnd, obs::kTraceNoNode,
+                      obs::kTraceNoNode, phase_, 0, sched_clock(*runner_));
+    }
+  }
+  TracedPhase(const TracedPhase&) = delete;
+  TracedPhase& operator=(const TracedPhase&) = delete;
+
+ private:
+  const sim::SyncRunner* runner_;
+  std::uint32_t phase_;
+};
+
 /// k-hop flood of the deleted node ids; every node that hears an id removes
 /// that node from its local view. Runs while the deleted nodes are still
 /// active so the notices propagate over the pre-deletion topology — exactly
 /// the set of nodes whose views mention them.
-void flood_deletions(sim::RoundEngine& engine,
-                     const std::vector<bool>& selected, unsigned k,
-                     std::vector<sim::LocalView>& views) {
-  const std::size_t n = engine.graph().num_vertices();
+void flood_deletions(sim::SyncRunner& runner, const std::vector<bool>& selected,
+                     unsigned k, std::vector<sim::LocalView>& views) {
+  const std::size_t n = runner.graph().num_vertices();
   std::vector<std::unordered_set<VertexId>> heard(n);
 
   for (unsigned round = 0; round <= k; ++round) {
-    engine.run_round([&](VertexId node, std::span<const sim::Message> inbox,
+    runner.run_round([&](VertexId node, std::span<const sim::Message> inbox,
                          sim::Mailer& mailer) {
       std::vector<std::uint32_t> learned;
       for (const sim::Message& msg : inbox) {
@@ -51,11 +80,14 @@ void flood_deletions(sim::RoundEngine& engine,
   }
 }
 
-}  // namespace
-
-DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
-                                              const std::vector<bool>& internal,
-                                              const DccConfig& config) {
+/// The protocol itself, generic over the synchronous-round substrate: the
+/// same code drives the ideal RoundEngine and the α-synchronized lossy
+/// asynchronous engine. Traffic accounting is substrate-specific and left to
+/// the public wrappers.
+DccDistributedResult run_distributed(sim::SyncRunner& runner,
+                                     const graph::Graph& g,
+                                     const std::vector<bool>& internal,
+                                     const DccConfig& config) {
   TGC_CHECK(internal.size() == g.num_vertices());
   TGC_CHECK(config.tau >= 3);
   TGC_CHECK_MSG(config.mis_priorities.empty(),
@@ -66,47 +98,82 @@ DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
   DccDistributedResult out;
   out.schedule.active.assign(g.num_vertices(), true);
 
-  sim::RoundEngine engine(g);
   // Phase 0: every node collects its k-hop neighbourhood.
   std::vector<sim::LocalView> views;
   {
     TGC_OBS_SPAN(obs::SpanId::kKhopCollect);
-    views = sim::collect_k_hop_views(engine, k);
+    TracedPhase traced(runner, obs::TracePhase::kKhop);
+    views = sim::collect_k_hop_views(runner, k);
   }
   std::size_t num_active = g.num_vertices();
 
-  // In the field every node evaluates its own verdict; the simulator runs
-  // them on one thread and shares a single workspace across all nodes.
-  VptWorkspace ws;
-  ws.ensure(g.num_vertices());
+  // In the field every node evaluates its own verdict; the simulator fans
+  // the independent evaluations over the pool. Workers write only their
+  // nodes' slots of the verdict array (distinct chars) and emit no trace
+  // events, so both the schedule and the trace are bit-identical for every
+  // thread count.
+  util::ThreadPool pool(config.num_threads);
+  std::vector<VptWorkspace> workspaces(pool.num_workers());
+  std::vector<VertexId> to_test;
+  std::vector<char> deletable;
 
   while (out.schedule.rounds < config.max_rounds) {
     if (config.collector != nullptr) config.collector->begin_round();
+    const bool traced = obs::trace_active();
+    const auto attempt = static_cast<std::uint32_t>(out.schedule.rounds + 1);
+    if (traced) {
+      obs::trace_emit(obs::TraceKind::kSchedRoundBegin, obs::kTraceNoNode,
+                      obs::kTraceNoNode, 0, attempt, sched_clock(runner));
+    }
+
     // Phase 1: local VPT verdicts — no communication needed.
     std::vector<bool> candidate(g.num_vertices(), false);
     std::size_t num_candidates = 0;
     {
       TGC_OBS_SPAN(obs::SpanId::kVerdicts);
+      TracedPhase traced_phase(runner, obs::TracePhase::kVerdicts);
+      to_test.clear();
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (!out.schedule.active[v] || !internal[v]) continue;
-        ++out.schedule.vpt_tests;
-        if (vpt_vertex_deletable_local(views[v], vpt, ws)) {
+        if (out.schedule.active[v] && internal[v]) to_test.push_back(v);
+      }
+      out.schedule.vpt_tests += to_test.size();
+      deletable.assign(to_test.size(), 0);
+      pool.parallel_for(0, to_test.size(),
+                        [&](std::size_t i, unsigned worker) {
+                          deletable[i] = vpt_vertex_deletable_local(
+                              views[to_test[i]], vpt, workspaces[worker]);
+                        });
+      for (std::size_t i = 0; i < to_test.size(); ++i) {
+        const VertexId v = to_test[i];
+        if (traced) {
+          obs::trace_emit(obs::TraceKind::kVerdict, v, obs::kTraceNoNode, 0,
+                          deletable[i] ? 1 : 0, sched_clock(runner));
+        }
+        if (deletable[i]) {
           candidate[v] = true;
           ++num_candidates;
         }
       }
     }
-    if (num_candidates == 0) break;
+    if (num_candidates == 0) {
+      if (traced) {
+        // type 0: the fixpoint probe — verdicts ran but nothing was deleted.
+        obs::trace_emit(obs::TraceKind::kSchedRoundEnd, obs::kTraceNoNode,
+                        obs::kTraceNoNode, 0, attempt, sched_clock(runner));
+      }
+      break;
+    }
     ++out.schedule.rounds;
 
     // Phase 2: m-hop MIS election among candidates.
     std::vector<bool> selected;
     {
       TGC_OBS_SPAN(obs::SpanId::kMis);
+      TracedPhase traced_phase(runner, obs::TracePhase::kMis);
       const std::uint64_t round_seed =
           util::splitmix64(config.seed + out.schedule.rounds);
       const sim::MisOutcome mis = sim::elect_mis_distributed(
-          engine, candidate, vpt.mis_radius(), round_seed);
+          runner, candidate, vpt.mis_radius(), round_seed);
       out.mis_subrounds += mis.subrounds;
       selected = mis.selected;
     }
@@ -115,10 +182,11 @@ DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
     std::size_t num_selected = 0;
     {
       TGC_OBS_SPAN(obs::SpanId::kDeletion);
-      flood_deletions(engine, selected, k, views);
+      TracedPhase traced_phase(runner, obs::TracePhase::kDeletion);
+      flood_deletions(runner, selected, k, views);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         if (!selected[v]) continue;
-        engine.deactivate(v);
+        runner.deactivate(v);
         out.schedule.active[v] = false;
         ++out.schedule.deleted;
         ++num_selected;
@@ -130,10 +198,39 @@ DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
     if (config.collector != nullptr) {
       config.collector->end_round(num_active, num_candidates, num_selected);
     }
+    if (traced) {
+      // type 1: a completed deletion round. `trace-analyze` counts these and
+      // the count must equal the scheduler's reported rounds.
+      obs::trace_emit(obs::TraceKind::kSchedRoundEnd, obs::kTraceNoNode,
+                      obs::kTraceNoNode, 1, attempt, sched_clock(runner));
+    }
   }
 
   out.schedule.survivors = g.num_vertices() - out.schedule.deleted;
+  return out;
+}
+
+}  // namespace
+
+DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
+                                              const std::vector<bool>& internal,
+                                              const DccConfig& config) {
+  sim::RoundEngine engine(g);
+  DccDistributedResult out = run_distributed(engine, g, internal, config);
   out.traffic = engine.stats();
+  return out;
+}
+
+DccDistributedResult dcc_schedule_distributed_async(
+    const graph::Graph& g, const std::vector<bool>& internal,
+    const DccConfig& config, const DccAsyncOptions& async) {
+  sim::AsyncEngine engine(g, async.net);
+  sim::AlphaRunner runner(engine, async.retransmit_interval);
+  DccDistributedResult out = run_distributed(runner, g, internal, config);
+  out.traffic = runner.stats();
+  out.messages_lost = engine.messages_lost();
+  out.retransmissions = runner.synchronizer().retransmissions();
+  out.sim_duration = engine.now();
   return out;
 }
 

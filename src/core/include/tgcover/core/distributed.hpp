@@ -1,14 +1,27 @@
 #pragma once
 
 #include "tgcover/core/scheduler.hpp"
+#include "tgcover/sim/async.hpp"
 #include "tgcover/sim/engine.hpp"
 
 namespace tgc::core {
 
 struct DccDistributedResult {
-  DccResult schedule;            ///< same fields as the oracle result
-  sim::TrafficStats traffic;     ///< messages/words/engine-rounds consumed
-  std::size_t mis_subrounds = 0; ///< total Luby iterations across the run
+  DccResult schedule;             ///< same fields as the oracle result
+  sim::TrafficStats traffic;      ///< messages/words/engine-rounds consumed
+  std::size_t mis_subrounds = 0;  ///< total Luby iterations across the run
+  /// Async substrate only (zero on the synchronous RoundEngine):
+  std::size_t messages_lost = 0;    ///< transmissions lost on the air
+  std::size_t retransmissions = 0;  ///< α-synchronizer recovery resends
+  double sim_duration = 0.0;        ///< final event-loop clock
+};
+
+/// Network options for the asynchronous execution of the distributed
+/// protocol: the event-driven lossy-link engine plus the α-synchronizer's
+/// retransmission interval.
+struct DccAsyncOptions {
+  sim::AsyncEngine::Options net;
+  double retransmit_interval = 4.0;
 };
 
 /// DCC executed as a real distributed protocol on the message-passing
@@ -27,5 +40,15 @@ struct DccDistributedResult {
 DccDistributedResult dcc_schedule_distributed(const graph::Graph& g,
                                               const std::vector<bool>& internal,
                                               const DccConfig& config);
+
+/// The same protocol run over the asynchronous lossy-link engine, each
+/// synchronous round recovered by the α-synchronizer (sim/async.hpp). The
+/// schedule is bit-identical to the synchronous executor's (and hence the
+/// oracle's) for equal `config` — network randomness only moves messages
+/// around in time; `traffic` then counts transport-level radio cost and the
+/// loss/retransmission fields are populated.
+DccDistributedResult dcc_schedule_distributed_async(
+    const graph::Graph& g, const std::vector<bool>& internal,
+    const DccConfig& config, const DccAsyncOptions& async);
 
 }  // namespace tgc::core

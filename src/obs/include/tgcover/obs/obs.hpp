@@ -31,9 +31,11 @@ enum class CounterId : unsigned {
   kBfsExpansions,     ///< vertices discovered by k-hop BFS frontiers
   kHortonCandidates,  ///< Horton candidate cycles generated / considered
   kGf2Pivots,         ///< GF(2) pivot-elimination XOR steps
-  kMessages,          ///< radio messages simulated by sim::RoundEngine
+  kMessages,          ///< radio messages simulated by the sim engines
   kPayloadWords,      ///< 32-bit payload words carried by those messages
   kRepairWaves,       ///< wake-radius escalations performed by dcc_repair
+  kMessagesLost,      ///< transmissions lost on the air (AsyncEngine)
+  kRetransmissions,   ///< α-synchronizer retransmissions of unacked messages
   kCount
 };
 inline constexpr std::size_t kNumCounters =

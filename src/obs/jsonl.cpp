@@ -1,9 +1,42 @@
 #include "tgcover/obs/jsonl.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 
 namespace tgc::obs {
+
+JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
+  errno = 0;
+  out_.open(path);
+  if (!out_.is_open()) capture_error("cannot open");
+}
+
+JsonlWriter::~JsonlWriter() { close(); }
+
+bool JsonlWriter::close() {
+  if (closed_) return error_.empty();
+  closed_ = true;
+  if (out_.is_open()) {
+    if (error_.empty() && !out_.good()) capture_error("write failed");
+    errno = 0;
+    out_.flush();
+    if (error_.empty() && !out_.good()) capture_error("flush failed");
+    errno = 0;
+    out_.close();
+    if (error_.empty() && out_.fail()) capture_error("close failed");
+  }
+  return error_.empty();
+}
+
+void JsonlWriter::capture_error(const std::string& what) {
+  if (!error_.empty()) return;  // keep the first failure
+  error_ = what + " '" + path_ + "'";
+  // errno is best-effort through iostreams, but on POSIX the interesting
+  // failures (ENOSPC, EACCES, ENOENT) do surface here.
+  if (errno != 0) error_ += ": " + std::string(std::strerror(errno));
+}
 
 double JsonRecord::number(const std::string& key, double def) const {
   const auto it = fields_.find(key);

@@ -11,6 +11,7 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "vpt_tests",      "vpt_deletable",     "vpt_vetoed",
     "bfs_expansions", "horton_candidates", "gf2_pivots",
     "messages",       "payload_words",     "repair_waves",
+    "messages_lost",  "retransmissions",
 };
 
 constexpr std::array<std::string_view, kNumSpans> kSpanNames = {

@@ -1,8 +1,7 @@
 #include "tgcover/sim/async.hpp"
 
-#include <unordered_map>
-#include <unordered_set>
-
+#include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/trace.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::sim {
@@ -20,6 +19,10 @@ AsyncEngine::AsyncEngine(const graph::Graph& g, const Options& options)
 void AsyncEngine::deactivate(graph::VertexId v) {
   TGC_CHECK(v < active_.size());
   active_[v] = false;
+  if (obs::trace_active()) {
+    obs::trace_emit(obs::TraceKind::kDeactivate, v, obs::kTraceNoNode, 0, 0,
+                    now_);
+  }
 }
 
 void AsyncEngine::send(graph::VertexId from, graph::VertexId to,
@@ -28,23 +31,51 @@ void AsyncEngine::send(graph::VertexId from, graph::VertexId to,
                 "node " << from << " cannot send to non-neighbor " << to);
   ++stats_.messages;
   stats_.payload_words += payload.size();
-  if (!active_[to]) return;
+  obs::add(obs::CounterId::kMessages, 1);
+  obs::add(obs::CounterId::kPayloadWords, payload.size());
+  const bool traced = obs::trace_active();
+  std::uint64_t trace_id = 0;
+  if (traced) {
+    trace_id = obs::trace_emit(obs::TraceKind::kSend, from, to, type,
+                               static_cast<std::uint32_t>(payload.size()),
+                               now_);
+  }
+  if (!active_[to]) {
+    if (traced) {
+      obs::trace_emit(obs::TraceKind::kDrop, to, from, type, 0, now_,
+                      trace_id);
+    }
+    return;
+  }
   if (options_.loss_probability > 0.0 &&
       rng_.bernoulli(options_.loss_probability)) {
     ++messages_lost_;  // transmitted into the noise
+    obs::add(obs::CounterId::kMessagesLost, 1);
+    if (traced) {
+      obs::trace_emit(obs::TraceKind::kLoss, from, to, type, 0, now_,
+                      trace_id);
+    }
     return;
   }
   // Events pushed before run() depart at time 0; events pushed from inside a
   // delivery handler depart at that delivery's time (the engine clock).
   const double delay = rng_.uniform(options_.min_delay, options_.max_delay);
-  queue_.push(Event{now_ + delay, next_sequence_++,
-                    Message{from, to, type, std::move(payload)}, nullptr});
+  Message msg{from, to, type, std::move(payload)};
+  msg.trace_id = trace_id;
+  queue_.push(Event{now_ + delay, next_sequence_++, std::move(msg), nullptr});
 }
 
 void AsyncEngine::schedule(double delay, std::function<void()> callback) {
   TGC_CHECK(delay > 0.0);
-  queue_.push(Event{now_ + delay, next_sequence_++, Message{},
-                    std::move(callback)});
+  Event ev{now_ + delay, next_sequence_++, Message{}, std::move(callback)};
+  if (obs::trace_active()) {
+    // The timer-set event's sequence number doubles as the flow id the
+    // matching timer-fire pop reports (carried in the placeholder message).
+    ev.msg.trace_id = obs::trace_emit(obs::TraceKind::kTimerSet,
+                                      obs::kTraceNoNode, obs::kTraceNoNode, 0,
+                                      0, now_);
+  }
+  queue_.push(std::move(ev));
 }
 
 double AsyncEngine::run(const OnDeliver& handler) {
@@ -53,11 +84,28 @@ double AsyncEngine::run(const OnDeliver& handler) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
+    const bool traced = obs::trace_active();
     if (ev.timer) {
+      if (traced) {
+        obs::trace_emit(obs::TraceKind::kTimerFire, obs::kTraceNoNode,
+                        obs::kTraceNoNode, 0, 0, now_, ev.msg.trace_id);
+      }
       ev.timer();
       continue;
     }
-    if (!active_[ev.msg.to]) continue;  // deactivated while in flight
+    if (!active_[ev.msg.to]) {  // deactivated while in flight
+      if (traced) {
+        obs::trace_emit(obs::TraceKind::kDrop, ev.msg.to, ev.msg.from,
+                        ev.msg.type, 0, now_, ev.msg.trace_id);
+      }
+      continue;
+    }
+    if (traced) {
+      obs::trace_emit(obs::TraceKind::kDeliver, ev.msg.to, ev.msg.from,
+                      ev.msg.type,
+                      static_cast<std::uint32_t>(ev.msg.payload.size()), now_,
+                      ev.msg.trace_id);
+    }
     handler(now_, ev.msg);
   }
   return now_;
@@ -101,6 +149,9 @@ std::vector<Message> unpack_round(const Message& combined,
     Message msg;
     msg.from = combined.from;
     msg.to = combined.to;
+    // Protocol messages inherit the transport message's flow id, so a
+    // handler-level consumer still correlates with the causal send chain.
+    msg.trace_id = combined.trace_id;
     msg.type = p[i++];
     const std::uint32_t len = p[i++];
     TGC_CHECK(i + len <= p.size());
@@ -155,107 +206,135 @@ AlphaSynchronizer::AlphaSynchronizer(AsyncEngine& engine,
   TGC_CHECK(retransmit_interval > 0.0);
 }
 
-void AlphaSynchronizer::run_rounds(std::size_t rounds,
-                                   const RoundEngine::Handler& handler) {
-  if (rounds == 0) return;
+std::uint64_t AlphaSynchronizer::link_of(graph::VertexId from,
+                                         graph::VertexId to) const {
+  return static_cast<std::uint64_t>(from) *
+             engine_->graph().num_vertices() +
+         to;
+}
+
+void AlphaSynchronizer::refresh_topology() {
   const graph::Graph& g = engine_->graph();
   const std::size_t n = g.num_vertices();
-
-  // Static per-run topology snapshot (deactivations mid-run unsupported).
-  std::vector<std::vector<graph::VertexId>> nbrs(n);
+  nbrs_.assign(n, {});
   for (graph::VertexId v = 0; v < n; ++v) {
     if (!engine_->is_active(v)) continue;
     for (const graph::VertexId u : g.neighbors(v)) {
-      if (engine_->is_active(u)) nbrs[v].push_back(u);
+      if (engine_->is_active(u)) nbrs_[v].push_back(u);
     }
   }
+}
 
-  std::vector<std::size_t> executed(n, 0);  // handler invocations so far
-  // pending[v][r]: protocol messages of round r; got[v][r]: senders heard.
-  std::vector<std::unordered_map<std::uint32_t, std::vector<Message>>>
-      pending(n);
-  std::vector<std::unordered_map<std::uint32_t, std::size_t>> got(n);
-
-  // Reliable delivery state, keyed by (from, to, round).
-  auto key_of = [n, rounds](graph::VertexId from, graph::VertexId to,
-                            std::uint32_t round) {
-    return (static_cast<std::uint64_t>(from) * n + to) * (rounds + 1) + round;
-  };
-  struct Outgoing {
-    graph::VertexId from = 0;
-    graph::VertexId to = 0;
-    std::vector<std::uint32_t> payload;
-    bool acked = false;
-  };
-  std::unordered_map<std::uint64_t, Outgoing> outgoing;
-  std::unordered_set<std::uint64_t> delivered;  // receiver-side dedup
-
-  // Sends an outgoing round message and arms its retransmission timer.
-  std::function<void(std::uint64_t)> transmit = [&](std::uint64_t key) {
-    const Outgoing& out = outgoing.at(key);
-    if (out.acked) return;
-    engine_->send(out.from, out.to, kMsgRound, out.payload);
-    engine_->schedule(retransmit_interval_, [this, key, &outgoing, &transmit] {
-      const auto it = outgoing.find(key);
-      if (it == outgoing.end() || it->second.acked) return;
-      ++retransmissions_;
-      transmit(key);
-    });
-  };
-
-  // Executes round `executed[v]` at v: the handler consumes the previous
-  // round's messages and its sends ship as this round's combined messages.
-  auto execute = [&](graph::VertexId v) {
-    const std::size_t round_index = executed[v];
-    std::vector<Message> inbox;
-    if (round_index > 0) {
-      const auto key = static_cast<std::uint32_t>(round_index - 1);
-      const auto it = pending[v].find(key);
-      if (it != pending[v].end()) {
-        inbox = std::move(it->second);
-        pending[v].erase(it);
-      }
-      got[v].erase(key);
+/// Sends an outgoing round message and arms its retransmission timer.
+void AlphaSynchronizer::transmit(std::uint64_t link, std::uint32_t round) {
+  const Outgoing& out = outgoing_.at(link).at(round);
+  if (out.acked) return;
+  engine_->send(out.from, out.to, kMsgRound, out.payload);
+  engine_->schedule(retransmit_interval_, [this, link, round] {
+    const auto link_it = outgoing_.find(link);
+    if (link_it == outgoing_.end()) return;
+    const auto it = link_it->second.find(round);
+    if (it == link_it->second.end() || it->second.acked) return;
+    ++retransmissions_;
+    obs::add(obs::CounterId::kRetransmissions, 1);
+    if (obs::trace_active()) {
+      obs::trace_emit(obs::TraceKind::kRetransmit, it->second.from,
+                      it->second.to, 0, round, engine_->now());
     }
-    OutboxMailer mailer(g, engine_->active(), v);
-    handler(v, std::span<const Message>(inbox), mailer);
-    for (const graph::VertexId u : nbrs[v]) {
-      static const std::vector<Message> kEmpty;
-      const auto it = mailer.per_dest().find(u);
-      const std::vector<Message>& msgs =
-          it == mailer.per_dest().end() ? kEmpty : it->second;
-      const auto round32 = static_cast<std::uint32_t>(round_index);
-      const std::uint64_t k = key_of(v, u, round32);
-      outgoing.emplace(k, Outgoing{v, u, pack_round(round32, msgs), false});
-      transmit(k);
-    }
-    ++executed[v];
-  };
+    transmit(link, round);
+  });
+}
 
-  auto try_advance = [&](graph::VertexId v) {
-    while (executed[v] < rounds) {
-      if (executed[v] == 0) {
-        execute(v);
-        continue;
-      }
-      const auto need = static_cast<std::uint32_t>(executed[v] - 1);
-      const auto it = got[v].find(need);
-      const std::size_t have = it == got[v].end() ? 0 : it->second;
-      if (have < nbrs[v].size()) break;
-      execute(v);
+/// Executes round `executed_[v]` at v: the handler consumes the previous
+/// round's messages and its sends ship as this round's combined messages.
+void AlphaSynchronizer::execute(graph::VertexId v,
+                                const SyncRunner::Handler& handler) {
+  const std::size_t round_index = executed_[v];
+  std::vector<Message> inbox;
+  if (round_index > 0) {
+    const auto key = static_cast<std::uint32_t>(round_index - 1);
+    const auto it = pending_[v].find(key);
+    if (it != pending_[v].end()) {
+      inbox = std::move(it->second);
+      pending_[v].erase(it);
     }
-  };
+    got_[v].erase(key);
+  }
+  // Handler spans use the 1-based round number; transport-level deliver
+  // events were already emitted at pop time (the gap between a combined
+  // message's arrival and this span is exactly the synchronizer stall).
+  const bool traced = obs::trace_active();
+  if (traced) {
+    obs::trace_emit(obs::TraceKind::kHandlerBegin, v, obs::kTraceNoNode, 0,
+                    static_cast<std::uint32_t>(round_index + 1),
+                    engine_->now());
+  }
+  OutboxMailer mailer(engine_->graph(), engine_->active(), v);
+  handler(v, std::span<const Message>(inbox), mailer);
+  if (traced) {
+    obs::trace_emit(obs::TraceKind::kHandlerEnd, v, obs::kTraceNoNode, 0,
+                    static_cast<std::uint32_t>(round_index + 1),
+                    engine_->now());
+  }
+  for (const graph::VertexId u : nbrs_[v]) {
+    static const std::vector<Message> kEmpty;
+    const auto it = mailer.per_dest().find(u);
+    const std::vector<Message>& msgs =
+        it == mailer.per_dest().end() ? kEmpty : it->second;
+    const auto round32 = static_cast<std::uint32_t>(round_index);
+    outgoing_[link_of(v, u)].emplace(
+        round32, Outgoing{v, u, pack_round(round32, msgs), false});
+    transmit(link_of(v, u), round32);
+  }
+  ++executed_[v];
+}
 
-  // Kick off round 0 everywhere; isolated nodes run to completion at once.
+void AlphaSynchronizer::try_advance(graph::VertexId v,
+                                    const SyncRunner::Handler& handler) {
+  while (executed_[v] < target_rounds_) {
+    if (executed_[v] == 0) {
+      execute(v, handler);
+      continue;
+    }
+    const auto need = static_cast<std::uint32_t>(executed_[v] - 1);
+    const auto it = got_[v].find(need);
+    const std::size_t have = it == got_[v].end() ? 0 : it->second;
+    // `have` can exceed the neighbor count when a neighbor was deactivated
+    // after sending its round-`need` beacon (between run_rounds calls);
+    // advancement then proceeds exactly as RoundEngine would.
+    if (have < nbrs_[v].size()) break;
+    execute(v, handler);
+  }
+}
+
+void AlphaSynchronizer::run_rounds(std::size_t rounds,
+                                   const SyncRunner::Handler& handler) {
+  if (rounds == 0) return;
+  const std::size_t n = engine_->graph().num_vertices();
+  if (executed_.empty() && n > 0) {
+    executed_.assign(n, 0);
+    pending_.resize(n);
+    got_.resize(n);
+  }
+  // Deactivations are only legal between calls (the network is quiescent
+  // then), so a per-call topology snapshot is exact.
+  refresh_topology();
+  target_rounds_ += rounds;
+
+  // Kick off; nodes whose previous-round inboxes are already complete (all
+  // of round r-1 was delivered before the last call returned) run at once.
   for (graph::VertexId v = 0; v < n; ++v) {
-    if (engine_->is_active(v)) try_advance(v);
+    if (engine_->is_active(v)) try_advance(v, handler);
   }
 
   engine_->run([&](double /*now*/, const Message& msg) {
     if (msg.type == kMsgAck) {
       TGC_CHECK(msg.payload.size() == 1);
-      const auto it = outgoing.find(key_of(msg.to, msg.from, msg.payload[0]));
-      if (it != outgoing.end()) it->second.acked = true;
+      const auto link_it = outgoing_.find(link_of(msg.to, msg.from));
+      if (link_it != outgoing_.end()) {
+        const auto it = link_it->second.find(msg.payload[0]);
+        if (it != link_it->second.end()) it->second.acked = true;
+      }
       return;
     }
     if (msg.type != kMsgRound) return;
@@ -263,19 +342,19 @@ void AlphaSynchronizer::run_rounds(std::size_t rounds,
     auto msgs = unpack_round(msg, &round);
     // Always (re-)ack — a previous ack may have been lost.
     engine_->send(msg.to, msg.from, kMsgAck, {round});
-    if (!delivered.insert(key_of(msg.from, msg.to, round)).second) {
+    if (!delivered_[link_of(msg.from, msg.to)].insert(round).second) {
       return;  // duplicate retransmission
     }
-    auto& bucket = pending[msg.to][round];
+    auto& bucket = pending_[msg.to][round];
     for (auto& m : msgs) bucket.push_back(std::move(m));
-    ++got[msg.to][round];
-    try_advance(msg.to);
+    ++got_[msg.to][round];
+    try_advance(msg.to, handler);
   });
 
-  rounds_completed_ = rounds;
+  rounds_completed_ = target_rounds_;
   for (graph::VertexId v = 0; v < n; ++v) {
     if (engine_->is_active(v)) {
-      TGC_CHECK_MSG(executed[v] == rounds,
+      TGC_CHECK_MSG(executed_[v] == target_rounds_,
                     "synchronizer stalled at node " << v);
     }
   }

@@ -1,6 +1,7 @@
 #include "tgcover/sim/engine.hpp"
 
 #include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/trace.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::sim {
@@ -27,9 +28,23 @@ class EngineMailer final : public Mailer {
     stats_->payload_words += payload.size();
     obs::add(obs::CounterId::kMessages, 1);
     obs::add(obs::CounterId::kPayloadWords, payload.size());
+    std::uint64_t trace_id = 0;
+    if (obs::trace_active()) {
+      // The logical clock of the synchronous engine is the round counter
+      // (incremented at run_round entry, so this is the current round).
+      const auto round = static_cast<double>(stats_->rounds);
+      trace_id = obs::trace_emit(
+          obs::TraceKind::kSend, from_, to, type,
+          static_cast<std::uint32_t>(payload.size()), round);
+      if (!(*active_)[to]) {
+        obs::trace_emit(obs::TraceKind::kDrop, to, from_, type, 0, round,
+                        trace_id);
+      }
+    }
     if (!(*active_)[to]) return;  // transmitted into the void
-    (*next_inbox_)[to].push_back(
-        Message{from_, to, type, std::move(payload)});
+    Message msg{from_, to, type, std::move(payload)};
+    msg.trace_id = trace_id;
+    (*next_inbox_)[to].push_back(std::move(msg));
   }
 
   void broadcast(std::uint32_t type,
@@ -60,14 +75,40 @@ void RoundEngine::deactivate(graph::VertexId v) {
   active_[v] = false;
   inbox_[v].clear();
   next_inbox_[v].clear();
+  if (obs::trace_active()) {
+    obs::trace_emit(obs::TraceKind::kDeactivate, v, obs::kTraceNoNode, 0, 0,
+                    static_cast<double>(stats_.rounds));
+  }
 }
 
 void RoundEngine::run_round(const Handler& handler) {
   ++stats_.rounds;
+  const bool traced = obs::trace_active();
+  const auto round32 = static_cast<std::uint32_t>(stats_.rounds);
+  const auto round = static_cast<double>(stats_.rounds);
+  if (traced) {
+    obs::trace_emit(obs::TraceKind::kEngineRound, obs::kTraceNoNode,
+                    obs::kTraceNoNode, 0, round32, round);
+  }
   for (graph::VertexId v = 0; v < g_->num_vertices(); ++v) {
     if (!active_[v]) continue;
     EngineMailer mailer(*g_, active_, next_inbox_, stats_, v);
+    if (traced) {
+      obs::trace_emit(obs::TraceKind::kHandlerBegin, v, obs::kTraceNoNode, 0,
+                      round32, round);
+      // Deliveries land inside the handler span so Perfetto binds the flow
+      // arrows to the enclosing slice.
+      for (const Message& m : inbox_[v]) {
+        obs::trace_emit(obs::TraceKind::kDeliver, v, m.from, m.type,
+                        static_cast<std::uint32_t>(m.payload.size()), round,
+                        m.trace_id);
+      }
+    }
     handler(v, std::span<const Message>(inbox_[v]), mailer);
+    if (traced) {
+      obs::trace_emit(obs::TraceKind::kHandlerEnd, v, obs::kTraceNoNode, 0,
+                      round32, round);
+    }
     inbox_[v].clear();
   }
   std::swap(inbox_, next_inbox_);

@@ -4,6 +4,8 @@
 #include <functional>
 #include <queue>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "tgcover/sim/engine.hpp"
@@ -84,10 +86,20 @@ class AsyncEngine {
 /// asynchronous engine. In every round each node first transmits its
 /// protocol messages plus one end-of-round beacon to every active neighbor,
 /// then advances when it has heard the round's beacon from all of them.
-/// Running a RoundEngine::Handler under it yields exactly the synchronous
+/// Running a SyncRunner::Handler under it yields exactly the synchronous
 /// execution (same inboxes per round, arbitrary delivery order within a
 /// round — handlers must not depend on inbox order beyond sender identity,
 /// which ours do not; tests pin this down).
+///
+/// The synchronizer is *incremental*: protocol state (undelivered round
+/// messages, per-round beacon counts, the reliable-delivery ledger)
+/// persists across run_rounds calls, so consecutive calls continue one
+/// synchronous execution — messages sent in the last round of one call are
+/// consumed in the first round of the next, exactly like back-to-back
+/// RoundEngine::run_round calls. Every call returns at a quiescent point
+/// (event queue drained, all active nodes at the same round), which is when
+/// deactivating nodes between calls is legal; the topology is re-snapshotted
+/// at each call.
 ///
 /// Reliability: every combined round message is acknowledged; unacked
 /// messages are retransmitted every `retransmit_interval`, so the
@@ -97,17 +109,82 @@ class AlphaSynchronizer {
   explicit AlphaSynchronizer(AsyncEngine& engine,
                              double retransmit_interval = 4.0);
 
-  /// Runs `rounds` synchronous rounds of `handler` over the async engine.
-  void run_rounds(std::size_t rounds, const RoundEngine::Handler& handler);
+  /// Runs `rounds` further synchronous rounds of `handler` over the async
+  /// engine (continuing from where the previous call stopped).
+  void run_rounds(std::size_t rounds, const SyncRunner::Handler& handler);
 
   std::size_t rounds_completed() const { return rounds_completed_; }
   std::size_t retransmissions() const { return retransmissions_; }
 
  private:
+  struct Outgoing {
+    graph::VertexId from = 0;
+    graph::VertexId to = 0;
+    std::vector<std::uint32_t> payload;
+    bool acked = false;
+  };
+
+  std::uint64_t link_of(graph::VertexId from, graph::VertexId to) const;
+  void refresh_topology();
+  void transmit(std::uint64_t link, std::uint32_t round);
+  void execute(graph::VertexId v, const SyncRunner::Handler& handler);
+  void try_advance(graph::VertexId v, const SyncRunner::Handler& handler);
+
   AsyncEngine* engine_;
   double retransmit_interval_;
   std::size_t rounds_completed_ = 0;
+  std::size_t target_rounds_ = 0;
   std::size_t retransmissions_ = 0;
+
+  // Persistent per-node protocol state (lazily sized on first run_rounds).
+  std::vector<std::vector<graph::VertexId>> nbrs_;
+  std::vector<std::size_t> executed_;  ///< handler invocations so far
+  /// pending_[v][r]: round-r protocol messages; got_[v][r]: senders heard.
+  std::vector<std::unordered_map<std::uint32_t, std::vector<Message>>>
+      pending_;
+  std::vector<std::unordered_map<std::uint32_t, std::size_t>> got_;
+  /// Reliable-delivery ledger, keyed by directed link then round.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint32_t, Outgoing>>
+      outgoing_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>>
+      delivered_;  ///< receiver-side dedup
+};
+
+/// SyncRunner implemented by the α-synchronizer: each run_round simulates
+/// one synchronous round over the asynchronous (possibly lossy) engine.
+/// This is what lets the distributed DCC executor — written against
+/// SyncRunner — run unchanged on realistic network semantics, and the
+/// schedules stay bit-identical to RoundEngine's (asserted by tests).
+class AlphaRunner final : public SyncRunner {
+ public:
+  explicit AlphaRunner(AsyncEngine& engine, double retransmit_interval = 4.0)
+      : engine_(&engine), sync_(engine, retransmit_interval) {}
+
+  const graph::Graph& graph() const override { return engine_->graph(); }
+  void run_round(const Handler& handler) override {
+    sync_.run_rounds(1, handler);
+    stats_ = engine_->stats();
+    stats_.rounds = sync_.rounds_completed();
+  }
+  void deactivate(graph::VertexId v) override { engine_->deactivate(v); }
+  bool is_active(graph::VertexId v) const override {
+    return engine_->is_active(v);
+  }
+  const std::vector<bool>& active() const override {
+    return engine_->active();
+  }
+  /// Transport-level traffic (combined round messages, acks and
+  /// retransmissions — the real radio cost), with `rounds` counting the
+  /// simulated synchronous rounds.
+  const TrafficStats& stats() const override { return stats_; }
+
+  const AlphaSynchronizer& synchronizer() const { return sync_; }
+
+ private:
+  AsyncEngine* engine_;
+  AlphaSynchronizer sync_;
+  TrafficStats stats_;
 };
 
 }  // namespace tgc::sim

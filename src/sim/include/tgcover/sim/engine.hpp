@@ -17,6 +17,12 @@ struct Message {
   graph::VertexId to = graph::kInvalidVertex;
   std::uint32_t type = 0;
   std::vector<std::uint32_t> payload;
+  /// Causal-trace correlation id assigned at send time (the send event's
+  /// sequence number; see obs/trace.hpp). 0 when tracing is inactive.
+  /// Carried with the message so the deliver event pairs with its send;
+  /// never read by any protocol — schedules are identical with and without
+  /// tracing.
+  std::uint64_t trace_id = 0;
 };
 
 /// Cumulative traffic counters for a protocol run.
@@ -51,6 +57,36 @@ class Mailer {
                          const std::vector<std::uint32_t>& payload) = 0;
 };
 
+/// The synchronous-rounds execution substrate the protocols (khop, mis,
+/// deletion floods, the distributed DCC executor) are written against. Two
+/// implementations exist: RoundEngine below (ideal reliable rounds) and
+/// AlphaRunner (async.hpp — each round simulated by the α-synchronizer over
+/// the lossy asynchronous engine). Handlers see identical inboxes per round
+/// on both, so one protocol implementation runs on either substrate.
+class SyncRunner {
+ public:
+  using Handler =
+      std::function<void(graph::VertexId node, std::span<const Message> inbox,
+                         Mailer& mailer)>;
+
+  virtual ~SyncRunner() = default;
+
+  virtual const graph::Graph& graph() const = 0;
+
+  /// Runs one synchronous round: every active node's handler sees the inbox
+  /// accumulated from the previous round; sends become next round's inboxes.
+  virtual void run_round(const Handler& handler) = 0;
+
+  /// Deactivates a node: it no longer receives, relays, or sends. Pending
+  /// messages to it are dropped. Only legal between rounds (the network is
+  /// quiescent at every run_round boundary).
+  virtual void deactivate(graph::VertexId v) = 0;
+  virtual bool is_active(graph::VertexId v) const = 0;
+  virtual const std::vector<bool>& active() const = 0;
+
+  virtual const TrafficStats& stats() const = 0;
+};
+
 /// Synchronous round-based message-passing engine over a connectivity graph.
 ///
 /// In each round every *active* node handles the messages delivered to it at
@@ -59,27 +95,19 @@ class Mailer {
 /// standard LOCAL/CONGEST-style abstraction the paper's distributed
 /// algorithm is described in ("these deletion operations can iteratively run
 /// in rounds", Section V-B).
-class RoundEngine {
+class RoundEngine final : public SyncRunner {
  public:
   explicit RoundEngine(const graph::Graph& g);
 
-  const graph::Graph& graph() const { return *g_; }
+  const graph::Graph& graph() const override { return *g_; }
 
-  /// Deactivates a node: it no longer receives, relays, or sends. Pending
-  /// messages to it are dropped.
-  void deactivate(graph::VertexId v);
-  bool is_active(graph::VertexId v) const { return active_[v]; }
-  const std::vector<bool>& active() const { return active_; }
+  void deactivate(graph::VertexId v) override;
+  bool is_active(graph::VertexId v) const override { return active_[v]; }
+  const std::vector<bool>& active() const override { return active_; }
 
-  using Handler =
-      std::function<void(graph::VertexId node, std::span<const Message> inbox,
-                         Mailer& mailer)>;
+  void run_round(const Handler& handler) override;
 
-  /// Runs one synchronous round: every active node's handler sees the inbox
-  /// accumulated from the previous round; sends become next round's inboxes.
-  void run_round(const Handler& handler);
-
-  const TrafficStats& stats() const { return stats_; }
+  const TrafficStats& stats() const override { return stats_; }
   void reset_stats() { stats_ = {}; }
 
  private:

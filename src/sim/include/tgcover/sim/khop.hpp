@@ -25,13 +25,13 @@ struct LocalView {
   void erase_node(graph::VertexId v);
 };
 
-/// Runs the k-round adjacency-flooding protocol on `engine` for all active
-/// nodes and returns each node's LocalView. In round r every node forwards
-/// the adjacency records it learned in round r-1, so after k rounds node v
-/// holds the adjacency lists of exactly N^k(v) ∪ {v} (over the active
-/// topology).
+/// Runs the k-round adjacency-flooding protocol on `runner` (any SyncRunner
+/// substrate) for all active nodes and returns each node's LocalView. In
+/// round r every node forwards the adjacency records it learned in round
+/// r-1, so after k rounds node v holds the adjacency lists of exactly
+/// N^k(v) ∪ {v} (over the active topology).
 ///
 /// Message format: a sequence of records [node, degree, n_1..n_degree].
-std::vector<LocalView> collect_k_hop_views(RoundEngine& engine, unsigned k);
+std::vector<LocalView> collect_k_hop_views(SyncRunner& runner, unsigned k);
 
 }  // namespace tgc::sim

@@ -29,7 +29,7 @@ struct MisOutcome {
 /// flood their priorities `radius` hops; local maxima join the MIS and flood
 /// a block notice `radius` hops; repeats until all candidates are resolved.
 /// The result equals greedy selection in descending priority order.
-MisOutcome elect_mis_distributed(RoundEngine& engine,
+MisOutcome elect_mis_distributed(SyncRunner& runner,
                                  const std::vector<bool>& candidate,
                                  unsigned radius, std::uint64_t seed);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tgcover/obs/trace.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::sim {
@@ -51,19 +52,19 @@ void LocalView::erase_node(graph::VertexId v) {
   }
 }
 
-std::vector<LocalView> collect_k_hop_views(RoundEngine& engine, unsigned k) {
+std::vector<LocalView> collect_k_hop_views(SyncRunner& runner, unsigned k) {
   TGC_CHECK(k >= 1);
-  const graph::Graph& g = engine.graph();
+  const graph::Graph& g = runner.graph();
   const std::size_t n = g.num_vertices();
 
   std::vector<LocalView> views(n);
   // Seed: every active node knows its own (active-filtered) adjacency.
   for (graph::VertexId v = 0; v < n; ++v) {
-    if (!engine.is_active(v)) continue;
+    if (!runner.is_active(v)) continue;
     views[v].owner = v;
     std::vector<graph::VertexId> nbrs;
     for (const graph::VertexId u : g.neighbors(v)) {
-      if (engine.is_active(u)) nbrs.push_back(u);
+      if (runner.is_active(u)) nbrs.push_back(u);
     }
     views[v].adjacency.emplace(v, std::move(nbrs));
   }
@@ -74,7 +75,13 @@ std::vector<LocalView> collect_k_hop_views(RoundEngine& engine, unsigned k) {
   // holds the adjacency of N^r(v). The records learned in round k are not
   // forwarded further.
   for (unsigned round = 0; round <= k; ++round) {
-    engine.run_round([&](graph::VertexId node, std::span<const Message> inbox,
+    if (obs::trace_active()) {
+      obs::trace_emit(obs::TraceKind::kWave, obs::kTraceNoNode,
+                      obs::kTraceNoNode,
+                      static_cast<std::uint32_t>(obs::TracePhase::kKhop),
+                      round, static_cast<double>(runner.stats().rounds));
+    }
+    runner.run_round([&](graph::VertexId node, std::span<const Message> inbox,
                          Mailer& mailer) {
       std::vector<graph::VertexId> learned;
       for (const Message& msg : inbox) {

@@ -29,9 +29,9 @@ struct HeardPriority {
 /// every node accumulates the set of origins (with priorities) it heard.
 /// `msg_type` distinguishes priority floods from block-notice floods.
 std::vector<std::vector<HeardPriority>> flood_records(
-    RoundEngine& engine, const std::vector<std::vector<HeardPriority>>& initial,
+    SyncRunner& runner, const std::vector<std::vector<HeardPriority>>& initial,
     unsigned radius, std::uint32_t msg_type) {
-  const std::size_t n = engine.graph().num_vertices();
+  const std::size_t n = runner.graph().num_vertices();
   std::vector<std::vector<HeardPriority>> heard(n);
   std::vector<std::unordered_set<graph::VertexId>> known(n);
 
@@ -43,7 +43,7 @@ std::vector<std::vector<HeardPriority>> flood_records(
   }
 
   for (unsigned round = 0; round <= radius; ++round) {
-    engine.run_round([&](graph::VertexId node, std::span<const Message> inbox,
+    runner.run_round([&](graph::VertexId node, std::span<const Message> inbox,
                          Mailer& mailer) {
       std::vector<HeardPriority> learned;
       for (const Message& msg : inbox) {
@@ -78,17 +78,17 @@ std::vector<std::vector<HeardPriority>> flood_records(
 
 }  // namespace
 
-MisOutcome elect_mis_distributed(RoundEngine& engine,
+MisOutcome elect_mis_distributed(SyncRunner& runner,
                                  const std::vector<bool>& candidate,
                                  unsigned radius, std::uint64_t seed) {
-  const std::size_t n = engine.graph().num_vertices();
+  const std::size_t n = runner.graph().num_vertices();
   TGC_CHECK(candidate.size() == n);
 
   enum class State { kNone, kUnresolved, kSelected, kBlocked };
   std::vector<State> state(n, State::kNone);
   std::size_t unresolved = 0;
   for (graph::VertexId v = 0; v < n; ++v) {
-    if (candidate[v] && engine.is_active(v)) {
+    if (candidate[v] && runner.is_active(v)) {
       state[v] = State::kUnresolved;
       ++unresolved;
     }
@@ -106,7 +106,7 @@ MisOutcome elect_mis_distributed(RoundEngine& engine,
         initial[v].push_back(HeardPriority{v, mis_priority(seed, v)});
       }
     }
-    const auto heard = flood_records(engine, initial, radius, kMsgPriority);
+    const auto heard = flood_records(runner, initial, radius, kMsgPriority);
 
     // Decision: a candidate joins iff it is the strict maximum among the
     // unresolved priorities it heard (its own included). Priorities are
@@ -135,7 +135,7 @@ MisOutcome elect_mis_distributed(RoundEngine& engine,
     // Phase B: winners flood a block notice `radius` hops; unresolved
     // candidates hearing one are dominated and drop out.
     const auto blocked_by =
-        flood_records(engine, selected_notice, radius, kMsgSelected);
+        flood_records(runner, selected_notice, radius, kMsgSelected);
     for (graph::VertexId v = 0; v < n; ++v) {
       if (state[v] != State::kUnresolved) continue;
       bool blocked = false;

@@ -2,12 +2,14 @@
 // binary): generate → schedule → verify → quality → render on temp files.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "tgcover/app/cli.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 
 namespace tgc::app {
@@ -167,6 +169,137 @@ TEST_F(CliFixture, DistributedMatchesOracleSchedule) {
   sa << a.rdbuf();
   sb << b.rdbuf();
   EXPECT_EQ(sa.str(), sb.str());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// First unsigned integer following `marker` in `text` (or -1).
+long number_after(const std::string& text, const std::string& marker) {
+  const std::size_t at = text.find(marker);
+  if (at == std::string::npos) return -1;
+  return std::strtol(text.c_str() + at + marker.size(), nullptr, 10);
+}
+
+TEST_F(CliFixture, TraceIsDeterministicAndDoesNotPerturbSchedule) {
+  std::string out;
+  ASSERT_EQ(run({"generate", "--nodes", "120", "--degree", "18", "--seed",
+                 "21", "--out", net_.c_str()},
+                &out),
+            0);
+
+  // Baseline: untraced schedule.
+  const std::string plain = (dir_ / "plain.tgc").string();
+  ASSERT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3", "--seed",
+                 "9", "--out", plain.c_str()},
+                &out),
+            0)
+      << out;
+
+  // Traced runs at several thread counts, plus a repeat of the first: the
+  // JSONL trace must be byte-identical every time, and the schedule must be
+  // byte-identical to the untraced baseline.
+  std::vector<std::string> traces;
+  std::size_t variant = 0;
+  for (const char* threads : {"1", "2", "4", "1"}) {
+    const std::string sched =
+        (dir_ / ("sched" + std::to_string(variant) + ".tgc")).string();
+    const std::string jsonl =
+        (dir_ / ("trace" + std::to_string(variant) + ".jsonl")).string();
+    ++variant;
+    ASSERT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3",
+                   "--seed", "9", "--threads", threads, "--out",
+                   sched.c_str(), "--trace-jsonl", jsonl.c_str()},
+                  &out),
+              0)
+        << out;
+    EXPECT_EQ(slurp(sched), slurp(plain)) << "tracing perturbed the schedule";
+    traces.push_back(slurp(jsonl));
+    EXPECT_FALSE(traces.back().empty());
+  }
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[i], traces[0]) << "trace differs at variant " << i;
+  }
+}
+
+TEST_F(CliFixture, TraceAnalyzeMatchesSchedulerRounds) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  std::string out;
+  ASSERT_EQ(run({"generate", "--nodes", "130", "--degree", "20", "--seed",
+                 "6", "--out", net_.c_str()},
+                &out),
+            0);
+  const std::string jsonl = (dir_ / "trace.jsonl").string();
+  const std::string chrome = (dir_ / "trace.chrome.json").string();
+  ASSERT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3", "--seed",
+                 "2", "--out", sched_.c_str(), "--trace-jsonl", jsonl.c_str(),
+                 "--trace-out", chrome.c_str()},
+                &out),
+            0)
+      << out;
+  const long sched_rounds = number_after(out, "awake after ");
+  ASSERT_GT(sched_rounds, 0) << out;
+
+  // The analyzer recomputes the round count from the event stream alone; it
+  // must agree with what the scheduler reported. --check passes (exit 0).
+  std::string analysis;
+  ASSERT_EQ(run({"trace-analyze", jsonl.c_str(), "--check"}, &analysis), 0)
+      << analysis;
+  EXPECT_NE(analysis.find("trace OK"), std::string::npos) << analysis;
+  EXPECT_EQ(number_after(analysis, "scheduler: "), sched_rounds) << analysis;
+  EXPECT_NE(analysis.find("causal critical path: "), std::string::npos);
+
+  // The Chrome export exists and leads with the trace-event envelope.
+  const std::string chrome_text = slurp(chrome);
+  EXPECT_NE(chrome_text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome_text.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST_F(CliFixture, AsyncLossyMatchesSyncSchedule) {
+  std::string out;
+  ASSERT_EQ(run({"generate", "--nodes", "110", "--degree", "18", "--seed",
+                 "14", "--out", net_.c_str()},
+                &out),
+            0);
+  const std::string sync_out = (dir_ / "sync.tgc").string();
+  const std::string async_out = (dir_ / "async.tgc").string();
+  ASSERT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3", "--seed",
+                 "4", "--out", sync_out.c_str()},
+                &out),
+            0);
+  ASSERT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3", "--seed",
+                 "4", "--async", "--loss", "0.1", "--retransmit", "3", "--out",
+                 async_out.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("async substrate:"), std::string::npos) << out;
+  EXPECT_EQ(slurp(async_out), slurp(sync_out));
+}
+
+TEST_F(CliFixture, SinkFailuresExitNonzero) {
+  std::string out;
+  ASSERT_EQ(run({"generate", "--nodes", "60", "--degree", "10", "--seed",
+                 "2", "--out", net_.c_str()},
+                &out),
+            0);
+  // Unwritable metrics sink: the run must fail loudly, not exit 0 with the
+  // data silently dropped.
+  EXPECT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3", "--out",
+                 sched_.c_str(), "--metrics-out",
+                 "/nonexistent-tgc-dir/metrics.jsonl"},
+                &out),
+            1);
+  // Same for a trace sink.
+  EXPECT_EQ(run({"distributed", "--in", net_.c_str(), "--tau", "3", "--out",
+                 sched_.c_str(), "--trace-jsonl",
+                 "/nonexistent-tgc-dir/trace.jsonl"},
+                &out),
+            1);
 }
 
 TEST_F(CliFixture, RepairCommand) {

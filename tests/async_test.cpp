@@ -9,6 +9,7 @@
 
 #include "tgcover/gen/deployments.hpp"
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/obs.hpp"
 #include "tgcover/sim/async.hpp"
 #include "tgcover/sim/engine.hpp"
 #include "tgcover/util/check.hpp"
@@ -285,6 +286,112 @@ TEST(AsyncEngine, TimersFireInOrder) {
   });
   engine.run([](double, const Message&) {});
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AsyncEngine, EqualTimeEventsFireInPushOrder) {
+  // With a degenerate delay distribution a delivery and a timer land on the
+  // exact same instant; the tie must break by scheduling order (the event
+  // sequence number), not by event flavour — both orderings.
+  const Graph g = path_graph(2);
+  {
+    AsyncEngine engine(g, {.min_delay = 1.0, .max_delay = 1.0});
+    std::vector<int> order;
+    engine.send(0, 1, 1, {});  // delivered at exactly t = 1.0
+    engine.schedule(1.0, [&] { order.push_back(2); });
+    engine.run([&](double now, const Message&) {
+      EXPECT_DOUBLE_EQ(now, 1.0);
+      order.push_back(1);
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));  // message was pushed first
+  }
+  {
+    AsyncEngine engine(g, {.min_delay = 1.0, .max_delay = 1.0});
+    std::vector<int> order;
+    engine.schedule(1.0, [&] { order.push_back(1); });
+    engine.send(0, 1, 1, {});
+    engine.run([&](double, const Message&) { order.push_back(2); });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));  // timer was pushed first
+  }
+}
+
+TEST(AlphaSynchronizer, LossAndRetransmitCountersReachRegistry) {
+  // messages_lost / retransmissions must show up as first-class registry
+  // counters, equal to the engine's own accounting.
+  util::Rng rng(406);
+  const auto dep = gen::random_connected_udg(30, 2.2, 1.0, rng);
+  std::vector<std::uint32_t> value(dep.graph.num_vertices(), 1);
+  value[0] = 9000;
+
+  obs::set_enabled(true);
+  const obs::Metrics before = obs::snapshot();
+  AsyncEngine engine(dep.graph, {.min_delay = 0.2,
+                                 .max_delay = 1.0,
+                                 .loss_probability = 0.3,
+                                 .seed = 11});
+  AlphaSynchronizer sync(engine, /*retransmit_interval=*/2.0);
+  sync.run_rounds(6, max_aggregation(value));
+  const obs::Metrics delta = obs::snapshot() - before;
+  obs::set_enabled(false);
+
+  EXPECT_GT(engine.messages_lost(), 0u);
+  EXPECT_GT(sync.retransmissions(), 0u);
+  if (obs::kCompiledIn) {
+    EXPECT_EQ(delta.get(obs::CounterId::kMessagesLost),
+              engine.messages_lost());
+    EXPECT_EQ(delta.get(obs::CounterId::kRetransmissions),
+              sync.retransmissions());
+  } else {
+    EXPECT_EQ(delta.get(obs::CounterId::kMessagesLost), 0u);
+    EXPECT_EQ(delta.get(obs::CounterId::kRetransmissions), 0u);
+  }
+}
+
+TEST(AlphaSynchronizer, IncrementalRoundsWithMidProtocolDeactivation) {
+  // The scheduler drives the synchronizer one round at a time and powers
+  // nodes down between calls. Ten run_rounds(1) calls with a deactivation at
+  // the midpoint must reproduce the RoundEngine execution exactly — even
+  // over lossy links, and even though the victim's last broadcast is still
+  // in flight at the boundary (both substrates deliver it).
+  util::Rng rng(407);
+  const auto dep = gen::random_connected_udg(40, 2.4, 1.0, rng);
+  const Graph& g = dep.graph;
+  const std::size_t rounds = 10;
+  const VertexId victim = 7;
+
+  auto seed_values = [&] {
+    std::vector<std::uint32_t> v(g.num_vertices());
+    for (VertexId i = 0; i < g.num_vertices(); ++i) {
+      v[i] = static_cast<std::uint32_t>(util::splitmix64(123 + i) >> 40);
+    }
+    return v;
+  };
+
+  auto sync_values = seed_values();
+  {
+    RoundEngine engine(g);
+    const auto handler = max_aggregation(sync_values);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (r == rounds / 2) engine.deactivate(victim);
+      engine.run_round(handler);
+    }
+  }
+
+  auto async_values = seed_values();
+  {
+    AsyncEngine engine(g, {.min_delay = 0.3,
+                           .max_delay = 2.5,
+                           .loss_probability = 0.2,
+                           .seed = 55});
+    AlphaRunner runner(engine, /*retransmit_interval=*/2.0);
+    const auto handler = max_aggregation(async_values);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (r == rounds / 2) runner.deactivate(victim);
+      runner.run_round(handler);
+    }
+    EXPECT_EQ(runner.stats().rounds, rounds);
+  }
+
+  EXPECT_EQ(async_values, sync_values);
 }
 
 TEST(AsyncEngine, LossIsCounted) {

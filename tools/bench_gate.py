@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench run against a committed baseline.
+
+Compares a freshly produced bench JSON (e.g. from
+`bench_ablation_parallel --json fresh.json`) against the committed
+`BENCH_*.json` baseline and fails when the run regressed:
+
+  * determinism fields must match EXACTLY — `vpt_tests` is a pure function
+    of (nodes, tau, degree, seed), so any drift means the algorithm changed
+    behaviour, not just speed;
+  * a baseline row missing from the fresh run is a hard failure (silently
+    dropping a configuration is how regressions hide);
+  * `seconds` may grow up to --tolerance x the baseline (default 3.0 —
+    generous on purpose: baselines are recorded on developer machines and CI
+    runners are slower and noisier; the gate exists to catch catastrophic
+    slowdowns, not 10% jitter).
+
+Stdlib only. Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+With --advisory, regressions are reported but the exit code stays 0
+(used on PR builds; pushes to main hard-fail).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def row_key(row):
+    return (row.get("nodes"), row.get("threads"))
+
+
+def fmt_key(key):
+    return f"nodes={key[0]} threads={key[1]}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True, help="bench JSON from this build")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="max allowed seconds ratio fresh/baseline (default 3.0)",
+    )
+    ap.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if baseline.get("bench") != fresh.get("bench"):
+        print(
+            f"bench_gate: bench name mismatch: baseline "
+            f"{baseline.get('bench')!r} vs fresh {fresh.get('bench')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    base_rows = {row_key(r): r for r in baseline.get("results", [])}
+    fresh_rows = {row_key(r): r for r in fresh.get("results", [])}
+    if not base_rows:
+        print("bench_gate: baseline has no result rows", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"bench_gate: {baseline.get('bench')} "
+          f"({len(base_rows)} baseline rows, tolerance {args.tolerance}x)")
+    print(f"{'config':<28} {'base s':>10} {'fresh s':>10} {'ratio':>7}  verdict")
+    for key, base in sorted(base_rows.items()):
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            failures.append(f"{fmt_key(key)}: missing from fresh run")
+            print(f"{fmt_key(key):<28} {'-':>10} {'-':>10} {'-':>7}  MISSING")
+            continue
+        verdicts = []
+        if fresh_row.get("vpt_tests") != base.get("vpt_tests"):
+            verdicts.append(
+                f"vpt_tests {fresh_row.get('vpt_tests')} != baseline "
+                f"{base.get('vpt_tests')} (determinism!)"
+            )
+        base_s = float(base.get("seconds", 0.0))
+        fresh_s = float(fresh_row.get("seconds", 0.0))
+        ratio = fresh_s / base_s if base_s > 0 else float("inf")
+        if ratio > args.tolerance:
+            verdicts.append(f"{ratio:.2f}x slower than baseline")
+        status = "FAIL: " + "; ".join(verdicts) if verdicts else "ok"
+        print(f"{fmt_key(key):<28} {base_s:>10.4f} {fresh_s:>10.4f} "
+              f"{ratio:>6.2f}x  {status}")
+        for v in verdicts:
+            failures.append(f"{fmt_key(key)}: {v}")
+
+    extra = sorted(set(fresh_rows) - set(base_rows))
+    for key in extra:
+        print(f"{fmt_key(key):<28} (new row, not in baseline — ignored)")
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        if args.advisory:
+            print("bench_gate: advisory mode — not failing the build",
+                  file=sys.stderr)
+            return 0
+        return 1
+    print("bench_gate: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
