@@ -2,16 +2,21 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "tgcover/app/report.hpp"
+#include "tgcover/app/rounds.hpp"
+#include "tgcover/app/trace_analysis.hpp"
 #include "tgcover/core/confine.hpp"
 #include "tgcover/core/criterion.hpp"
 #include "tgcover/core/distributed.hpp"
@@ -22,7 +27,10 @@
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/io/network_io.hpp"
 #include "tgcover/io/svg.hpp"
+#include "tgcover/obs/flight.hpp"
 #include "tgcover/obs/jsonl.hpp"
+#include "tgcover/obs/log.hpp"
+#include "tgcover/obs/manifest.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/round_log.hpp"
 #include "tgcover/obs/trace.hpp"
@@ -32,6 +40,7 @@
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
 #include "tgcover/util/table.hpp"
+#include "tgcover/version.hpp"
 
 namespace tgc::app {
 
@@ -42,6 +51,88 @@ namespace {
 /// so saved files stay small and tool-agnostic.
 core::Network network_of(gen::Deployment dep, double band) {
   return core::prepare_network(std::move(dep), band);
+}
+
+// --------------------------------------------------------------- logging
+
+/// Declares and applies the three diagnostics knobs every subcommand takes:
+/// --log-level (runtime threshold), --log-out (sink file), --flight (ring
+/// capacity for the crash-context recorder). Applied before args.finish()
+/// so later TGC_CHECK failures already have the recorder armed.
+void configure_logging(util::ArgParser& args) {
+  const std::string level_text = args.get_string(
+      "log-level", "info", "log threshold: debug|info|warn|error|off");
+  const std::string log_out = args.get_string(
+      "log-out", "", "append structured log lines here instead of stderr");
+  const std::int64_t flight = args.get_int(
+      "flight", 0,
+      "retain the last N log lines per thread, dumped on check failure or "
+      "crash (0 = off)");
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  TGC_CHECK_MSG(obs::parse_log_level(level_text, level),
+                args.program() << ": bad --log-level '" << level_text
+                               << "' (debug|info|warn|error|off)");
+  obs::set_log_level(level);
+  TGC_CHECK_MSG(
+      flight >= 0 &&
+          static_cast<std::size_t>(flight) <= obs::kFlightMaxCapacity,
+      args.program() << ": --flight must be in [0, "
+                     << obs::kFlightMaxCapacity << "], got " << flight);
+  obs::set_flight_capacity(static_cast<std::size_t>(flight));
+  if (!log_out.empty()) {
+    std::string error;
+    TGC_CHECK_MSG(obs::set_log_file(log_out, &error), error);
+  }
+}
+
+// -------------------------------------------------------------- manifest
+
+/// Run timestamp for manifest sidecars: UTC ISO-8601 from the system clock,
+/// or the TGC_RUN_TIMESTAMP override so CI can pin it and byte-compare
+/// sidecars across reruns. Embedded stream headers never carry it.
+std::string run_timestamp() {
+  if (const char* env = std::getenv("TGC_RUN_TIMESTAMP")) return env;
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Splits the parser's resolved options into the manifest's semantic config
+/// (`semantic` keys — these determine the run's outputs and are embedded in
+/// every JSONL stream) and execution detail (everything else: threads, sink
+/// paths, log options — sidecar only).
+obs::RunManifest make_manifest(const std::string& command,
+                               const util::ArgParser& args,
+                               std::initializer_list<const char*> semantic) {
+  obs::RunManifest m;
+  m.command = command;
+  m.timestamp = run_timestamp();
+  const std::set<std::string> sem(semantic.begin(), semantic.end());
+  for (auto& [key, value] : args.resolved()) {
+    (sem.count(key) != 0 ? m.config : m.execution).emplace_back(key, value);
+  }
+  return m;
+}
+
+/// Writes `manifest.json` into the directory holding `sink_path`, so every
+/// artifact directory explains which build and config produced it.
+[[nodiscard]] bool write_manifest_sidecar(const obs::RunManifest& m,
+                                          const std::string& sink_path) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(sink_path).parent_path();
+  const fs::path path =
+      dir.empty() ? fs::path("manifest.json") : dir / "manifest.json";
+  obs::JsonlWriter w(path.string());
+  if (w.ok()) w.stream() << obs::manifest_sidecar_line(m) << "\n";
+  if (!w.close()) {
+    TGC_LOG(kError) << "manifest sidecar failed"
+                    << obs::kv("error", w.error());
+    return false;
+  }
+  return true;
 }
 
 // ------------------------------------------------------------- telemetry
@@ -64,129 +155,26 @@ MetricsOptions declare_metrics_options(util::ArgParser& args) {
   return m;
 }
 
-/// One row of the paper-style per-round overhead table, buildable both from
-/// a live RoundCollector and from a parsed JSONL file (`tgcover stats`).
-struct RoundRow {
-  std::uint64_t round = 0;
-  std::uint64_t active = 0;
-  std::uint64_t candidates = 0;
-  std::uint64_t deleted = 0;
-  std::uint64_t vpt_tests = 0;
-  std::uint64_t bfs_expansions = 0;
-  std::uint64_t horton_candidates = 0;
-  std::uint64_t gf2_pivots = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t messages_lost = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t ns_verdicts = 0;
-  std::uint64_t ns_mis = 0;
-  std::uint64_t ns_deletion = 0;
-
-  RoundRow& operator+=(const RoundRow& rhs) {
-    active = rhs.active;  // totals row shows the final awake count
-    candidates += rhs.candidates;
-    deleted += rhs.deleted;
-    vpt_tests += rhs.vpt_tests;
-    bfs_expansions += rhs.bfs_expansions;
-    horton_candidates += rhs.horton_candidates;
-    gf2_pivots += rhs.gf2_pivots;
-    messages += rhs.messages;
-    messages_lost += rhs.messages_lost;
-    retransmissions += rhs.retransmissions;
-    ns_verdicts += rhs.ns_verdicts;
-    ns_mis += rhs.ns_mis;
-    ns_deletion += rhs.ns_deletion;
-    return *this;
-  }
-};
-
-RoundRow row_from_event(const obs::RoundEvent& ev) {
-  RoundRow r;
-  r.round = ev.round;
-  r.active = ev.active;
-  r.candidates = ev.candidates;
-  r.deleted = ev.deleted;
-  r.vpt_tests = ev.delta.get(obs::CounterId::kVptTests);
-  r.bfs_expansions = ev.delta.get(obs::CounterId::kBfsExpansions);
-  r.horton_candidates = ev.delta.get(obs::CounterId::kHortonCandidates);
-  r.gf2_pivots = ev.delta.get(obs::CounterId::kGf2Pivots);
-  r.messages = ev.delta.get(obs::CounterId::kMessages);
-  r.messages_lost = ev.delta.get(obs::CounterId::kMessagesLost);
-  r.retransmissions = ev.delta.get(obs::CounterId::kRetransmissions);
-  r.ns_verdicts = ev.delta.span(obs::SpanId::kVerdicts).sum_ns;
-  r.ns_mis = ev.delta.span(obs::SpanId::kMis).sum_ns;
-  r.ns_deletion = ev.delta.span(obs::SpanId::kDeletion).sum_ns;
-  return r;
-}
-
-RoundRow row_from_record(const obs::JsonRecord& rec) {
-  RoundRow r;
-  r.round = rec.u64("round");
-  r.active = rec.u64("active");
-  r.candidates = rec.u64("candidates");
-  r.deleted = rec.u64("deleted");
-  r.vpt_tests = rec.u64("vpt_tests");
-  r.bfs_expansions = rec.u64("bfs_expansions");
-  r.horton_candidates = rec.u64("horton_candidates");
-  r.gf2_pivots = rec.u64("gf2_pivots");
-  r.messages = rec.u64("messages");
-  r.messages_lost = rec.u64("messages_lost");
-  r.retransmissions = rec.u64("retransmissions");
-  r.ns_verdicts = rec.u64("ns_verdicts");
-  r.ns_mis = rec.u64("ns_mis");
-  r.ns_deletion = rec.u64("ns_deletion");
-  return r;
-}
-
-std::string render_round_table(const std::vector<RoundRow>& rows) {
-  util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
-                     "gf2", "msgs", "lost", "rexmit", "verdict ms", "mis ms",
-                     "del ms"});
-  const auto ms = [](std::uint64_t ns) {
-    return util::Table::num(static_cast<double>(ns) / 1e6, 2);
-  };
-  RoundRow total;
-  for (const RoundRow& r : rows) {
-    total += r;
-    table.add_row({std::to_string(r.round), std::to_string(r.active),
-                   std::to_string(r.candidates), std::to_string(r.deleted),
-                   std::to_string(r.vpt_tests),
-                   std::to_string(r.bfs_expansions),
-                   std::to_string(r.horton_candidates),
-                   std::to_string(r.gf2_pivots), std::to_string(r.messages),
-                   std::to_string(r.messages_lost),
-                   std::to_string(r.retransmissions), ms(r.ns_verdicts),
-                   ms(r.ns_mis), ms(r.ns_deletion)});
-  }
-  if (!rows.empty()) {
-    table.add_row({"total", std::to_string(total.active),
-                   std::to_string(total.candidates),
-                   std::to_string(total.deleted),
-                   std::to_string(total.vpt_tests),
-                   std::to_string(total.bfs_expansions),
-                   std::to_string(total.horton_candidates),
-                   std::to_string(total.gf2_pivots),
-                   std::to_string(total.messages),
-                   std::to_string(total.messages_lost),
-                   std::to_string(total.retransmissions), ms(total.ns_verdicts),
-                   ms(total.ns_mis), ms(total.ns_deletion)});
-  }
-  return table.to_string();
-}
-
-/// Writes the JSONL sink and/or the stderr table after a metered command.
-/// Returns false (after reporting on stderr) when the sink failed — the
-/// caller turns that into a non-zero exit code.
+/// Writes the JSONL sink (embedded manifest line first, sidecar after) and/
+/// or the stderr table after a metered command. Returns false (after
+/// logging the reason) when the sink failed — the caller turns that into a
+/// non-zero exit code.
 [[nodiscard]] bool emit_metrics(const MetricsOptions& opts,
                                 const obs::RoundCollector& c,
+                                const obs::RunManifest& manifest,
                                 std::ostream& out) {
   if (!opts.out_path.empty()) {
     obs::JsonlWriter w(opts.out_path);
-    if (w.ok()) c.write_jsonl(w.stream());
+    if (w.ok()) {
+      w.stream() << obs::manifest_header_line(manifest) << "\n";
+      c.write_jsonl(w.stream());
+    }
     if (!w.close()) {
-      std::cerr << "error: " << w.error() << "\n";
+      TGC_LOG(kError) << "metrics sink failed"
+                      << obs::kv("error", w.error());
       return false;
     }
+    if (!write_manifest_sidecar(manifest, opts.out_path)) return false;
     out << "wrote " << c.events().size() << " round records + summary to "
         << opts.out_path << "\n";
   }
@@ -223,6 +211,7 @@ int cmd_generate(util::ArgParser& args, std::ostream& out) {
       args.get_double("p-link", 0.6, "quasi-UDG band link probability");
   const double strip_aspect =
       args.get_double("aspect", 4.0, "strip length/width ratio");
+  configure_logging(args);
   args.finish();
 
   util::Rng rng(seed);
@@ -237,6 +226,8 @@ int cmd_generate(util::ArgParser& args, std::ostream& out) {
       util::Rng r = rng.fork(attempt);
       dep = gen::random_quasi_udg(n, side, 1.0, alpha, p_link, r);
       if (graph::is_connected(dep.graph)) break;
+      TGC_LOG(kDebug) << "quasi-UDG attempt disconnected, retrying"
+                      << obs::kv("attempt", attempt);
     }
   } else if (type == "strip") {
     const double area = static_cast<double>(n) * 3.1415926535 / degree;
@@ -246,6 +237,8 @@ int cmd_generate(util::ArgParser& args, std::ostream& out) {
       util::Rng r = rng.fork(attempt);
       dep = gen::random_strip_udg(n, strip_aspect * width, width, 1.0, r);
       if (graph::is_connected(dep.graph)) break;
+      TGC_LOG(kDebug) << "strip attempt disconnected, retrying"
+                      << obs::kv("attempt", attempt);
     }
   } else {
     out << "unknown --type '" << type << "'\n";
@@ -274,7 +267,10 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
                 "--threads must be in [0, 1024], got " << threads_arg);
   const auto threads = static_cast<unsigned>(threads_arg);
   const MetricsOptions metrics = declare_metrics_options(args);
+  configure_logging(args);
   args.finish();
+  const obs::RunManifest manifest =
+      make_manifest("schedule", args, {"in", "tau", "seed", "band"});
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
   core::DccConfig config;
@@ -285,7 +281,7 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   if (metrics.requested()) config.collector = &collector;
   const core::ScheduleSummary s = core::run_dcc(net, config);
   collector.finalize(s.result.survivors);
-  if (!emit_metrics(metrics, collector, out)) return 1;
+  if (!emit_metrics(metrics, collector, manifest, out)) return 1;
   io::save_mask(s.result.active, out_path);
   out << "scheduled tau=" << tau << ": " << s.result.survivors << " of "
       << net.dep.graph.num_vertices() << " nodes awake ("
@@ -303,6 +299,7 @@ int cmd_verify(util::ArgParser& args, std::ostream& out) {
   const double band = args.get_double("band", 1.0, "periphery band width");
   const std::string cert_path = args.get_string(
       "certificate", "", "write the explicit cycle partition here");
+  configure_logging(args);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
@@ -348,6 +345,7 @@ int cmd_quality(util::ArgParser& args, std::ostream& out) {
   const double band = args.get_double("band", 1.0, "periphery band width");
   const double gamma =
       args.get_double("gamma", 0.0, "sensing ratio for the Dmax bound (0 = skip)");
+  configure_logging(args);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
@@ -380,6 +378,7 @@ int cmd_render(util::ArgParser& args, std::ostream& out) {
   const std::string out_path =
       args.get_string("out", "network.svg", "output SVG file");
   const double band = args.get_double("band", 1.0, "periphery band width");
+  configure_logging(args);
   args.finish();
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
@@ -407,6 +406,7 @@ int cmd_trace(util::ArgParser& args, std::ostream& out) {
       args.get_int("epochs", 288, "packet epochs accumulated"));
   const std::string path =
       args.get_string("out", "trace.tgc", "output network file");
+  configure_logging(args);
   args.finish();
 
   const trace::GreenOrbsNetwork net = trace::build_greenorbs_network(options);
@@ -455,15 +455,20 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   const double retransmit = args.get_double(
       "retransmit", 4.0, "retransmission interval for unacked messages");
   const MetricsOptions metrics = declare_metrics_options(args);
+  configure_logging(args);
   args.finish();
+  const obs::RunManifest manifest = make_manifest(
+      "distributed", args,
+      {"in", "tau", "seed", "band", "async", "loss", "min-delay", "max-delay",
+       "net-seed", "retransmit"});
 
   TGC_CHECK_MSG(trace_clock == "wall" || trace_clock == "sim",
                 "--trace-clock must be 'wall' or 'sim'");
   TGC_CHECK_MSG(async || loss == 0.0, "--loss requires --async");
   const bool tracing = !trace_out.empty() || !trace_jsonl.empty();
   if (tracing && !obs::kCompiledIn) {
-    std::cerr << "note: tracing is compiled out (TGC_OBS=OFF); traces will "
-                 "contain no events\n";
+    TGC_LOG(kWarn)
+        << "tracing is compiled out (TGC_OBS=OFF); traces will have no events";
   }
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
@@ -493,7 +498,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
       tracing ? obs::trace_end() : std::vector<obs::TraceEvent>{};
 
   collector.finalize(result.schedule.survivors);
-  if (!emit_metrics(metrics, collector, out)) return 1;
+  if (!emit_metrics(metrics, collector, manifest, out)) return 1;
   if (!trace_out.empty()) {
     obs::JsonlWriter w(trace_out);
     if (w.ok()) {
@@ -502,19 +507,24 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
                                                    : obs::TraceClock::kWall);
     }
     if (!w.close()) {
-      std::cerr << "error: " << w.error() << "\n";
+      TGC_LOG(kError) << "trace sink failed" << obs::kv("error", w.error());
       return 1;
     }
+    if (!write_manifest_sidecar(manifest, trace_out)) return 1;
     out << "wrote Chrome trace (" << events.size() << " events) to "
         << trace_out << "\n";
   }
   if (!trace_jsonl.empty()) {
     obs::JsonlWriter w(trace_jsonl);
-    if (w.ok()) obs::write_trace_jsonl(events, w.stream());
+    if (w.ok()) {
+      w.stream() << obs::manifest_header_line(manifest) << "\n";
+      obs::write_trace_jsonl(events, w.stream());
+    }
     if (!w.close()) {
-      std::cerr << "error: " << w.error() << "\n";
+      TGC_LOG(kError) << "trace sink failed" << obs::kv("error", w.error());
       return 1;
     }
+    if (!write_manifest_sidecar(manifest, trace_jsonl)) return 1;
     out << "wrote JSONL trace (" << events.size() << " events) to "
         << trace_jsonl << "\n";
   }
@@ -553,7 +563,10 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
                 "--threads must be in [0, 1024], got " << threads_arg);
   const auto threads = static_cast<unsigned>(threads_arg);
   const MetricsOptions metrics = declare_metrics_options(args);
+  configure_logging(args);
   args.finish();
+  const obs::RunManifest manifest = make_manifest(
+      "repair", args, {"in", "schedule", "failed", "tau", "band"});
 
   const core::Network net = network_of(io::load_deployment(in_path), band);
   const auto active = io::load_mask(schedule_path);
@@ -570,7 +583,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
       net.dep.graph, net.internal, active, failed, net.cb, config);
   collector.finalize(static_cast<std::uint64_t>(
       std::count(result.active.begin(), result.active.end(), true)));
-  if (!emit_metrics(metrics, collector, out)) return 1;
+  if (!emit_metrics(metrics, collector, manifest, out)) return 1;
   io::save_mask(result.active, out_path);
   out << "repair: woke " << result.woken << " sleepers (radius "
       << result.final_radius << "), re-slept " << result.redeleted
@@ -584,39 +597,15 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
   const std::string in_path =
       args.get_string("in", "metrics.jsonl", "telemetry JSONL file");
   const bool csv = args.get_flag("csv", "emit the round table as CSV");
+  configure_logging(args);
   args.finish();
 
-  std::ifstream f(in_path);
-  TGC_CHECK_MSG(f.good(), "cannot open '" << in_path << "'");
-
-  std::vector<RoundRow> rows;
-  std::optional<obs::JsonRecord> summary;
-  std::size_t lineno = 0;
-  std::size_t skipped = 0;
-  std::string line;
-  while (std::getline(f, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    const std::optional<obs::JsonRecord> rec = obs::parse_jsonl_line(line);
-    if (!rec.has_value()) {
-      std::cerr << in_path << ":" << lineno << ": skipping malformed record\n";
-      ++skipped;
-      continue;
-    }
-    const std::string type = rec->text("type");
-    if (type == "round") {
-      rows.push_back(row_from_record(*rec));
-    } else if (type == "summary") {
-      summary = *rec;
-    } else {
-      std::cerr << in_path << ":" << lineno << ": skipping unknown record type '"
-                << type << "'\n";
-      ++skipped;
-    }
-  }
-  if (rows.empty() && !summary.has_value()) {
+  const RoundLog log = load_round_log(in_path);
+  for (const std::string& note : log.notes) TGC_LOG(kWarn) << note;
+  const std::vector<RoundRow>& rows = log.rows;
+  if (rows.empty() && !log.summary.has_value()) {
     out << "no telemetry records in " << in_path << "\n";
-    return skipped > 0 ? 1 : 0;
+    return log.skipped > 0 ? 1 : 0;
   }
 
   if (csv) {
@@ -637,43 +626,22 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
                      std::to_string(r.ns_deletion)});
     }
     out << table.to_csv();
-    return skipped > 0 ? 1 : 0;
+    return log.skipped > 0 ? 1 : 0;
   }
 
   out << render_round_table(rows);
-  if (summary.has_value()) {
-    out << "summary: " << summary->u64("rounds") << " rounds, "
-        << summary->u64("survivors") << " survivors, wall "
-        << util::Table::num(summary->number("wall_ns") / 1e6, 1) << " ms, "
-        << summary->u64("vpt_tests") << " VPT tests, "
-        << summary->u64("messages") << " messages";
-    if (summary->u64("obs_compiled") == 0) {
+  if (log.summary.has_value()) {
+    out << "summary: " << log.summary->u64("rounds") << " rounds, "
+        << log.summary->u64("survivors") << " survivors, wall "
+        << util::Table::num(log.summary->number("wall_ns") / 1e6, 1) << " ms, "
+        << log.summary->u64("vpt_tests") << " VPT tests, "
+        << log.summary->u64("messages") << " messages";
+    if (log.summary->u64("obs_compiled") == 0) {
       out << " (telemetry was compiled out: counters are zero)";
     }
     out << "\n";
   }
-  return skipped > 0 ? 1 : 0;
-}
-
-// ---------------------------------------------------------- trace-analyze
-
-/// One parsed JSONL trace event. Fields the export omitted (because they
-/// held their zero/sentinel defaults) come back as those defaults.
-struct ParsedTraceEvent {
-  std::uint64_t seq = 0;
-  std::string kind;
-  double sim = 0.0;
-  std::uint32_t node = obs::kTraceNoNode;
-  std::uint32_t peer = obs::kTraceNoNode;
-  std::uint64_t type = 0;
-  std::uint64_t value = 0;
-  std::uint64_t flow = 0;
-};
-
-std::uint64_t median_of(std::vector<std::uint64_t> v) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  return v[v.size() / 2];
+  return log.skipped > 0 ? 1 : 0;
 }
 
 int cmd_trace_analyze(util::ArgParser& args, std::ostream& out) {
@@ -683,242 +651,145 @@ int cmd_trace_analyze(util::ArgParser& args, std::ostream& out) {
       "check", "validate trace invariants; non-zero exit on violation");
   const auto top = static_cast<std::size_t>(
       args.get_int("top", 5, "busiest nodes to list"));
+  configure_logging(args);
   args.finish();
 
-  std::ifstream f(in_path);
-  TGC_CHECK_MSG(f.good(), "cannot open '" << in_path << "'");
-
-  std::optional<obs::JsonRecord> header;
-  std::vector<ParsedTraceEvent> events;
-  std::size_t violations = 0;
-  const auto violation = [&](const std::string& what) {
-    out << "violation: " << what << "\n";
-    ++violations;
-  };
-
-  std::size_t lineno = 0;
-  std::string line;
-  while (std::getline(f, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    const std::optional<obs::JsonRecord> rec = obs::parse_jsonl_line(line);
-    if (!rec.has_value()) {
-      violation(in_path + ":" + std::to_string(lineno) + ": malformed record");
-      continue;
-    }
-    if (rec->text("type") == "trace_header") {
-      header = *rec;
-      continue;
-    }
-    ParsedTraceEvent ev;
-    ev.seq = rec->u64("seq");
-    ev.kind = rec->text("kind");
-    ev.sim = rec->number("sim");
-    ev.node = static_cast<std::uint32_t>(rec->u64("node", obs::kTraceNoNode));
-    ev.peer = static_cast<std::uint32_t>(rec->u64("peer", obs::kTraceNoNode));
-    ev.type = rec->u64("type");
-    ev.value = rec->u64("value");
-    ev.flow = rec->u64("flow");
-    events.push_back(std::move(ev));
+  const TraceStats stats = analyze_trace_file(in_path);
+  for (const std::string& v : stats.violations) {
+    out << "violation: " << v << "\n";
   }
 
-  // ---- Invariant checks (always computed; --check makes them fatal).
-  if (!header.has_value()) {
-    violation("missing trace_header record");
-  } else if (header->u64("events") != events.size()) {
-    violation("header claims " + std::to_string(header->u64("events")) +
-              " events, file has " + std::to_string(events.size()));
-  }
-  std::uint64_t prev_seq = 0;
-  std::unordered_map<std::uint32_t, std::uint64_t> open_handler;
-  std::vector<std::uint64_t> phase_stack;
-  bool round_open = false;
-  std::unordered_set<std::uint64_t> sent_flows;
-  std::unordered_set<std::uint64_t> timer_flows;
-  for (const ParsedTraceEvent& ev : events) {
-    if (ev.seq <= prev_seq) {
-      violation("seq " + std::to_string(ev.seq) + " not increasing after " +
-                std::to_string(prev_seq));
-    }
-    prev_seq = ev.seq;
-    if (ev.kind == "send") {
-      sent_flows.insert(ev.flow);
-    } else if (ev.kind == "timer_set") {
-      timer_flows.insert(ev.flow);
-    } else if (ev.kind == "deliver" || ev.kind == "drop" ||
-               ev.kind == "loss") {
-      if (ev.flow != 0 && sent_flows.count(ev.flow) == 0) {
-        violation(ev.kind + " seq " + std::to_string(ev.seq) +
-                  " references unknown send flow " + std::to_string(ev.flow));
-      }
-    } else if (ev.kind == "timer_fire") {
-      if (ev.flow != 0 && timer_flows.count(ev.flow) == 0) {
-        violation("timer_fire seq " + std::to_string(ev.seq) +
-                  " references unknown timer flow " + std::to_string(ev.flow));
-      }
-    } else if (ev.kind == "handler_begin") {
-      if (!open_handler.emplace(ev.node, ev.seq).second) {
-        violation("nested handler_begin at node " + std::to_string(ev.node) +
-                  ", seq " + std::to_string(ev.seq));
-      }
-    } else if (ev.kind == "handler_end") {
-      if (open_handler.erase(ev.node) == 0) {
-        violation("handler_end without begin at node " +
-                  std::to_string(ev.node) + ", seq " + std::to_string(ev.seq));
-      }
-    } else if (ev.kind == "phase_begin") {
-      phase_stack.push_back(ev.type);
-    } else if (ev.kind == "phase_end") {
-      if (phase_stack.empty() || phase_stack.back() != ev.type) {
-        violation("unbalanced phase_end (type " + std::to_string(ev.type) +
-                  ") at seq " + std::to_string(ev.seq));
-      } else {
-        phase_stack.pop_back();
-      }
-    } else if (ev.kind == "sched_round_begin") {
-      if (round_open) violation("sched_round_begin inside an open round");
-      round_open = true;
-    } else if (ev.kind == "sched_round_end") {
-      if (!round_open) violation("sched_round_end without begin");
-      round_open = false;
-    }
-  }
-  for (const auto& [node, seq] : open_handler) {
-    violation("handler at node " + std::to_string(node) +
-              " (seq " + std::to_string(seq) + ") never closed");
-  }
-  if (!phase_stack.empty()) violation("phase never closed");
-  if (round_open) violation("scheduler round never closed");
-
-  // ---- Causal critical path: longest send→deliver chain per scheduler
-  // segment (segments are separated by sched_round_end — rounds are global
-  // barriers, so the critical path to convergence is the sum over segments).
-  std::unordered_map<std::uint32_t, std::uint64_t> chain_at_node;
-  std::unordered_map<std::uint64_t, std::uint64_t> chain_of_flow;
-  std::uint64_t segment_max = 0;
-  std::uint64_t critical_path = 0;
-  std::size_t deletion_rounds = 0;
-  std::size_t fixpoint_probes = 0;
-  std::unordered_map<std::uint32_t, std::uint64_t> sent_per_node;
-  std::unordered_map<std::uint32_t, std::uint64_t> recv_per_node;
-  std::unordered_map<std::uint64_t, double> send_time;
-  std::size_t latency_samples = 0;
-  double latency_sum = 0.0, latency_min = 0.0, latency_max = 0.0;
-  std::size_t sends = 0, delivers = 0, drops = 0, losses = 0;
-  std::size_t retransmits = 0, lost_words = 0;
-  std::size_t engine_rounds = 0;
-  for (const ParsedTraceEvent& ev : events) {
-    if (ev.kind == "send") {
-      ++sends;
-      ++sent_per_node[ev.node];
-      const std::uint64_t depth = chain_at_node[ev.node] + 1;
-      chain_of_flow[ev.flow] = depth;
-      segment_max = std::max(segment_max, depth);
-      send_time[ev.flow] = ev.sim;
-    } else if (ev.kind == "deliver") {
-      ++delivers;
-      ++recv_per_node[ev.node];
-      if (ev.flow != 0) {
-        const auto it = chain_of_flow.find(ev.flow);
-        if (it != chain_of_flow.end()) {
-          chain_at_node[ev.node] =
-              std::max(chain_at_node[ev.node], it->second);
-        }
-        const auto st = send_time.find(ev.flow);
-        if (st != send_time.end()) {
-          const double lat = ev.sim - st->second;
-          if (latency_samples == 0 || lat < latency_min) latency_min = lat;
-          if (latency_samples == 0 || lat > latency_max) latency_max = lat;
-          latency_sum += lat;
-          ++latency_samples;
-        }
-      }
-    } else if (ev.kind == "drop") {
-      ++drops;
-    } else if (ev.kind == "loss") {
-      ++losses;
-      lost_words += ev.value;
-    } else if (ev.kind == "retransmit") {
-      ++retransmits;
-    } else if (ev.kind == "engine_round") {
-      ++engine_rounds;
-    } else if (ev.kind == "sched_round_end") {
-      if (ev.type == 1) {
-        ++deletion_rounds;
-      } else {
-        ++fixpoint_probes;
-      }
-      critical_path += segment_max;
-      segment_max = 0;
-      chain_at_node.clear();
-      chain_of_flow.clear();
-    }
-  }
-  critical_path += segment_max;  // the pre-round khop segment / a tail
-
-  // ---- Report.
-  out << "trace: " << events.size() << " events";
-  if (header.has_value() && header->u64("obs_compiled") == 0) {
+  out << "trace: " << stats.events << " events";
+  if (stats.header.has_value() && stats.header->u64("obs_compiled") == 0) {
     out << " (tracing was compiled out)";
   }
   out << "\n";
-  if (!events.empty()) {
-    out << "scheduler: " << deletion_rounds << " deletion rounds, "
-        << fixpoint_probes << " fixpoint probe(s), " << engine_rounds
-        << " engine rounds\n";
-    out << "messages: " << sends << " sent, " << delivers << " delivered, "
-        << drops << " dropped, " << losses << " lost, " << retransmits
-        << " retransmissions\n";
-    out << "causal critical path: " << critical_path
-        << " message hops to convergence across " << deletion_rounds
+  if (stats.events > 0) {
+    out << "scheduler: " << stats.deletion_rounds << " deletion rounds, "
+        << stats.fixpoint_probes << " fixpoint probe(s), "
+        << stats.engine_rounds << " engine rounds\n";
+    out << "messages: " << stats.sends << " sent, " << stats.delivers
+        << " delivered, " << stats.drops << " dropped, " << stats.losses
+        << " lost, " << stats.retransmits << " retransmissions\n";
+    out << "causal critical path: " << stats.critical_path
+        << " message hops to convergence across " << stats.deletion_rounds
         << " deletion rounds\n";
-    if (latency_samples > 0) {
-      out << "delivery latency: min " << latency_min << ", mean "
-          << latency_sum / static_cast<double>(latency_samples) << ", max "
-          << latency_max << " (" << latency_samples << " samples)\n";
+    if (stats.latency_samples > 0) {
+      out << "delivery latency: min " << stats.latency_min << ", mean "
+          << stats.latency_sum / static_cast<double>(stats.latency_samples)
+          << ", max " << stats.latency_max << " (" << stats.latency_samples
+          << " samples)\n";
     }
-    if (losses > 0 || retransmits > 0) {
-      out << "loss recovery: " << losses << " transmissions (" << lost_words
-          << " words) lost on the air, recovered by " << retransmits
-          << " retransmissions\n";
+    if (stats.losses > 0 || stats.retransmits > 0) {
+      out << "loss recovery: " << stats.losses << " transmissions ("
+          << stats.lost_words << " words) lost on the air, recovered by "
+          << stats.retransmits << " retransmissions\n";
     }
-    std::vector<std::uint64_t> sent_counts, recv_counts;
-    for (const auto& [node, c] : sent_per_node) sent_counts.push_back(c);
-    for (const auto& [node, c] : recv_per_node) recv_counts.push_back(c);
-    if (!sent_counts.empty()) {
-      out << "per-node sent: min "
-          << *std::min_element(sent_counts.begin(), sent_counts.end())
-          << ", median " << median_of(sent_counts) << ", max "
-          << *std::max_element(sent_counts.begin(), sent_counts.end())
-          << "; received: min "
-          << *std::min_element(recv_counts.begin(), recv_counts.end())
-          << ", median " << median_of(recv_counts) << ", max "
-          << *std::max_element(recv_counts.begin(), recv_counts.end())
-          << "\n";
+    if (stats.has_traffic) {
+      out << "per-node sent: min " << stats.sent_min << ", median "
+          << stats.sent_median << ", max " << stats.sent_max
+          << "; received: min " << stats.recv_min << ", median "
+          << stats.recv_median << ", max " << stats.recv_max << "\n";
     }
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> busiest;
-    for (const auto& [node, c] : sent_per_node) {
-      const auto r = recv_per_node.find(node);
-      busiest.emplace_back(c + (r == recv_per_node.end() ? 0 : r->second),
-                           node);
-    }
-    std::sort(busiest.begin(), busiest.end(), [](const auto& a, const auto& b) {
-      return a.first != b.first ? a.first > b.first : a.second < b.second;
-    });
-    if (!busiest.empty()) {
+    if (!stats.busiest.empty()) {
       out << "busiest nodes:";
-      for (std::size_t i = 0; i < std::min(top, busiest.size()); ++i) {
-        out << " " << busiest[i].second << " (" << busiest[i].first << ")";
+      for (std::size_t i = 0; i < std::min(top, stats.busiest.size()); ++i) {
+        out << " " << stats.busiest[i].second << " (" << stats.busiest[i].first
+            << ")";
       }
       out << "\n";
     }
   }
 
-  if (violations > 0) {
-    out << violations << " invariant violation(s)\n";
+  if (!stats.violations.empty()) {
+    out << stats.violations.size() << " invariant violation(s)\n";
     return check ? 1 : 0;
   }
   if (check) out << "trace OK\n";
+  return 0;
+}
+
+int cmd_report(util::ArgParser& args, std::ostream& out) {
+  const std::string rounds_path = args.get_string(
+      "rounds", "metrics.jsonl", "round telemetry JSONL (from --metrics-out)");
+  const std::string trace_path = args.get_string(
+      "trace", "", "JSONL trace (from --trace-jsonl); optional");
+  const std::string out_path =
+      args.get_string("out", "report.html", "output HTML dashboard");
+  const std::string title =
+      args.get_string("title", "tgcover run report", "report headline");
+  configure_logging(args);
+  args.finish();
+
+  RoundLog log = load_round_log(rounds_path);
+  for (const std::string& note : log.notes) TGC_LOG(kWarn) << note;
+  if (log.rows.empty() && !log.summary.has_value()) {
+    out << "error: no round records in " << rounds_path
+        << " — produce one with --metrics-out\n";
+    return 1;
+  }
+
+  ReportInputs inputs;
+  inputs.title = title;
+  inputs.manifest = log.manifest;
+  inputs.rounds = std::move(log.rows);
+  inputs.summary = log.summary;
+
+  TraceStats trace;
+  if (!trace_path.empty()) {
+    trace = analyze_trace_file(trace_path);
+    if (!trace.violations.empty()) {
+      for (const std::string& v : trace.violations) {
+        out << "violation: " << v << "\n";
+      }
+      out << "error: refusing to fuse an inconsistent trace ("
+          << trace.violations.size() << " violation(s) in " << trace_path
+          << ")\n";
+      return 1;
+    }
+    if (trace.manifest.has_value() && inputs.manifest.has_value() &&
+        trace.manifest->fields() != inputs.manifest->fields()) {
+      std::string key = "?";
+      for (const auto& [k, v] : inputs.manifest->fields()) {
+        const auto it = trace.manifest->fields().find(k);
+        if (it == trace.manifest->fields().end() || it->second != v) {
+          key = k;
+          break;
+        }
+      }
+      out << "error: " << rounds_path << " and " << trace_path
+          << " come from different runs (manifests disagree on '" << key
+          << "'); refusing to fuse them\n";
+      return 1;
+    }
+    if (!inputs.manifest.has_value()) inputs.manifest = trace.manifest;
+    inputs.trace = &trace;
+  }
+
+  const std::string html = render_report_html(inputs);
+  std::ofstream f(out_path, std::ios::binary);
+  f << html;
+  f.flush();
+  if (!f.good()) {
+    TGC_LOG(kError) << "report sink failed" << obs::kv("path", out_path);
+    out << "error: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  out << "wrote report (" << inputs.rounds.size() << " rounds"
+      << (inputs.trace != nullptr ? ", trace fused" : "") << ") to "
+      << out_path << "\n";
+  return 0;
+}
+
+int cmd_version(std::ostream& out) {
+  out << kToolName << " " << kToolVersion << "\n"
+      << "git:      " << kGitSha << "\n"
+      << "build:    " << kBuildType << " (" << kCompiler << ")\n"
+      << "flags:    " << kBuildFlags << "\n"
+      << "telemetry " << (obs::kCompiledIn ? "compiled in" : "compiled out")
+      << ", log floor " << obs::log_level_name(
+             static_cast<obs::LogLevel>(TGC_LOG_FLOOR))
+      << "\n";
   return 0;
 }
 
@@ -926,34 +797,55 @@ void print_help(std::ostream& out) {
   out << "tgcover — distributed confine coverage (ICDCS'10 reproduction)\n"
          "usage: tgcover <command> [--key value ...]\n\n"
          "commands:\n"
-         "  generate   create a deployment (--type udg|quasi|strip --nodes N"
-         " --degree D --seed S --out FILE)\n"
-         "  schedule   run DCC (--in FILE --tau T --out MASK --threads N)\n"
-         "  verify     certify a schedule (--in FILE --schedule MASK --tau T)\n"
-         "  quality    void sizes + smallest certifiable tau (--in FILE"
-         " [--schedule MASK] [--gamma G])\n"
-         "  render     draw as SVG (--in FILE [--schedule MASK] --out SVG)\n"
-         "  trace      synthesize a GreenOrbs-style RSSI-trace network\n"
-         "  distributed run the real message-passing scheduler, report cost\n"
-         "             (--threads N; --async [--loss P --min-delay D"
+         "  generate       create a deployment (--type udg|quasi|strip"
+         " --nodes N --degree D\n"
+         "                 --seed S --out FILE)\n"
+         "  schedule       run DCC (--in FILE --tau T --out MASK --threads"
+         " N)\n"
+         "  verify         certify a schedule (--in FILE --schedule MASK"
+         " --tau T)\n"
+         "  quality        void sizes + smallest certifiable tau (--in FILE\n"
+         "                 [--schedule MASK] [--gamma G])\n"
+         "  render         draw as SVG (--in FILE [--schedule MASK] --out"
+         " SVG)\n"
+         "  trace          synthesize a GreenOrbs-style RSSI-trace network\n"
+         "  distributed    run the real message-passing scheduler, report"
+         " cost\n"
+         "                 (--threads N; --async [--loss P --min-delay D"
          " --max-delay D\n"
-         "             --net-seed S --retransmit I] runs over the lossy"
+         "                 --net-seed S --retransmit I] runs over the lossy"
          " asynchronous\n"
-         "             engine; --trace-out FILE writes Chrome/Perfetto JSON,\n"
-         "             --trace-jsonl FILE the compact causal event trace,\n"
-         "             --trace-clock wall|sim picks the Chrome timeline)\n"
-         "  repair     wake sleepers around crashed nodes and re-certify\n"
-         "  stats      aggregate a telemetry JSONL into a per-round table"
-         " (stats FILE | --in FILE [--csv])\n"
+         "                 engine; --trace-out FILE writes Chrome/Perfetto"
+         " JSON,\n"
+         "                 --trace-jsonl FILE the compact causal event"
+         " trace,\n"
+         "                 --trace-clock wall|sim picks the Chrome timeline)\n"
+         "  repair         wake sleepers around crashed nodes and"
+         " re-certify\n"
+         "  stats          aggregate a telemetry JSONL into a per-round"
+         " table\n"
+         "                 (stats FILE | --in FILE [--csv])\n"
          "  trace-analyze  causal analysis of a --trace-jsonl file: critical"
          " path,\n"
-         "             per-node traffic, latency, loss recovery"
-         " (trace-analyze FILE\n"
-         "             [--check] [--top N])\n"
-         "  help       this text\n\n"
-         "schedule / distributed / repair accept --metrics (per-round table on"
-         " stderr)\nand --metrics-out FILE (per-round JSONL for `tgcover"
-         " stats`).\n";
+         "                 per-node traffic, latency, loss recovery\n"
+         "                 (trace-analyze FILE [--check] [--top N])\n"
+         "  report         fuse a round log + trace into one self-contained"
+         " HTML\n"
+         "                 dashboard (report [METRICS] [--rounds FILE]"
+         " [--trace FILE]\n"
+         "                 [--out report.html] [--title T])\n"
+         "  version        print tool version, git revision, and build"
+         " flags\n"
+         "  help           this text\n\n"
+         "schedule / distributed / repair accept --metrics (per-round table"
+         " on stderr)\n"
+         "and --metrics-out FILE (per-round JSONL for `tgcover stats` /"
+         " `tgcover report`;\n"
+         "a manifest.json run-provenance sidecar lands next to every sink).\n"
+         "every command accepts --log-level debug|info|warn|error|off,"
+         " --log-out FILE,\n"
+         "and --flight N (keep the last N log lines per thread for crash"
+         " dumps).\n";
 }
 
 }  // namespace
@@ -964,15 +856,26 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
     return 2;
   }
   const std::string command = argv[1];
-  // Re-pack so ArgParser sees "<prog> --k v ..." without the subcommand.
-  // `stats` and `trace-analyze` also accept their input positionally
-  // (`tgcover stats m.jsonl`); rewrite that form to `--in m.jsonl`.
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_help(out);
+    return 0;
+  }
+  if (command == "version" || command == "--version" || command == "-V") {
+    return cmd_version(out);
+  }
+  // Re-pack so ArgParser sees "tgcover <command> --k v ..." — the composed
+  // program name is what finish() prints in unknown-option errors, so the
+  // message names the subcommand. `stats`, `trace-analyze`, and `report`
+  // also accept their input positionally (`tgcover stats m.jsonl`); rewrite
+  // that form to the named option.
+  const std::string program = "tgcover " + command;
   std::vector<const char*> rest;
-  rest.push_back(argv[0]);
+  rest.push_back(program.c_str());
   int first = 2;
-  if ((command == "stats" || command == "trace-analyze") && argc > 2 &&
-      argv[2][0] != '-') {
-    rest.push_back("--in");
+  if ((command == "stats" || command == "trace-analyze" ||
+       command == "report") &&
+      argc > 2 && argv[2][0] != '-') {
+    rest.push_back(command == "report" ? "--rounds" : "--in");
     rest.push_back(argv[2]);
     first = 3;
   }
@@ -989,10 +892,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "repair") return cmd_repair(args, out);
   if (command == "stats") return cmd_stats(args, out);
   if (command == "trace-analyze") return cmd_trace_analyze(args, out);
-  if (command == "help" || command == "--help" || command == "-h") {
-    print_help(out);
-    return 0;
-  }
+  if (command == "report") return cmd_report(args, out);
   out << "unknown command '" << command << "'\n";
   print_help(out);
   return 2;

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tgcover/app/rounds.hpp"
+#include "tgcover/app/trace_analysis.hpp"
+#include "tgcover/obs/jsonl.hpp"
+
+namespace tgc::app {
+
+/// Everything `tgcover report` fuses into the HTML dashboard. `manifest` is
+/// the embedded provenance record (from the round log or the trace);
+/// `trace` is optional — without it the critical-path section renders a
+/// note instead of the analysis.
+struct ReportInputs {
+  std::string title = "tgcover run report";
+  std::optional<obs::JsonRecord> manifest;
+  std::vector<RoundRow> rounds;
+  std::optional<obs::JsonRecord> summary;
+  const TraceStats* trace = nullptr;
+};
+
+/// Renders the self-contained dashboard: one HTML file, inline CSS and SVG,
+/// no external assets or scripts. Byte-deterministic for fixed inputs — no
+/// clocks, no locale, fixed float precision, sorted iteration only — so CI
+/// can assert two renders of the same run compare equal.
+std::string render_report_html(const ReportInputs& in);
+
+}  // namespace tgc::app

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tgcover/obs/jsonl.hpp"
+#include "tgcover/obs/round_log.hpp"
+
+namespace tgc::app {
+
+/// One row of the paper-style per-round overhead table, buildable both from
+/// a live RoundCollector and from a parsed JSONL file (`tgcover stats`,
+/// `tgcover report`).
+struct RoundRow {
+  std::uint64_t round = 0;
+  std::uint64_t active = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t vpt_tests = 0;
+  std::uint64_t bfs_expansions = 0;
+  std::uint64_t horton_candidates = 0;
+  std::uint64_t gf2_pivots = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t ns_verdicts = 0;
+  std::uint64_t ns_mis = 0;
+  std::uint64_t ns_deletion = 0;
+
+  RoundRow& operator+=(const RoundRow& rhs);
+};
+
+RoundRow row_from_event(const obs::RoundEvent& ev);
+RoundRow row_from_record(const obs::JsonRecord& rec);
+
+/// The fixed-width per-round table printed by --metrics and `tgcover stats`.
+std::string render_round_table(const std::vector<RoundRow>& rows);
+
+/// A parsed --metrics-out file: the round rows, the trailing summary record,
+/// and the embedded manifest header when the file carries one. Lines that
+/// parse but have an unknown type, and lines that do not parse at all, are
+/// counted in `skipped` with one human-readable note each (the callers log
+/// them); the embedded manifest is never counted as skipped.
+struct RoundLog {
+  std::vector<RoundRow> rows;
+  std::optional<obs::JsonRecord> summary;
+  std::optional<obs::JsonRecord> manifest;
+  std::size_t skipped = 0;
+  std::vector<std::string> notes;
+};
+
+/// Loads a telemetry JSONL file; TGC_CHECKs that `path` opens.
+RoundLog load_round_log(const std::string& path);
+
+}  // namespace tgc::app

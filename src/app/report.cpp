@@ -1,0 +1,553 @@
+#include "tgcover/app/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tgc::app {
+
+namespace {
+
+// ------------------------------------------------------------- formatting
+
+/// Fixed-precision, locale-free float formatting — the report must be
+/// byte-deterministic, so every double goes through here.
+std::string fnum(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Smallest 1/2/5 x 10^k that is >= v; 1.0 when v is not positive. Keeps
+/// axis maxima round without floating-point drift.
+double nice_ceil(double v) {
+  if (v <= 0.0) return 1.0;
+  double mag = 1.0;
+  while (mag < v) mag *= 10.0;
+  while (mag / 10.0 >= v) mag /= 10.0;
+  for (const double m : {mag / 10.0 * 2.0, mag / 10.0 * 5.0, mag}) {
+    if (m >= v) return m;
+  }
+  return mag;
+}
+
+std::string axis_label(double v) {
+  // Trim trailing zeros so "5", "2.5", "0.25" all come out minimal.
+  std::string s = fnum(v, 2);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+// ------------------------------------------------------------ chart frame
+
+constexpr double kSvgW = 760.0;
+constexpr double kSvgH = 240.0;
+constexpr double kPadL = 52.0;
+constexpr double kPadR = 14.0;
+constexpr double kPadT = 14.0;
+constexpr double kPadB = 30.0;
+
+/// One chart's coordinate system: n equal x slots over the plot area, a
+/// linear y scale from 0 to ymax.
+struct Frame {
+  std::size_t n = 1;
+  double ymax = 1.0;
+
+  double pw() const { return kSvgW - kPadL - kPadR; }
+  double ph() const { return kSvgH - kPadT - kPadB; }
+  double slot() const { return pw() / static_cast<double>(n == 0 ? 1 : n); }
+  double x(std::size_t i) const {
+    return kPadL + slot() * static_cast<double>(i);
+  }
+  double y(double v) const { return kPadT + ph() - (v / ymax) * ph(); }
+};
+
+void svg_begin(std::ostringstream& out, const std::string& aria_label) {
+  out << "<svg viewBox=\"0 0 " << axis_label(kSvgW) << ' ' << axis_label(kSvgH)
+      << "\" role=\"img\" aria-label=\"" << html_escape(aria_label) << "\">\n";
+}
+
+/// Hairline grid at 25/50/75%, y labels at 0/50/100%, the baseline, and
+/// sparse round labels under the slots.
+void draw_frame(std::ostringstream& out, const Frame& f,
+                const std::vector<std::uint64_t>& round_ids) {
+  const double x1 = kPadL + f.pw();
+  for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+    const double gy = f.y(f.ymax * frac);
+    out << "<line class=\"grid\" x1=\"" << fnum(kPadL, 1) << "\" y1=\""
+        << fnum(gy, 1) << "\" x2=\"" << fnum(x1, 1) << "\" y2=\""
+        << fnum(gy, 1) << "\"/>\n";
+  }
+  for (const double frac : {0.0, 0.5, 1.0}) {
+    out << "<text x=\"" << fnum(kPadL - 6, 1) << "\" y=\""
+        << fnum(f.y(f.ymax * frac) + 4, 1) << "\" text-anchor=\"end\">"
+        << axis_label(f.ymax * frac) << "</text>\n";
+  }
+  out << "<line class=\"baseline\" x1=\"" << fnum(kPadL, 1) << "\" y1=\""
+      << fnum(f.y(0), 1) << "\" x2=\"" << fnum(x1, 1) << "\" y2=\""
+      << fnum(f.y(0), 1) << "\"/>\n";
+  const std::size_t step = std::max<std::size_t>(1, (round_ids.size() + 11) / 12);
+  for (std::size_t i = 0; i < round_ids.size(); i += step) {
+    out << "<text x=\"" << fnum(f.x(i) + f.slot() / 2, 1) << "\" y=\""
+        << fnum(kSvgH - kPadB + 16, 1) << "\" text-anchor=\"middle\">"
+        << round_ids[i] << "</text>\n";
+  }
+  out << "<text x=\"" << fnum(kPadL + f.pw() / 2, 1) << "\" y=\""
+      << fnum(kSvgH - 2, 1) << "\" text-anchor=\"middle\">round</text>\n";
+}
+
+/// A baseline-anchored bar with a 4px-diameter rounded data end (falls back
+/// to a square top when the bar is too small to round).
+void bar_path(std::ostringstream& out, const std::string& cls, double x,
+              double y, double w, double h, const std::string& title) {
+  const double r = std::min({2.0, w / 2.0, h});
+  out << "<path class=\"" << cls << "\" d=\"M" << fnum(x, 2) << ','
+      << fnum(y + h, 2) << " L" << fnum(x, 2) << ',' << fnum(y + r, 2) << " Q"
+      << fnum(x, 2) << ',' << fnum(y, 2) << ' ' << fnum(x + r, 2) << ','
+      << fnum(y, 2) << " L" << fnum(x + w - r, 2) << ',' << fnum(y, 2) << " Q"
+      << fnum(x + w, 2) << ',' << fnum(y, 2) << ' ' << fnum(x + w, 2) << ','
+      << fnum(y + r, 2) << " L" << fnum(x + w, 2) << ',' << fnum(y + h, 2)
+      << " Z\"><title>" << html_escape(title) << "</title></path>\n";
+}
+
+void rect(std::ostringstream& out, const std::string& cls, double x, double y,
+          double w, double h, const std::string& title) {
+  out << "<rect class=\"" << cls << "\" x=\"" << fnum(x, 2) << "\" y=\""
+      << fnum(y, 2) << "\" width=\"" << fnum(w, 2) << "\" height=\""
+      << fnum(h, 2) << "\"><title>" << html_escape(title)
+      << "</title></rect>\n";
+}
+
+void legend(std::ostringstream& out,
+            const std::vector<std::pair<std::string, std::string>>& entries) {
+  out << "<div class=\"legend\">";
+  for (const auto& [chip, label] : entries) {
+    out << "<span><span class=\"chip " << chip << "\"></span>"
+        << html_escape(label) << "</span>";
+  }
+  out << "</div>\n";
+}
+
+// ---------------------------------------------------------------- charts
+
+std::string ms(std::uint64_t ns) {
+  return fnum(static_cast<double>(ns) / 1e6, 2);
+}
+
+/// Section: per-round scheduler phase time as stacked bars (verdict / MIS /
+/// deletion, bottom to top).
+void chart_phases(std::ostringstream& out, const std::vector<RoundRow>& rows) {
+  double maxv = 0.0;
+  for (const RoundRow& r : rows) {
+    maxv = std::max(
+        maxv, static_cast<double>(r.ns_verdicts + r.ns_mis + r.ns_deletion) /
+                  1e6);
+  }
+  Frame f;
+  f.n = rows.size();
+  f.ymax = nice_ceil(maxv);
+  legend(out, {{"c1", "verdict phase"},
+               {"c2", "MIS phase"},
+               {"c3", "deletion phase"}});
+  svg_begin(out, "Per-round scheduler phase time in milliseconds");
+  std::vector<std::uint64_t> ids;
+  for (const RoundRow& r : rows) ids.push_back(r.round);
+  draw_frame(out, f, ids);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RoundRow& r = rows[i];
+    const double bw = std::max(2.0, f.slot() * 0.7);
+    const double bx = f.x(i) + (f.slot() - bw) / 2.0;
+    struct Seg {
+      const char* cls;
+      const char* name;
+      double v;
+    };
+    const Seg segs[] = {
+        {"s1 seg", "verdict", static_cast<double>(r.ns_verdicts) / 1e6},
+        {"s2 seg", "MIS", static_cast<double>(r.ns_mis) / 1e6},
+        {"s3 seg", "deletion", static_cast<double>(r.ns_deletion) / 1e6},
+    };
+    double top = f.y(0);
+    int last = -1;
+    for (int s = 0; s < 3; ++s) {
+      if (segs[s].v > 0.0) last = s;
+    }
+    for (int s = 0; s < 3; ++s) {
+      const double h = (segs[s].v / f.ymax) * f.ph();
+      if (h <= 0.0) continue;
+      const std::string title = "round " + std::to_string(r.round) + " — " +
+                                segs[s].name + " " + fnum(segs[s].v, 2) +
+                                " ms";
+      top -= h;
+      if (s == last) {
+        bar_path(out, segs[s].cls, bx, top, bw, h, title);
+      } else {
+        rect(out, segs[s].cls, bx, top, bw, h, title);
+      }
+    }
+  }
+  out << "</svg>\n";
+}
+
+/// Section: the coverage curve — active nodes after each round (line) and
+/// nodes deleted in the round (bars). Both in node counts, one axis.
+void chart_coverage(std::ostringstream& out,
+                    const std::vector<RoundRow>& rows) {
+  double maxv = 0.0;
+  for (const RoundRow& r : rows) {
+    maxv = std::max({maxv, static_cast<double>(r.active),
+                     static_cast<double>(r.deleted)});
+  }
+  Frame f;
+  f.n = rows.size();
+  f.ymax = nice_ceil(maxv);
+  legend(out, {{"c1", "active nodes after round"},
+               {"c2", "deleted this round"}});
+  svg_begin(out, "Active and deleted node counts per round");
+  std::vector<std::uint64_t> ids;
+  for (const RoundRow& r : rows) ids.push_back(r.round);
+  draw_frame(out, f, ids);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RoundRow& r = rows[i];
+    const double bw = std::max(2.0, f.slot() * 0.45);
+    const double bx = f.x(i) + (f.slot() - bw) / 2.0;
+    const double h = (static_cast<double>(r.deleted) / f.ymax) * f.ph();
+    if (h > 0.0) {
+      bar_path(out, "s2", bx, f.y(0) - h, bw, h,
+               "round " + std::to_string(r.round) + " — deleted " +
+                   std::to_string(r.deleted));
+    }
+  }
+  std::ostringstream pts;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) pts << ' ';
+    pts << fnum(f.x(i) + f.slot() / 2.0, 2) << ','
+        << fnum(f.y(static_cast<double>(rows[i].active)), 2);
+  }
+  out << "<polyline class=\"line1\" points=\"" << pts.str() << "\"/>\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "<circle class=\"dot1\" cx=\"" << fnum(f.x(i) + f.slot() / 2.0, 2)
+        << "\" cy=\"" << fnum(f.y(static_cast<double>(rows[i].active)), 2)
+        << "\" r=\"2.5\"><title>round " << rows[i].round << " — active "
+        << rows[i].active << "</title></circle>\n";
+  }
+  out << "</svg>\n";
+}
+
+/// Section: per-round radio traffic as grouped bars (messages sent,
+/// retransmissions, transmissions lost).
+void chart_traffic(std::ostringstream& out, const std::vector<RoundRow>& rows) {
+  double maxv = 0.0;
+  for (const RoundRow& r : rows) {
+    maxv = std::max({maxv, static_cast<double>(r.messages),
+                     static_cast<double>(r.retransmissions),
+                     static_cast<double>(r.messages_lost)});
+  }
+  Frame f;
+  f.n = rows.size();
+  f.ymax = nice_ceil(maxv);
+  legend(out, {{"c1", "messages"},
+               {"c2", "retransmissions"},
+               {"c3", "lost on the air"}});
+  svg_begin(out, "Per-round message, retransmission, and loss counts");
+  std::vector<std::uint64_t> ids;
+  for (const RoundRow& r : rows) ids.push_back(r.round);
+  draw_frame(out, f, ids);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RoundRow& r = rows[i];
+    const double gw = f.slot() * 0.78;
+    const double gap = 2.0;
+    const double bw = std::max(1.0, (gw - 2 * gap) / 3.0);
+    const double gx = f.x(i) + (f.slot() - gw) / 2.0;
+    struct Bar {
+      const char* cls;
+      const char* name;
+      std::uint64_t v;
+    };
+    const Bar bars[] = {
+        {"s1", "messages", r.messages},
+        {"s2", "retransmissions", r.retransmissions},
+        {"s3", "lost", r.messages_lost},
+    };
+    for (int b = 0; b < 3; ++b) {
+      const double h = (static_cast<double>(bars[b].v) / f.ymax) * f.ph();
+      if (h <= 0.0) continue;
+      bar_path(out, bars[b].cls, gx + b * (bw + gap), f.y(0) - h, bw, h,
+               "round " + std::to_string(r.round) + " — " + bars[b].name +
+                   " " + std::to_string(bars[b].v));
+    }
+  }
+  out << "</svg>\n";
+}
+
+// --------------------------------------------------------------- sections
+
+void section_provenance(std::ostringstream& out,
+                        const std::optional<obs::JsonRecord>& manifest) {
+  out << "<section>\n<h2>Run provenance</h2>\n";
+  if (!manifest.has_value()) {
+    out << "<p class=\"note\">The input carried no embedded manifest (it "
+           "predates run provenance); build identity is unknown.</p>\n";
+    out << "</section>\n";
+    return;
+  }
+  out << "<table class=\"kv\">\n";
+  const auto row = [&out](const std::string& key, const std::string& value) {
+    out << "<tr><td>" << html_escape(key) << "</td><td>" << html_escape(value)
+        << "</td></tr>\n";
+  };
+  for (const char* key : {"tool", "tool_version", "git_sha", "build_type",
+                          "compiler", "build_flags", "command"}) {
+    if (manifest->has(key)) row(key, manifest->text(key));
+  }
+  if (manifest->has("obs_compiled")) {
+    row("telemetry", manifest->u64("obs_compiled") != 0 ? "compiled in"
+                                                        : "compiled out");
+  }
+  for (const auto& [key, value] : manifest->fields()) {
+    if (key.rfind("cfg_", 0) == 0) row("--" + key.substr(4), value);
+  }
+  out << "</table>\n</section>\n";
+}
+
+void section_summary_tiles(std::ostringstream& out,
+                           const std::optional<obs::JsonRecord>& summary) {
+  if (!summary.has_value()) return;
+  out << "<div class=\"tiles\">\n";
+  const auto tile = [&out](const std::string& value, const std::string& label) {
+    out << "<div class=\"tile\"><div class=\"tile-v\">" << html_escape(value)
+        << "</div><div class=\"tile-l\">" << html_escape(label)
+        << "</div></div>\n";
+  };
+  tile(std::to_string(summary->u64("rounds")), "deletion rounds");
+  tile(std::to_string(summary->u64("survivors")), "nodes awake");
+  tile(std::to_string(summary->u64("messages")), "messages");
+  tile(fnum(summary->number("wall_ns") / 1e6, 1) + " ms", "wall time");
+  out << "</div>\n";
+}
+
+void section_round_table(std::ostringstream& out,
+                         const std::vector<RoundRow>& rows) {
+  out << "<section>\n<h2>Per-round data</h2>\n"
+         "<p class=\"note\">The table view of the three charts above.</p>\n"
+         "<table>\n<tr><th>round</th><th>active</th><th>deleted</th>"
+         "<th>msgs</th><th>rexmit</th><th>lost</th><th>verdict ms</th>"
+         "<th>MIS ms</th><th>deletion ms</th></tr>\n";
+  RoundRow total;
+  for (const RoundRow& r : rows) {
+    total += r;
+    out << "<tr><td>" << r.round << "</td><td>" << r.active << "</td><td>"
+        << r.deleted << "</td><td>" << r.messages << "</td><td>"
+        << r.retransmissions << "</td><td>" << r.messages_lost << "</td><td>"
+        << ms(r.ns_verdicts) << "</td><td>" << ms(r.ns_mis) << "</td><td>"
+        << ms(r.ns_deletion) << "</td></tr>\n";
+  }
+  if (!rows.empty()) {
+    out << "<tr><td>total</td><td>" << total.active << "</td><td>"
+        << total.deleted << "</td><td>" << total.messages << "</td><td>"
+        << total.retransmissions << "</td><td>" << total.messages_lost
+        << "</td><td>" << ms(total.ns_verdicts) << "</td><td>"
+        << ms(total.ns_mis) << "</td><td>" << ms(total.ns_deletion)
+        << "</td></tr>\n";
+  }
+  out << "</table>\n</section>\n";
+}
+
+void section_critical_path(std::ostringstream& out, const TraceStats* trace) {
+  out << "<section>\n<h2>Causal critical path</h2>\n";
+  if (trace == nullptr) {
+    out << "<p class=\"note\">No trace provided — run with --trace FILE "
+           "(from distributed --trace-jsonl) to analyze the message-hop "
+           "critical path.</p>\n</section>\n";
+    return;
+  }
+  out << "<p class=\"note\">Longest send&#8594;deliver chain per scheduler "
+         "segment; rounds are global barriers, so convergence latency is "
+         "the sum over segments.</p>\n";
+  out << "<p><strong>" << trace->critical_path
+      << " message hops to convergence</strong> across "
+      << trace->deletion_rounds << " deletion round(s), "
+      << trace->fixpoint_probes << " fixpoint probe(s), "
+      << trace->engine_rounds << " engine rounds.</p>\n";
+  out << "<p class=\"note\">" << trace->sends << " sent, " << trace->delivers
+      << " delivered, " << trace->drops << " dropped, " << trace->losses
+      << " lost (" << trace->lost_words << " words), " << trace->retransmits
+      << " retransmissions.";
+  if (trace->latency_samples > 0) {
+    out << " Delivery latency min " << fnum(trace->latency_min, 3) << ", mean "
+        << fnum(trace->latency_sum /
+                    static_cast<double>(trace->latency_samples),
+                3)
+        << ", max " << fnum(trace->latency_max, 3) << " ("
+        << trace->latency_samples << " samples).";
+  }
+  out << "</p>\n";
+  out << "<table>\n<tr><th>segment</th><th>critical hops</th></tr>\n";
+  for (std::size_t i = 0; i < trace->segment_hops.size(); ++i) {
+    out << "<tr><td>" << (i + 1) << "</td><td>" << trace->segment_hops[i]
+        << "</td></tr>\n";
+  }
+  out << "<tr><td>total</td><td>" << trace->critical_path << "</td></tr>\n"
+      << "</table>\n";
+  if (!trace->busiest.empty()) {
+    out << "<p class=\"note\">Busiest nodes (sent + received):</p>\n"
+           "<table>\n<tr><th>node</th><th>messages</th></tr>\n";
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, trace->busiest.size());
+         ++i) {
+      out << "<tr><td>" << trace->busiest[i].second << "</td><td>"
+          << trace->busiest[i].first << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+  out << "</section>\n";
+}
+
+const char kStyle[] = R"css(
+  body.viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --page: #f9f9f7;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --muted: #898781;
+    --grid: #e1e0d9;
+    --baseline: #c3c2b7;
+    --border: rgba(11,11,11,0.10);
+    --series-1: #2a78d6;
+    --series-2: #eb6834;
+    --series-3: #1baf7a;
+    margin: 0; padding: 24px;
+    background: var(--page); color: var(--text-primary);
+    font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  @media (prefers-color-scheme: dark) {
+    body.viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --page: #0d0d0d;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --grid: #2c2c2a;
+      --baseline: #383835;
+      --border: rgba(255,255,255,0.10);
+      --series-1: #3987e5;
+      --series-2: #d95926;
+      --series-3: #199e70;
+    }
+  }
+  main { max-width: 840px; margin: 0 auto; }
+  h1 { font-size: 20px; margin: 0 0 4px; }
+  .sub { color: var(--text-secondary); margin: 0 0 20px; }
+  section { background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 16px 20px; margin: 0 0 16px; }
+  h2 { font-size: 15px; margin: 0 0 8px; }
+  .note { color: var(--text-secondary); margin: 0 0 8px; font-size: 13px; }
+  .tiles { display: flex; gap: 16px; margin: 0 0 16px; }
+  .tile { background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 20px; flex: 1; }
+  .tile-v { font-size: 22px; }
+  .tile-l { color: var(--text-secondary); font-size: 12px; }
+  .legend { display: flex; gap: 16px; margin: 0 0 6px;
+    color: var(--text-secondary); font-size: 12px; }
+  .chip { display: inline-block; width: 10px; height: 10px;
+    border-radius: 2px; margin-right: 6px; vertical-align: -1px; }
+  .chip.c1 { background: var(--series-1); }
+  .chip.c2 { background: var(--series-2); }
+  .chip.c3 { background: var(--series-3); }
+  svg { display: block; width: 100%; height: auto; }
+  svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+    fill: var(--muted); }
+  .grid { stroke: var(--grid); stroke-width: 1; }
+  .baseline { stroke: var(--baseline); stroke-width: 1; }
+  .s1 { fill: var(--series-1); }
+  .s2 { fill: var(--series-2); }
+  .s3 { fill: var(--series-3); }
+  .seg { stroke: var(--surface-1); stroke-width: 1; }
+  .line1 { fill: none; stroke: var(--series-1); stroke-width: 2; }
+  .dot1 { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 1; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th { color: var(--text-secondary); font-weight: 600; text-align: right;
+    padding: 4px 8px; border-bottom: 1px solid var(--baseline); }
+  td { text-align: right; padding: 3px 8px;
+    border-bottom: 1px solid var(--grid);
+    font-variant-numeric: tabular-nums; }
+  th:first-child, td:first-child { text-align: left; }
+  .kv td { text-align: left; font-variant-numeric: normal; }
+  .kv td:first-child { color: var(--text-secondary); width: 220px; }
+)css";
+
+}  // namespace
+
+std::string render_report_html(const ReportInputs& in) {
+  std::ostringstream out;
+  out << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+         "<meta charset=\"utf-8\">\n<title>"
+      << html_escape(in.title) << "</title>\n<style>" << kStyle
+      << "</style>\n</head>\n<body class=\"viz-root\">\n<main>\n";
+  out << "<h1>" << html_escape(in.title) << "</h1>\n";
+  if (in.manifest.has_value()) {
+    out << "<p class=\"sub\">tgcover " << html_escape(in.manifest->text("command"))
+        << " &#183; " << html_escape(in.manifest->text("tool_version", "?"))
+        << " (" << html_escape(in.manifest->text("git_sha", "unknown")) << ", "
+        << html_escape(in.manifest->text("build_type", "?")) << ")</p>\n";
+  } else {
+    out << "<p class=\"sub\">no embedded manifest in the inputs</p>\n";
+  }
+
+  section_summary_tiles(out, in.summary);
+  section_provenance(out, in.manifest);
+
+  out << "<section>\n<h2>Round timeline</h2>\n"
+         "<p class=\"note\">Scheduler time per deletion round, split by "
+         "phase (ms).";
+  bool any_phase = false;
+  for (const RoundRow& r : in.rounds) {
+    if (r.ns_verdicts + r.ns_mis + r.ns_deletion > 0) any_phase = true;
+  }
+  if (!any_phase) {
+    out << " All phase timers are zero — telemetry was compiled out or "
+           "--metrics was not requested at run time.";
+  }
+  out << "</p>\n";
+  chart_phases(out, in.rounds);
+  out << "</section>\n";
+
+  out << "<section>\n<h2>Coverage schedule</h2>\n"
+         "<p class=\"note\">Nodes still awake after each round, and the MIS "
+         "deleted in it.</p>\n";
+  chart_coverage(out, in.rounds);
+  out << "</section>\n";
+
+  out << "<section>\n<h2>Radio traffic</h2>\n"
+         "<p class=\"note\">Messages simulated per round, with the loss and "
+         "retransmission overhead of the asynchronous substrate.</p>\n";
+  chart_traffic(out, in.rounds);
+  out << "</section>\n";
+
+  section_round_table(out, in.rounds);
+  section_critical_path(out, in.trace);
+
+  out << "</main>\n</body>\n</html>\n";
+  return out.str();
+}
+
+}  // namespace tgc::app

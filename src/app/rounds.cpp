@@ -1,0 +1,134 @@
+#include "tgcover/app/rounds.hpp"
+
+#include <fstream>
+
+#include "tgcover/util/check.hpp"
+#include "tgcover/util/table.hpp"
+
+namespace tgc::app {
+
+RoundRow& RoundRow::operator+=(const RoundRow& rhs) {
+  active = rhs.active;  // totals row shows the final awake count
+  candidates += rhs.candidates;
+  deleted += rhs.deleted;
+  vpt_tests += rhs.vpt_tests;
+  bfs_expansions += rhs.bfs_expansions;
+  horton_candidates += rhs.horton_candidates;
+  gf2_pivots += rhs.gf2_pivots;
+  messages += rhs.messages;
+  messages_lost += rhs.messages_lost;
+  retransmissions += rhs.retransmissions;
+  ns_verdicts += rhs.ns_verdicts;
+  ns_mis += rhs.ns_mis;
+  ns_deletion += rhs.ns_deletion;
+  return *this;
+}
+
+RoundRow row_from_event(const obs::RoundEvent& ev) {
+  RoundRow r;
+  r.round = ev.round;
+  r.active = ev.active;
+  r.candidates = ev.candidates;
+  r.deleted = ev.deleted;
+  r.vpt_tests = ev.delta.get(obs::CounterId::kVptTests);
+  r.bfs_expansions = ev.delta.get(obs::CounterId::kBfsExpansions);
+  r.horton_candidates = ev.delta.get(obs::CounterId::kHortonCandidates);
+  r.gf2_pivots = ev.delta.get(obs::CounterId::kGf2Pivots);
+  r.messages = ev.delta.get(obs::CounterId::kMessages);
+  r.messages_lost = ev.delta.get(obs::CounterId::kMessagesLost);
+  r.retransmissions = ev.delta.get(obs::CounterId::kRetransmissions);
+  r.ns_verdicts = ev.delta.span(obs::SpanId::kVerdicts).sum_ns;
+  r.ns_mis = ev.delta.span(obs::SpanId::kMis).sum_ns;
+  r.ns_deletion = ev.delta.span(obs::SpanId::kDeletion).sum_ns;
+  return r;
+}
+
+RoundRow row_from_record(const obs::JsonRecord& rec) {
+  RoundRow r;
+  r.round = rec.u64("round");
+  r.active = rec.u64("active");
+  r.candidates = rec.u64("candidates");
+  r.deleted = rec.u64("deleted");
+  r.vpt_tests = rec.u64("vpt_tests");
+  r.bfs_expansions = rec.u64("bfs_expansions");
+  r.horton_candidates = rec.u64("horton_candidates");
+  r.gf2_pivots = rec.u64("gf2_pivots");
+  r.messages = rec.u64("messages");
+  r.messages_lost = rec.u64("messages_lost");
+  r.retransmissions = rec.u64("retransmissions");
+  r.ns_verdicts = rec.u64("ns_verdicts");
+  r.ns_mis = rec.u64("ns_mis");
+  r.ns_deletion = rec.u64("ns_deletion");
+  return r;
+}
+
+std::string render_round_table(const std::vector<RoundRow>& rows) {
+  util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
+                     "gf2", "msgs", "lost", "rexmit", "verdict ms", "mis ms",
+                     "del ms"});
+  const auto ms = [](std::uint64_t ns) {
+    return util::Table::num(static_cast<double>(ns) / 1e6, 2);
+  };
+  RoundRow total;
+  for (const RoundRow& r : rows) {
+    total += r;
+    table.add_row({std::to_string(r.round), std::to_string(r.active),
+                   std::to_string(r.candidates), std::to_string(r.deleted),
+                   std::to_string(r.vpt_tests),
+                   std::to_string(r.bfs_expansions),
+                   std::to_string(r.horton_candidates),
+                   std::to_string(r.gf2_pivots), std::to_string(r.messages),
+                   std::to_string(r.messages_lost),
+                   std::to_string(r.retransmissions), ms(r.ns_verdicts),
+                   ms(r.ns_mis), ms(r.ns_deletion)});
+  }
+  if (!rows.empty()) {
+    table.add_row({"total", std::to_string(total.active),
+                   std::to_string(total.candidates),
+                   std::to_string(total.deleted),
+                   std::to_string(total.vpt_tests),
+                   std::to_string(total.bfs_expansions),
+                   std::to_string(total.horton_candidates),
+                   std::to_string(total.gf2_pivots),
+                   std::to_string(total.messages),
+                   std::to_string(total.messages_lost),
+                   std::to_string(total.retransmissions), ms(total.ns_verdicts),
+                   ms(total.ns_mis), ms(total.ns_deletion)});
+  }
+  return table.to_string();
+}
+
+RoundLog load_round_log(const std::string& path) {
+  std::ifstream f(path);
+  TGC_CHECK_MSG(f.good(), "cannot open '" << path << "'");
+
+  RoundLog log;
+  std::size_t lineno = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::optional<obs::JsonRecord> rec = obs::parse_jsonl_line(line);
+    if (!rec.has_value()) {
+      log.notes.push_back(path + ":" + std::to_string(lineno) +
+                          ": skipping malformed record");
+      ++log.skipped;
+      continue;
+    }
+    const std::string type = rec->text("type");
+    if (type == "round") {
+      log.rows.push_back(row_from_record(*rec));
+    } else if (type == "summary") {
+      log.summary = *rec;
+    } else if (type == "manifest") {
+      log.manifest = *rec;
+    } else {
+      log.notes.push_back(path + ":" + std::to_string(lineno) +
+                          ": skipping unknown record type '" + type + "'");
+      ++log.skipped;
+    }
+  }
+  return log;
+}
+
+}  // namespace tgc::app

@@ -5,6 +5,7 @@
 
 #include "tgcover/core/criterion.hpp"
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/log.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/util/check.hpp"
 
@@ -90,6 +91,10 @@ RepairResult dcc_repair(const Graph& g, const std::vector<bool>& internal,
     result.survivors = cleaned.survivors;
     result.criterion_restored =
         certify && criterion_holds(g, cleaned.active, cb, config.tau);
+    TGC_LOG(kDebug) << "repair wave" << obs::kv("radius", radius)
+                    << obs::kv("woken", woken)
+                    << obs::kv("redeleted", cleaned.deleted)
+                    << obs::kv("restored", result.criterion_restored);
 
     if (!certify) return result;
     if (result.criterion_restored) return result;

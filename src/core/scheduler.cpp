@@ -1,6 +1,7 @@
 #include "tgcover/core/scheduler.hpp"
 
 #include "tgcover/graph/algorithms.hpp"
+#include "tgcover/obs/log.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/round_log.hpp"
 #include "tgcover/sim/mis.hpp"
@@ -171,6 +172,10 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     if (config.collector != nullptr) {
       config.collector->end_round(num_active, num_candidates, num_selected);
     }
+    TGC_LOG(kDebug) << "dcc round" << obs::kv("round", result.rounds)
+                    << obs::kv("active", num_active)
+                    << obs::kv("candidates", num_candidates)
+                    << obs::kv("deleted", num_selected);
   }
 
   result.survivors = 0;

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tgcover/obs/log.hpp"
+
+namespace tgc::obs {
+
+/// Flight recorder: a fixed-size lock-free ring of the most recent log
+/// records per thread, dumped as JSONL when a TGC_CHECK fires (via the
+/// util/check.hpp hook below) or a fatal signal arrives. It retains lines
+/// *below* the sink threshold too, so a `--log-level error` run still
+/// yields the per-round debug context leading up to a failure.
+///
+/// Concurrency: each thread appends only to its own ring (plain stores, no
+/// locks, no cross-thread write sharing — the registry shard discipline).
+/// Snapshot/dump are post-mortem operations: they read other threads' rings
+/// without synchronizing with in-flight appends, which is the right
+/// trade-off for a crash path (a torn record is sorted out by its seq) but
+/// means tests must quiesce writers before snapshotting.
+
+/// Record text is truncated to this many bytes (NUL included); the cap is
+/// what keeps ring slots POD and appends allocation-free.
+inline constexpr std::size_t kFlightMaxText = 224;
+
+/// Hard upper bound on --flight; rings are allocated at this size once per
+/// thread and the runtime capacity only bounds how many slots cycle.
+inline constexpr std::size_t kFlightMaxCapacity = 256;
+
+struct FlightRecord {
+  std::uint64_t seq = 0;  ///< global emission order (0 = slot never written)
+  LogLevel level = LogLevel::kDebug;
+  char text[kFlightMaxText] = {};
+};
+
+/// Per-thread ring capacity. 0 (the default) disables recording entirely —
+/// library users and tests see zero overhead and no dump spam unless they
+/// opt in (the CLI turns it on via --flight).
+std::size_t flight_capacity();
+void set_flight_capacity(std::size_t slots);  // clamped to kFlightMaxCapacity
+
+/// Appends one record to the calling thread's ring (no-op when capacity is
+/// 0). LogLine calls this for every formatted line; instrumentation that
+/// wants ring-only context without sink formatting can call it directly.
+void flight_note(LogLevel level, std::string_view text);
+
+/// Merged view of every ring, sorted by seq. Quiesce writers first (tests).
+std::vector<FlightRecord> flight_snapshot();
+
+/// Writes the snapshot as JSONL: one `{"type":"flight_dump",...}` header
+/// with `reason`, then one `{"type":"flight","seq":...,"level":"...",
+/// "msg":"..."}` per record.
+void flight_dump(std::ostream& out, std::string_view reason);
+
+/// Drops every ring's contents and restarts seq numbering. For tests.
+void flight_clear();
+
+/// TGC_CHECK failure hook (called from util/check.hpp before the throw):
+/// records the failure, then dumps the ring to the log sink so the
+/// post-mortem shows the rounds leading up to the failing expression, not
+/// just the expression. No-op when the recorder is off; never throws.
+void on_check_failed(const char* expr, const char* file, int line,
+                     const std::string& msg) noexcept;
+
+/// Installs fatal-signal handlers (SEGV/ABRT/FPE/ILL/BUS) that write a
+/// best-effort ring dump to stderr and re-raise. Called by the tgcover
+/// binary's main(), not by the library, so tests keep default signals.
+void install_crash_handlers();
+
+}  // namespace tgc::obs

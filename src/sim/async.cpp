@@ -1,5 +1,6 @@
 #include "tgcover/sim/async.hpp"
 
+#include "tgcover/obs/log.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/trace.hpp"
 #include "tgcover/util/check.hpp"
@@ -320,6 +321,9 @@ void AlphaSynchronizer::run_rounds(std::size_t rounds,
   // then), so a per-call topology snapshot is exact.
   refresh_topology();
   target_rounds_ += rounds;
+  TGC_LOG(kDebug) << "alpha-sync batch" << obs::kv("rounds", rounds)
+                  << obs::kv("target", target_rounds_)
+                  << obs::kv("sim_now", engine_->now());
 
   // Kick off; nodes whose previous-round inboxes are already complete (all
   // of round r-1 was delivered before the last call returned) run at once.

@@ -1,5 +1,6 @@
 #include "tgcover/util/args.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -31,32 +32,46 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
 
 std::int64_t ArgParser::get_int(const std::string& key, std::int64_t def,
                                 const std::string& help) {
-  declared_[key] = {help, std::to_string(def)};
   const auto it = values_.find(key);
-  if (it == values_.end()) return def;
-  return std::stoll(it->second);
+  const std::int64_t v = it == values_.end() ? def : std::stoll(it->second);
+  declared_[key] = {help, std::to_string(def), std::to_string(v)};
+  return v;
 }
+
+namespace {
+
+/// Shortest round-trip decimal form ("0.1", not std::to_string's
+/// "0.100000") — doubles land in manifests and the report's provenance
+/// table, where the canonical spelling should match what the user typed.
+std::string repr_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, end) : std::to_string(v);
+}
+
+}  // namespace
 
 double ArgParser::get_double(const std::string& key, double def,
                              const std::string& help) {
-  declared_[key] = {help, std::to_string(def)};
   const auto it = values_.find(key);
-  if (it == values_.end()) return def;
-  return std::stod(it->second);
+  const double v = it == values_.end() ? def : std::stod(it->second);
+  declared_[key] = {help, repr_double(def), repr_double(v)};
+  return v;
 }
 
 std::string ArgParser::get_string(const std::string& key,
                                   const std::string& def,
                                   const std::string& help) {
-  declared_[key] = {help, def};
   const auto it = values_.find(key);
-  if (it == values_.end()) return def;
-  return it->second;
+  const std::string v = it == values_.end() ? def : it->second;
+  declared_[key] = {help, def, v};
+  return v;
 }
 
 bool ArgParser::get_flag(const std::string& key, const std::string& help) {
-  declared_[key] = {help, "off"};
-  return values_.count(key) > 0;
+  const bool v = values_.count(key) > 0;
+  declared_[key] = {help, "off", v ? "on" : "off"};
+  return v;
 }
 
 void ArgParser::finish() const {
@@ -70,8 +85,16 @@ void ArgParser::finish() const {
   }
   for (const auto& [key, value] : values_) {
     (void)value;
-    TGC_CHECK_MSG(declared_.count(key) > 0, "unknown option --" << key);
+    TGC_CHECK_MSG(declared_.count(key) > 0,
+                  program_ << ": unknown option --" << key);
   }
+}
+
+std::vector<std::pair<std::string, std::string>> ArgParser::resolved() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(declared_.size());
+  for (const auto& [key, d] : declared_) out.emplace_back(key, d.value_repr);
+  return out;
 }
 
 }  // namespace tgc::util

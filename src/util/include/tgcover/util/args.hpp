@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tgc::util {
@@ -25,13 +26,23 @@ class ArgParser {
   bool get_flag(const std::string& key, const std::string& help = "");
 
   /// Call after all get_* declarations: exits with usage on --help, throws on
-  /// unknown keys.
+  /// unknown keys (the error names the program/subcommand, e.g.
+  /// "tgcover distributed: unknown option --bogus").
   void finish() const;
+
+  /// Every declared key with its *resolved* value (the provided one, or the
+  /// default when absent), as printable strings; flags resolve to
+  /// "on"/"off". This is what run manifests record, so call it only after
+  /// all get_* declarations.
+  std::vector<std::pair<std::string, std::string>> resolved() const;
+
+  const std::string& program() const { return program_; }
 
  private:
   struct Declared {
     std::string help;
     std::string default_repr;
+    std::string value_repr;
   };
 
   std::string program_;

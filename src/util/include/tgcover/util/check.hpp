@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "tgcover/obs/flight.hpp"
+
 namespace tgc {
 
 /// Error thrown when a TGC_CHECK precondition or invariant is violated.
@@ -15,6 +17,10 @@ class CheckError : public std::logic_error {
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {
+  // Post-mortem context first: when the flight recorder is on, this dumps
+  // the retained ring (the rounds leading up to the failure) to the log
+  // sink before the exception unwinds the evidence away. No-op when off.
+  obs::on_check_failed(expr, file, line, msg);
   std::ostringstream os;
   os << "check failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
