@@ -36,6 +36,8 @@ struct Sample {
   std::size_t nodes = 0;
   unsigned threads = 0;
   std::size_t tests = 0;
+  std::uint64_t bfs_expansions = 0;  // per sweep, from the registry
+  std::uint64_t logical_cost = 0;    // machine-independent scalar per sweep
   double seconds = 0.0;
   double tests_per_sec = 0.0;
   double speedup = 1.0;  // vs the 1-thread row of the same deployment
@@ -128,13 +130,12 @@ int main(int argc, char** argv) {
         best = std::min(best, timed_sweep(net, vpt, to_test, threads, verdicts));
       }
       const obs::Metrics delta = obs::snapshot() - before;
-      std::size_t tests = to_test.size();
-      if (obs::kCompiledIn) {
-        tests = delta.get(obs::CounterId::kVptTests) / reps;
-        TGC_CHECK_MSG(tests == to_test.size(),
-                      "registry counted " << tests << " VPT tests per sweep, "
-                                          << "expected " << to_test.size());
-      }
+      // Logical counters are live in both TGC_OBS builds, so the registry
+      // cross-check is unconditional.
+      const std::size_t tests = delta.get(obs::CounterId::kVptTests) / reps;
+      TGC_CHECK_MSG(tests == to_test.size(),
+                    "registry counted " << tests << " VPT tests per sweep, "
+                                        << "expected " << to_test.size());
       if (threads == 1) {
         reference = verdicts;
       } else {
@@ -147,6 +148,9 @@ int main(int argc, char** argv) {
       s.nodes = n;
       s.threads = threads;
       s.tests = tests;
+      s.bfs_expansions = delta.get(obs::CounterId::kBfsExpansions) / reps;
+      s.logical_cost =
+          obs::logical_cost(obs::CostVec{delta.counters}) / reps;
       s.seconds = best;
       s.tests_per_sec = static_cast<double>(to_test.size()) / best;
       if (threads == 1) serial_rate = s.tests_per_sec;
@@ -183,7 +187,10 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const Sample& s = samples[i];
       out << "    {\"nodes\": " << s.nodes << ", \"threads\": " << s.threads
-          << ", \"vpt_tests\": " << s.tests << ", \"seconds\": " << s.seconds
+          << ", \"vpt_tests\": " << s.tests
+          << ", \"bfs_expansions\": " << s.bfs_expansions
+          << ", \"logical_cost\": " << s.logical_cost
+          << ", \"seconds\": " << s.seconds
           << ", \"tests_per_sec\": " << s.tests_per_sec
           << ", \"speedup_vs_1t\": " << s.speedup << "}"
           << (i + 1 < samples.size() ? "," : "") << "\n";

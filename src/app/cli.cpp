@@ -14,8 +14,10 @@
 #include <utility>
 #include <vector>
 
+#include "tgcover/app/compare.hpp"
 #include "tgcover/app/report.hpp"
 #include "tgcover/app/rounds.hpp"
+#include "tgcover/app/run_bundle.hpp"
 #include "tgcover/app/trace_analysis.hpp"
 #include "tgcover/core/confine.hpp"
 #include "tgcover/core/criterion.hpp"
@@ -137,19 +139,26 @@ obs::RunManifest make_manifest(const std::string& command,
 
 // ------------------------------------------------------------- telemetry
 
-/// The two telemetry knobs shared by the scheduling commands. Declaring them
+/// The telemetry knobs shared by the scheduling commands. Declaring them
 /// turns the runtime counters on for the duration of the command.
 struct MetricsOptions {
-  std::string out_path;  ///< JSONL sink (empty = none)
-  bool table = false;    ///< print the per-round table to stderr
+  std::string out_path;   ///< full JSONL sink (empty = none)
+  std::string cost_path;  ///< logical-cost-only JSONL sink (empty = none)
+  bool table = false;     ///< print the per-round table to stderr
 
-  bool requested() const { return table || !out_path.empty(); }
+  bool requested() const {
+    return table || !out_path.empty() || !cost_path.empty();
+  }
 };
 
 MetricsOptions declare_metrics_options(util::ArgParser& args) {
   MetricsOptions m;
   m.out_path = args.get_string("metrics-out", "",
                                "write per-round telemetry JSONL here");
+  m.cost_path = args.get_string(
+      "cost-out", "",
+      "write only the machine-independent logical-cost JSONL here "
+      "(byte-identical across hosts, thread counts, and log levels)");
   m.table = args.get_flag("metrics", "print per-round telemetry to stderr");
   if (m.requested()) obs::set_enabled(true);
   return m;
@@ -178,6 +187,22 @@ MetricsOptions declare_metrics_options(util::ArgParser& args) {
     out << "wrote " << c.events().size() << " round records + summary to "
         << opts.out_path << "\n";
   }
+  if (!opts.cost_path.empty()) {
+    // The cost stream embeds only the semantic manifest header (cfg_ keys),
+    // so two runs of the same build and config produce byte-identical files
+    // no matter the thread count or log level.
+    obs::JsonlWriter w(opts.cost_path);
+    if (w.ok()) {
+      w.stream() << obs::manifest_header_line(manifest) << "\n";
+      c.write_cost_jsonl(w.stream());
+    }
+    if (!w.close()) {
+      TGC_LOG(kError) << "cost sink failed" << obs::kv("error", w.error());
+      return false;
+    }
+    if (!write_manifest_sidecar(manifest, opts.cost_path)) return false;
+    out << "wrote logical-cost JSONL to " << opts.cost_path << "\n";
+  }
   if (opts.table) {
     std::vector<RoundRow> rows;
     rows.reserve(c.events().size());
@@ -188,7 +213,8 @@ MetricsOptions declare_metrics_options(util::ArgParser& args) {
               << util::Table::num(static_cast<double>(c.wall_ns()) / 1e6, 1)
               << " ms";
     if (!obs::kCompiledIn) {
-      std::cerr << " (telemetry compiled out: counters are zero)";
+      std::cerr << " (span timers compiled out: ms columns are zero; "
+                   "logical counters stay live)";
     }
     std::cerr << "\n";
   }
@@ -601,18 +627,26 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
   args.finish();
 
   const RoundLog log = load_round_log(in_path);
+  if (!log.error.empty()) {
+    out << "error: " << log.error << "\n";
+    return 1;
+  }
   for (const std::string& note : log.notes) TGC_LOG(kWarn) << note;
   const std::vector<RoundRow>& rows = log.rows;
-  if (rows.empty() && !log.summary.has_value()) {
-    out << "no telemetry records in " << in_path << "\n";
-    return log.skipped > 0 ? 1 : 0;
+  if (rows.empty() && !log.summary.has_value() && log.cost_totals.empty()) {
+    // Covers both an empty file and a manifest-only one: a named error, not
+    // a silent empty table.
+    out << "error: no telemetry records in " << in_path
+        << (log.manifest.has_value() ? " (manifest only)" : "")
+        << " — produce it with --metrics-out or --cost-out\n";
+    return 1;
   }
 
   if (csv) {
     // Re-render through Table for the CSV path too, so columns stay in sync.
     util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
-                       "gf2", "msgs", "lost", "rexmit", "ns_verdicts", "ns_mis",
-                       "ns_deletion"});
+                       "gf2", "msgs", "lost", "rexmit", "cost", "ns_verdicts",
+                       "ns_mis", "ns_deletion"});
     for (const RoundRow& r : rows) {
       table.add_row({std::to_string(r.round), std::to_string(r.active),
                      std::to_string(r.candidates), std::to_string(r.deleted),
@@ -622,6 +656,7 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
                      std::to_string(r.gf2_pivots), std::to_string(r.messages),
                      std::to_string(r.messages_lost),
                      std::to_string(r.retransmissions),
+                     std::to_string(r.logical_cost),
                      std::to_string(r.ns_verdicts), std::to_string(r.ns_mis),
                      std::to_string(r.ns_deletion)});
     }
@@ -629,15 +664,27 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
     return log.skipped > 0 ? 1 : 0;
   }
 
-  out << render_round_table(rows);
+  if (!rows.empty()) out << render_round_table(rows);
+  if (!log.cost_totals.empty()) {
+    out << render_cost_table(log.cost_totals);
+  }
   if (log.summary.has_value()) {
+    std::uint64_t cost = log.summary->u64("logical_cost");
+    if (cost == 0) {
+      obs::CostVec v;
+      for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+        v.units[i] = log.summary->u64(
+            std::string(obs::counter_name(static_cast<obs::CounterId>(i))));
+      }
+      cost = obs::logical_cost(v);
+    }
     out << "summary: " << log.summary->u64("rounds") << " rounds, "
         << log.summary->u64("survivors") << " survivors, wall "
         << util::Table::num(log.summary->number("wall_ns") / 1e6, 1) << " ms, "
         << log.summary->u64("vpt_tests") << " VPT tests, "
-        << log.summary->u64("messages") << " messages";
+        << log.summary->u64("messages") << " messages, logical cost " << cost;
     if (log.summary->u64("obs_compiled") == 0) {
-      out << " (telemetry was compiled out: counters are zero)";
+      out << " (span timers were compiled out: ms columns are zero)";
     }
     out << "\n";
   }
@@ -711,7 +758,8 @@ int cmd_trace_analyze(util::ArgParser& args, std::ostream& out) {
 
 int cmd_report(util::ArgParser& args, std::ostream& out) {
   const std::string rounds_path = args.get_string(
-      "rounds", "metrics.jsonl", "round telemetry JSONL (from --metrics-out)");
+      "rounds", "metrics.jsonl",
+      "round telemetry JSONL (from --metrics-out) or a run directory");
   const std::string trace_path = args.get_string(
       "trace", "", "JSONL trace (from --trace-jsonl); optional");
   const std::string out_path =
@@ -721,10 +769,16 @@ int cmd_report(util::ArgParser& args, std::ostream& out) {
   configure_logging(args);
   args.finish();
 
-  RoundLog log = load_round_log(rounds_path);
+  RunBundle bundle = load_run_bundle(rounds_path);
+  if (!bundle.error.empty()) {
+    out << "error: " << bundle.error << "\n";
+    return 1;
+  }
+  RoundLog& log = bundle.log;
   for (const std::string& note : log.notes) TGC_LOG(kWarn) << note;
-  if (log.rows.empty() && !log.summary.has_value()) {
-    out << "error: no round records in " << rounds_path
+  if (log.rows.empty() && !log.summary.has_value() &&
+      log.cost_totals.empty()) {
+    out << "error: no round records in " << bundle.rounds_path
         << " — produce one with --metrics-out\n";
     return 1;
   }
@@ -733,6 +787,8 @@ int cmd_report(util::ArgParser& args, std::ostream& out) {
   inputs.title = title;
   inputs.manifest = log.manifest;
   inputs.rounds = std::move(log.rows);
+  inputs.costs = std::move(log.costs);
+  inputs.cost_totals = std::move(log.cost_totals);
   inputs.summary = log.summary;
 
   TraceStats trace;
@@ -781,13 +837,49 @@ int cmd_report(util::ArgParser& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_compare(std::vector<std::string> runs, util::ArgParser& args,
+                std::ostream& out) {
+  const std::string allow = args.get_string(
+      "allow-diff", "",
+      "comma-separated semantic config keys allowed to differ (e.g. "
+      "\"seed\"; \"manifest\" compares runs without provenance)");
+  const double threshold = args.get_double(
+      "threshold", 5.0, "highlight logical-cost regressions above this %");
+  const std::string json_path = args.get_string(
+      "json", "compare.json", "machine-readable delta sink (empty = none)");
+  const std::string html_path = args.get_string(
+      "out", "compare.html", "HTML diff dashboard sink (empty = none)");
+  const std::string title = args.get_string(
+      "title", "tgcover run comparison", "dashboard headline");
+  configure_logging(args);
+  args.finish();
+
+  CompareOptions opts;
+  opts.runs = std::move(runs);
+  for (std::size_t start = 0; start <= allow.size();) {
+    const std::size_t comma = allow.find(',', start);
+    const std::size_t end = comma == std::string::npos ? allow.size() : comma;
+    if (end > start) {
+      opts.allow_diff.push_back(allow.substr(start, end - start));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  opts.threshold_pct = threshold;
+  opts.json_path = json_path;
+  opts.html_path = html_path;
+  opts.title = title;
+  return compare_runs(opts, out);
+}
+
 int cmd_version(std::ostream& out) {
   out << kToolName << " " << kToolVersion << "\n"
       << "git:      " << kGitSha << "\n"
       << "build:    " << kBuildType << " (" << kCompiler << ")\n"
       << "flags:    " << kBuildFlags << "\n"
-      << "telemetry " << (obs::kCompiledIn ? "compiled in" : "compiled out")
-      << ", log floor " << obs::log_level_name(
+      << "span timers " << (obs::kCompiledIn ? "compiled in" : "compiled out")
+      << " (logical counters always on), log floor "
+      << obs::log_level_name(
              static_cast<obs::LogLevel>(TGC_LOG_FLOOR))
       << "\n";
   return 0;
@@ -831,21 +923,35 @@ void print_help(std::ostream& out) {
          "                 (trace-analyze FILE [--check] [--top N])\n"
          "  report         fuse a round log + trace into one self-contained"
          " HTML\n"
-         "                 dashboard (report [METRICS] [--rounds FILE]"
+         "                 dashboard (report [METRICS|DIR] [--rounds FILE]"
          " [--trace FILE]\n"
          "                 [--out report.html] [--title T])\n"
+         "  compare        diff two or more runs by machine-independent"
+         " logical cost\n"
+         "                 (compare RUN1 RUN2 [RUN...] [--allow-diff"
+         " key,...]\n"
+         "                 [--threshold PCT] [--json compare.json]"
+         " [--out compare.html];\n"
+         "                 refuses runs whose semantic config differs;"
+         " wall-clock is\n"
+         "                 reported but advisory)\n"
          "  version        print tool version, git revision, and build"
          " flags\n"
          "  help           this text\n\n"
          "schedule / distributed / repair accept --metrics (per-round table"
-         " on stderr)\n"
-         "and --metrics-out FILE (per-round JSONL for `tgcover stats` /"
-         " `tgcover report`;\n"
-         "a manifest.json run-provenance sidecar lands next to every sink).\n"
+         " on stderr),\n"
+         "--metrics-out FILE (per-round JSONL for `tgcover stats` /"
+         " `tgcover report`),\n"
+         "and --cost-out FILE (logical-cost-only JSONL, byte-identical"
+         " across hosts,\n"
+         "thread counts, and log levels; a manifest.json run-provenance"
+         " sidecar lands\n"
+         "next to every sink).\n"
          "every command accepts --log-level debug|info|warn|error|off,"
          " --log-out FILE,\n"
          "and --flight N (keep the last N log lines per thread for crash"
-         " dumps).\n";
+         " dumps).\n"
+         "options may be spelled --key value or --key=value.\n";
 }
 
 }  // namespace
@@ -879,6 +985,14 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
     rest.push_back(argv[2]);
     first = 3;
   }
+  // `compare` takes its run directories positionally, before any options.
+  std::vector<std::string> compare_paths;
+  if (command == "compare") {
+    while (first < argc && argv[first][0] != '-') {
+      compare_paths.emplace_back(argv[first]);
+      ++first;
+    }
+  }
   for (int i = first; i < argc; ++i) rest.push_back(argv[i]);
   util::ArgParser args(static_cast<int>(rest.size()), rest.data());
 
@@ -893,6 +1007,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "stats") return cmd_stats(args, out);
   if (command == "trace-analyze") return cmd_trace_analyze(args, out);
   if (command == "report") return cmd_report(args, out);
+  if (command == "compare") {
+    return cmd_compare(std::move(compare_paths), args, out);
+  }
   out << "unknown command '" << command << "'\n";
   print_help(out);
   return 2;

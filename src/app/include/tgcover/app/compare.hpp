@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgc::app {
+
+/// Options for `tgcover compare` (resolved by the CLI layer).
+struct CompareOptions {
+  std::vector<std::string> runs;        ///< >= 2 run directories / files
+  std::vector<std::string> allow_diff;  ///< cfg keys allowed to differ
+  double threshold_pct = 5.0;  ///< highlight logical-cost deltas above this
+  std::string json_path;       ///< machine-readable delta sink
+  std::string html_path;       ///< byte-deterministic diff dashboard sink
+  std::string title;           ///< dashboard headline
+};
+
+/// Compares the first run (the baseline) against every other run by
+/// machine-independent logical cost. Refuses pairs whose semantic config
+/// differs unless the key is in `allow_diff` ("manifest" allows comparing
+/// runs without provenance). Writes the JSON delta and the HTML dashboard;
+/// returns 0 on success, 1 on load/refusal/sink errors (message on `out`).
+/// Wall-clock fields are emitted but always marked advisory.
+int compare_runs(const CompareOptions& opts, std::ostream& out);
+
+}  // namespace tgc::app

@@ -18,6 +18,8 @@ struct ReportInputs {
   std::string title = "tgcover run report";
   std::optional<obs::JsonRecord> manifest;
   std::vector<RoundRow> rounds;
+  std::vector<CostRow> costs;        ///< per-round, per-phase cost records
+  std::vector<CostRow> cost_totals;  ///< per-phase run totals
   std::optional<obs::JsonRecord> summary;
   const TraceStats* trace = nullptr;
 };

@@ -28,6 +28,8 @@ struct RoundRow {
   std::uint64_t ns_verdicts = 0;
   std::uint64_t ns_mis = 0;
   std::uint64_t ns_deletion = 0;
+  /// Machine-independent scalar (obs::logical_cost of the round's counters).
+  std::uint64_t logical_cost = 0;
 
   RoundRow& operator+=(const RoundRow& rhs);
 };
@@ -35,23 +37,47 @@ struct RoundRow {
 RoundRow row_from_event(const obs::RoundEvent& ev);
 RoundRow row_from_record(const obs::JsonRecord& rec);
 
+/// One parsed "cost"/"cost_total" record: a per-phase logical-cost vector.
+/// `round` is 0 for run totals.
+struct CostRow {
+  std::uint64_t round = 0;
+  std::string phase;
+  obs::CostVec vec;
+  std::uint64_t logical_cost = 0;
+};
+
+CostRow cost_from_record(const obs::JsonRecord& rec);
+
 /// The fixed-width per-round table printed by --metrics and `tgcover stats`.
 std::string render_round_table(const std::vector<RoundRow>& rows);
 
-/// A parsed --metrics-out file: the round rows, the trailing summary record,
-/// and the embedded manifest header when the file carries one. Lines that
-/// parse but have an unknown type, and lines that do not parse at all, are
-/// counted in `skipped` with one human-readable note each (the callers log
-/// them); the embedded manifest is never counted as skipped.
+/// The per-phase logical-cost table (`tgcover stats` prints it when the
+/// input carries cost records).
+std::string render_cost_table(const std::vector<CostRow>& totals);
+
+/// A parsed --metrics-out (or --cost-out) file: the round rows, per-round
+/// and total cost records, the trailing summary record, and the embedded
+/// manifest header when the file carries one. Lines that parse but have an
+/// unknown type, lines that do not parse at all (including a truncated
+/// final line), blank lines, and duplicate round ids are counted in
+/// `skipped` with one human-readable note each (the callers log them and
+/// exit non-zero); the embedded manifest is never counted as skipped.
 struct RoundLog {
   std::vector<RoundRow> rows;
+  std::vector<CostRow> costs;        ///< per-round, per-phase ("cost")
+  std::vector<CostRow> cost_totals;  ///< per-phase run totals ("cost_total")
   std::optional<obs::JsonRecord> summary;
   std::optional<obs::JsonRecord> manifest;
   std::size_t skipped = 0;
   std::vector<std::string> notes;
+  /// Non-empty when the file could not be opened at all; every other field
+  /// is empty then. Callers turn this into a named-file error + non-zero
+  /// exit instead of an empty table.
+  std::string error;
 };
 
-/// Loads a telemetry JSONL file; TGC_CHECKs that `path` opens.
+/// Loads a telemetry JSONL file. A missing/unreadable path is reported via
+/// RoundLog::error, not a crash.
 RoundLog load_round_log(const std::string& path);
 
 }  // namespace tgc::app

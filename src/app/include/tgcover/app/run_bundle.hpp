@@ -1,0 +1,31 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tgcover/app/rounds.hpp"
+
+namespace tgc::app {
+
+/// One loaded run: the parsed round/cost log plus the run's semantic
+/// identity, resolved from either a run directory or a JSONL file. Shared
+/// by `tgcover report` (one bundle) and `tgcover compare` (two or more).
+struct RunBundle {
+  std::string label;        ///< the path as the user gave it
+  std::string rounds_path;  ///< the JSONL file actually loaded
+  RoundLog log;
+  /// Semantic identity: "command" plus every cfg_-prefixed key from the
+  /// embedded manifest header (preferred) or the manifest.json sidecar.
+  /// Execution detail (threads, log level, sink paths) never appears here,
+  /// so runs that differ only in how they were executed compare equal.
+  std::map<std::string, std::string> config;
+  bool manifest_found = false;
+  std::string error;  ///< non-empty when the run could not be loaded
+};
+
+/// Loads a run. A directory is resolved to its `metrics.jsonl` (or, failing
+/// that, `cost.jsonl`); a file path is loaded directly. Missing paths and
+/// unreadable files land in RunBundle::error, never a crash.
+RunBundle load_run_bundle(const std::string& path);
+
+}  // namespace tgc::app

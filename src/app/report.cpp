@@ -2,156 +2,43 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdio>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "tgcover/app/html.hpp"
+#include "tgcover/obs/cost.hpp"
 
 namespace tgc::app {
 
 namespace {
 
-// ------------------------------------------------------------- formatting
-
-/// Fixed-precision, locale-free float formatting — the report must be
-/// byte-deterministic, so every double goes through here.
-std::string fnum(double v, int prec) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
-  return buf;
-}
-
-std::string html_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
-
-/// Smallest 1/2/5 x 10^k that is >= v; 1.0 when v is not positive. Keeps
-/// axis maxima round without floating-point drift.
-double nice_ceil(double v) {
-  if (v <= 0.0) return 1.0;
-  double mag = 1.0;
-  while (mag < v) mag *= 10.0;
-  while (mag / 10.0 >= v) mag /= 10.0;
-  for (const double m : {mag / 10.0 * 2.0, mag / 10.0 * 5.0, mag}) {
-    if (m >= v) return m;
-  }
-  return mag;
-}
-
-std::string axis_label(double v) {
-  // Trim trailing zeros so "5", "2.5", "0.25" all come out minimal.
-  std::string s = fnum(v, 2);
-  while (!s.empty() && s.back() == '0') s.pop_back();
-  if (!s.empty() && s.back() == '.') s.pop_back();
-  return s.empty() ? "0" : s;
-}
-
-// ------------------------------------------------------------ chart frame
-
-constexpr double kSvgW = 760.0;
-constexpr double kSvgH = 240.0;
-constexpr double kPadL = 52.0;
-constexpr double kPadR = 14.0;
-constexpr double kPadT = 14.0;
-constexpr double kPadB = 30.0;
-
-/// One chart's coordinate system: n equal x slots over the plot area, a
-/// linear y scale from 0 to ymax.
-struct Frame {
-  std::size_t n = 1;
-  double ymax = 1.0;
-
-  double pw() const { return kSvgW - kPadL - kPadR; }
-  double ph() const { return kSvgH - kPadT - kPadB; }
-  double slot() const { return pw() / static_cast<double>(n == 0 ? 1 : n); }
-  double x(std::size_t i) const {
-    return kPadL + slot() * static_cast<double>(i);
-  }
-  double y(double v) const { return kPadT + ph() - (v / ymax) * ph(); }
-};
-
-void svg_begin(std::ostringstream& out, const std::string& aria_label) {
-  out << "<svg viewBox=\"0 0 " << axis_label(kSvgW) << ' ' << axis_label(kSvgH)
-      << "\" role=\"img\" aria-label=\"" << html_escape(aria_label) << "\">\n";
-}
-
-/// Hairline grid at 25/50/75%, y labels at 0/50/100%, the baseline, and
-/// sparse round labels under the slots.
-void draw_frame(std::ostringstream& out, const Frame& f,
-                const std::vector<std::uint64_t>& round_ids) {
-  const double x1 = kPadL + f.pw();
-  for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
-    const double gy = f.y(f.ymax * frac);
-    out << "<line class=\"grid\" x1=\"" << fnum(kPadL, 1) << "\" y1=\""
-        << fnum(gy, 1) << "\" x2=\"" << fnum(x1, 1) << "\" y2=\""
-        << fnum(gy, 1) << "\"/>\n";
-  }
-  for (const double frac : {0.0, 0.5, 1.0}) {
-    out << "<text x=\"" << fnum(kPadL - 6, 1) << "\" y=\""
-        << fnum(f.y(f.ymax * frac) + 4, 1) << "\" text-anchor=\"end\">"
-        << axis_label(f.ymax * frac) << "</text>\n";
-  }
-  out << "<line class=\"baseline\" x1=\"" << fnum(kPadL, 1) << "\" y1=\""
-      << fnum(f.y(0), 1) << "\" x2=\"" << fnum(x1, 1) << "\" y2=\""
-      << fnum(f.y(0), 1) << "\"/>\n";
-  const std::size_t step = std::max<std::size_t>(1, (round_ids.size() + 11) / 12);
-  for (std::size_t i = 0; i < round_ids.size(); i += step) {
-    out << "<text x=\"" << fnum(f.x(i) + f.slot() / 2, 1) << "\" y=\""
-        << fnum(kSvgH - kPadB + 16, 1) << "\" text-anchor=\"middle\">"
-        << round_ids[i] << "</text>\n";
-  }
-  out << "<text x=\"" << fnum(kPadL + f.pw() / 2, 1) << "\" y=\""
-      << fnum(kSvgH - 2, 1) << "\" text-anchor=\"middle\">round</text>\n";
-}
-
-/// A baseline-anchored bar with a 4px-diameter rounded data end (falls back
-/// to a square top when the bar is too small to round).
-void bar_path(std::ostringstream& out, const std::string& cls, double x,
-              double y, double w, double h, const std::string& title) {
-  const double r = std::min({2.0, w / 2.0, h});
-  out << "<path class=\"" << cls << "\" d=\"M" << fnum(x, 2) << ','
-      << fnum(y + h, 2) << " L" << fnum(x, 2) << ',' << fnum(y + r, 2) << " Q"
-      << fnum(x, 2) << ',' << fnum(y, 2) << ' ' << fnum(x + r, 2) << ','
-      << fnum(y, 2) << " L" << fnum(x + w - r, 2) << ',' << fnum(y, 2) << " Q"
-      << fnum(x + w, 2) << ',' << fnum(y, 2) << ' ' << fnum(x + w, 2) << ','
-      << fnum(y + r, 2) << " L" << fnum(x + w, 2) << ',' << fnum(y + h, 2)
-      << " Z\"><title>" << html_escape(title) << "</title></path>\n";
-}
-
-void rect(std::ostringstream& out, const std::string& cls, double x, double y,
-          double w, double h, const std::string& title) {
-  out << "<rect class=\"" << cls << "\" x=\"" << fnum(x, 2) << "\" y=\""
-      << fnum(y, 2) << "\" width=\"" << fnum(w, 2) << "\" height=\""
-      << fnum(h, 2) << "\"><title>" << html_escape(title)
-      << "</title></rect>\n";
-}
-
-void legend(std::ostringstream& out,
-            const std::vector<std::pair<std::string, std::string>>& entries) {
-  out << "<div class=\"legend\">";
-  for (const auto& [chip, label] : entries) {
-    out << "<span><span class=\"chip " << chip << "\"></span>"
-        << html_escape(label) << "</span>";
-  }
-  out << "</div>\n";
-}
-
-// ---------------------------------------------------------------- charts
+using html::bar_path;
+using html::draw_frame;
+using html::fnum;
+using html::Frame;
+using html::legend;
+using html::nice_ceil;
+using html::rect;
+using html::svg_begin;
 
 std::string ms(std::uint64_t ns) {
   return fnum(static_cast<double>(ns) / 1e6, 2);
 }
+
+/// Fixed phase -> color-series mapping so the same phase gets the same color
+/// in every chart and legend (and across reports).
+const char* phase_series(const std::string& phase) {
+  if (phase == "verdicts") return "1";
+  if (phase == "mis") return "2";
+  if (phase == "deletion") return "3";
+  if (phase == "khop") return "4";
+  if (phase == "repair") return "5";
+  return "6";
+}
+
+// ---------------------------------------------------------------- charts
 
 /// Section: per-round scheduler phase time as stacked bars (verdict / MIS /
 /// deletion, bottom to top).
@@ -204,6 +91,104 @@ void chart_phases(std::ostringstream& out, const std::vector<RoundRow>& rows) {
         rect(out, segs[s].cls, bx, top, bw, h, title);
       }
     }
+  }
+  out << "</svg>\n";
+}
+
+/// Section: machine-independent logical cost per round as stacked bars, one
+/// segment per protocol phase. Same data on any host, thread count, or log
+/// level — this is the chart to eyeball across machines.
+void chart_cost_phases(std::ostringstream& out,
+                       const std::vector<CostRow>& costs) {
+  // Regroup the flat (round, phase) records into per-round stacks; records
+  // arrive in round order with deterministic phase order inside a round.
+  std::vector<std::pair<std::uint64_t,
+                        std::vector<std::pair<std::string, std::uint64_t>>>>
+      rounds;
+  std::vector<std::string> phases_seen;
+  for (const CostRow& c : costs) {
+    if (rounds.empty() || rounds.back().first != c.round) {
+      rounds.emplace_back(c.round, std::vector<std::pair<std::string,
+                                                         std::uint64_t>>{});
+    }
+    rounds.back().second.emplace_back(c.phase, c.logical_cost);
+    if (std::find(phases_seen.begin(), phases_seen.end(), c.phase) ==
+        phases_seen.end()) {
+      phases_seen.push_back(c.phase);
+    }
+  }
+  double maxv = 0.0;
+  for (const auto& [round, segs] : rounds) {
+    double sum = 0.0;
+    for (const auto& [phase, v] : segs) sum += static_cast<double>(v);
+    maxv = std::max(maxv, sum);
+  }
+  Frame f;
+  f.n = rounds.size();
+  f.ymax = nice_ceil(maxv);
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (const std::string& phase : phases_seen) {
+    entries.emplace_back("c" + std::string(phase_series(phase)), phase);
+  }
+  legend(out, entries);
+  svg_begin(out, "Per-round logical cost by protocol phase");
+  std::vector<std::uint64_t> ids;
+  for (const auto& [round, segs] : rounds) ids.push_back(round);
+  draw_frame(out, f, ids);
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const auto& segs = rounds[i].second;
+    const double bw = std::max(2.0, f.slot() * 0.7);
+    const double bx = f.x(i) + (f.slot() - bw) / 2.0;
+    double top = f.y(0);
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      const double h =
+          (static_cast<double>(segs[s].second) / f.ymax) * f.ph();
+      if (h <= 0.0) continue;
+      const std::string cls =
+          "s" + std::string(phase_series(segs[s].first)) + " seg";
+      const std::string title = "round " + std::to_string(rounds[i].first) +
+                                " — " + segs[s].first + " cost " +
+                                std::to_string(segs[s].second);
+      top -= h;
+      if (s + 1 == segs.size()) {
+        bar_path(out, cls, bx, top, bw, h, title);
+      } else {
+        rect(out, cls, bx, top, bw, h, title);
+      }
+    }
+  }
+  out << "</svg>\n";
+}
+
+/// Section: the per-round logical-cost curve (the scalar the bench gate and
+/// `tgcover compare` reason about).
+void chart_cost_curve(std::ostringstream& out,
+                      const std::vector<RoundRow>& rows) {
+  double maxv = 0.0;
+  for (const RoundRow& r : rows) {
+    maxv = std::max(maxv, static_cast<double>(r.logical_cost));
+  }
+  Frame f;
+  f.n = rows.size();
+  f.ymax = nice_ceil(maxv);
+  legend(out, {{"c1", "logical cost per round"}});
+  svg_begin(out, "Per-round logical cost");
+  std::vector<std::uint64_t> ids;
+  for (const RoundRow& r : rows) ids.push_back(r.round);
+  draw_frame(out, f, ids);
+  std::ostringstream pts;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) pts << ' ';
+    pts << fnum(f.x(i) + f.slot() / 2.0, 2) << ','
+        << fnum(f.y(static_cast<double>(rows[i].logical_cost)), 2);
+  }
+  out << "<polyline class=\"line1\" points=\"" << pts.str() << "\"/>\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "<circle class=\"dot1\" cx=\"" << fnum(f.x(i) + f.slot() / 2.0, 2)
+        << "\" cy=\""
+        << fnum(f.y(static_cast<double>(rows[i].logical_cost)), 2)
+        << "\" r=\"2.5\"><title>round " << rows[i].round << " — cost "
+        << rows[i].logical_cost << "</title></circle>\n";
   }
   out << "</svg>\n";
 }
@@ -312,16 +297,16 @@ void section_provenance(std::ostringstream& out,
   }
   out << "<table class=\"kv\">\n";
   const auto row = [&out](const std::string& key, const std::string& value) {
-    out << "<tr><td>" << html_escape(key) << "</td><td>" << html_escape(value)
-        << "</td></tr>\n";
+    out << "<tr><td>" << html::escape(key) << "</td><td>"
+        << html::escape(value) << "</td></tr>\n";
   };
   for (const char* key : {"tool", "tool_version", "git_sha", "build_type",
                           "compiler", "build_flags", "command"}) {
     if (manifest->has(key)) row(key, manifest->text(key));
   }
   if (manifest->has("obs_compiled")) {
-    row("telemetry", manifest->u64("obs_compiled") != 0 ? "compiled in"
-                                                        : "compiled out");
+    row("span timers", manifest->u64("obs_compiled") != 0 ? "compiled in"
+                                                          : "compiled out");
   }
   for (const auto& [key, value] : manifest->fields()) {
     if (key.rfind("cfg_", 0) == 0) row("--" + key.substr(4), value);
@@ -334,13 +319,13 @@ void section_summary_tiles(std::ostringstream& out,
   if (!summary.has_value()) return;
   out << "<div class=\"tiles\">\n";
   const auto tile = [&out](const std::string& value, const std::string& label) {
-    out << "<div class=\"tile\"><div class=\"tile-v\">" << html_escape(value)
-        << "</div><div class=\"tile-l\">" << html_escape(label)
+    out << "<div class=\"tile\"><div class=\"tile-v\">" << html::escape(value)
+        << "</div><div class=\"tile-l\">" << html::escape(label)
         << "</div></div>\n";
   };
   tile(std::to_string(summary->u64("rounds")), "deletion rounds");
   tile(std::to_string(summary->u64("survivors")), "nodes awake");
-  tile(std::to_string(summary->u64("messages")), "messages");
+  tile(std::to_string(summary->u64("logical_cost")), "logical cost");
   tile(fnum(summary->number("wall_ns") / 1e6, 1) + " ms", "wall time");
   out << "</div>\n";
 }
@@ -348,28 +333,65 @@ void section_summary_tiles(std::ostringstream& out,
 void section_round_table(std::ostringstream& out,
                          const std::vector<RoundRow>& rows) {
   out << "<section>\n<h2>Per-round data</h2>\n"
-         "<p class=\"note\">The table view of the three charts above.</p>\n"
+         "<p class=\"note\">The table view of the charts above; `cost` is "
+         "the machine-independent logical-cost scalar.</p>\n"
          "<table>\n<tr><th>round</th><th>active</th><th>deleted</th>"
-         "<th>msgs</th><th>rexmit</th><th>lost</th><th>verdict ms</th>"
-         "<th>MIS ms</th><th>deletion ms</th></tr>\n";
+         "<th>msgs</th><th>rexmit</th><th>lost</th><th>cost</th>"
+         "<th>verdict ms</th><th>MIS ms</th><th>deletion ms</th></tr>\n";
   RoundRow total;
   for (const RoundRow& r : rows) {
     total += r;
     out << "<tr><td>" << r.round << "</td><td>" << r.active << "</td><td>"
         << r.deleted << "</td><td>" << r.messages << "</td><td>"
         << r.retransmissions << "</td><td>" << r.messages_lost << "</td><td>"
-        << ms(r.ns_verdicts) << "</td><td>" << ms(r.ns_mis) << "</td><td>"
-        << ms(r.ns_deletion) << "</td></tr>\n";
+        << r.logical_cost << "</td><td>" << ms(r.ns_verdicts) << "</td><td>"
+        << ms(r.ns_mis) << "</td><td>" << ms(r.ns_deletion) << "</td></tr>\n";
   }
   if (!rows.empty()) {
     out << "<tr><td>total</td><td>" << total.active << "</td><td>"
         << total.deleted << "</td><td>" << total.messages << "</td><td>"
         << total.retransmissions << "</td><td>" << total.messages_lost
-        << "</td><td>" << ms(total.ns_verdicts) << "</td><td>"
-        << ms(total.ns_mis) << "</td><td>" << ms(total.ns_deletion)
-        << "</td></tr>\n";
+        << "</td><td>" << total.logical_cost << "</td><td>"
+        << ms(total.ns_verdicts) << "</td><td>" << ms(total.ns_mis)
+        << "</td><td>" << ms(total.ns_deletion) << "</td></tr>\n";
   }
   out << "</table>\n</section>\n";
+}
+
+void section_cost_totals(std::ostringstream& out,
+                         const std::vector<CostRow>& totals) {
+  if (totals.empty()) return;
+  out << "<section>\n<h2>Logical cost by phase</h2>\n"
+         "<p class=\"note\">Run-total work units per protocol phase. These "
+         "numbers are byte-identical across machines, thread counts, and "
+         "log levels — compare them across runs with `tgcover "
+         "compare`.</p>\n"
+         "<table>\n<tr><th>phase</th><th>vpt</th><th>bfs</th><th>horton</th>"
+         "<th>gf2</th><th>msgs</th><th>rexmit</th><th>waves</th>"
+         "<th>cost</th></tr>\n";
+  obs::CostVec sum;
+  std::uint64_t sum_cost = 0;
+  for (const CostRow& c : totals) {
+    sum += c.vec;
+    sum_cost += c.logical_cost;
+    out << "<tr><td>" << html::escape(c.phase) << "</td><td>"
+        << c.vec.get(obs::CounterId::kVptTests) << "</td><td>"
+        << c.vec.get(obs::CounterId::kBfsExpansions) << "</td><td>"
+        << c.vec.get(obs::CounterId::kHortonCandidates) << "</td><td>"
+        << c.vec.get(obs::CounterId::kGf2Pivots) << "</td><td>"
+        << c.vec.get(obs::CounterId::kMessages) << "</td><td>"
+        << c.vec.get(obs::CounterId::kRetransmissions) << "</td><td>"
+        << c.vec.get(obs::CounterId::kRepairWaves) << "</td><td>"
+        << c.logical_cost << "</td></tr>\n";
+  }
+  out << "<tr><td>total</td><td>" << sum.get(obs::CounterId::kVptTests)
+      << "</td><td>" << sum.get(obs::CounterId::kBfsExpansions) << "</td><td>"
+      << sum.get(obs::CounterId::kHortonCandidates) << "</td><td>"
+      << sum.get(obs::CounterId::kGf2Pivots) << "</td><td>"
+      << sum.get(obs::CounterId::kMessages) << "</td><td>"
+      << sum.get(obs::CounterId::kRetransmissions) << "</td><td>"
+      << sum.get(obs::CounterId::kRepairWaves) << "</td><td>" << sum_cost
+      << "</td></tr>\n</table>\n</section>\n";
 }
 
 void section_critical_path(std::ostringstream& out, const TraceStats* trace) {
@@ -421,111 +443,57 @@ void section_critical_path(std::ostringstream& out, const TraceStats* trace) {
   out << "</section>\n";
 }
 
-const char kStyle[] = R"css(
-  body.viz-root {
-    color-scheme: light;
-    --surface-1: #fcfcfb;
-    --page: #f9f9f7;
-    --text-primary: #0b0b0b;
-    --text-secondary: #52514e;
-    --muted: #898781;
-    --grid: #e1e0d9;
-    --baseline: #c3c2b7;
-    --border: rgba(11,11,11,0.10);
-    --series-1: #2a78d6;
-    --series-2: #eb6834;
-    --series-3: #1baf7a;
-    margin: 0; padding: 24px;
-    background: var(--page); color: var(--text-primary);
-    font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
-  }
-  @media (prefers-color-scheme: dark) {
-    body.viz-root {
-      color-scheme: dark;
-      --surface-1: #1a1a19;
-      --page: #0d0d0d;
-      --text-primary: #ffffff;
-      --text-secondary: #c3c2b7;
-      --grid: #2c2c2a;
-      --baseline: #383835;
-      --border: rgba(255,255,255,0.10);
-      --series-1: #3987e5;
-      --series-2: #d95926;
-      --series-3: #199e70;
-    }
-  }
-  main { max-width: 840px; margin: 0 auto; }
-  h1 { font-size: 20px; margin: 0 0 4px; }
-  .sub { color: var(--text-secondary); margin: 0 0 20px; }
-  section { background: var(--surface-1); border: 1px solid var(--border);
-    border-radius: 8px; padding: 16px 20px; margin: 0 0 16px; }
-  h2 { font-size: 15px; margin: 0 0 8px; }
-  .note { color: var(--text-secondary); margin: 0 0 8px; font-size: 13px; }
-  .tiles { display: flex; gap: 16px; margin: 0 0 16px; }
-  .tile { background: var(--surface-1); border: 1px solid var(--border);
-    border-radius: 8px; padding: 12px 20px; flex: 1; }
-  .tile-v { font-size: 22px; }
-  .tile-l { color: var(--text-secondary); font-size: 12px; }
-  .legend { display: flex; gap: 16px; margin: 0 0 6px;
-    color: var(--text-secondary); font-size: 12px; }
-  .chip { display: inline-block; width: 10px; height: 10px;
-    border-radius: 2px; margin-right: 6px; vertical-align: -1px; }
-  .chip.c1 { background: var(--series-1); }
-  .chip.c2 { background: var(--series-2); }
-  .chip.c3 { background: var(--series-3); }
-  svg { display: block; width: 100%; height: auto; }
-  svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
-    fill: var(--muted); }
-  .grid { stroke: var(--grid); stroke-width: 1; }
-  .baseline { stroke: var(--baseline); stroke-width: 1; }
-  .s1 { fill: var(--series-1); }
-  .s2 { fill: var(--series-2); }
-  .s3 { fill: var(--series-3); }
-  .seg { stroke: var(--surface-1); stroke-width: 1; }
-  .line1 { fill: none; stroke: var(--series-1); stroke-width: 2; }
-  .dot1 { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 1; }
-  table { border-collapse: collapse; width: 100%; font-size: 13px; }
-  th { color: var(--text-secondary); font-weight: 600; text-align: right;
-    padding: 4px 8px; border-bottom: 1px solid var(--baseline); }
-  td { text-align: right; padding: 3px 8px;
-    border-bottom: 1px solid var(--grid);
-    font-variant-numeric: tabular-nums; }
-  th:first-child, td:first-child { text-align: left; }
-  .kv td { text-align: left; font-variant-numeric: normal; }
-  .kv td:first-child { color: var(--text-secondary); width: 220px; }
-)css";
-
 }  // namespace
 
 std::string render_report_html(const ReportInputs& in) {
   std::ostringstream out;
-  out << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
-         "<meta charset=\"utf-8\">\n<title>"
-      << html_escape(in.title) << "</title>\n<style>" << kStyle
-      << "</style>\n</head>\n<body class=\"viz-root\">\n<main>\n";
-  out << "<h1>" << html_escape(in.title) << "</h1>\n";
+  std::ostringstream sub;
   if (in.manifest.has_value()) {
-    out << "<p class=\"sub\">tgcover " << html_escape(in.manifest->text("command"))
-        << " &#183; " << html_escape(in.manifest->text("tool_version", "?"))
-        << " (" << html_escape(in.manifest->text("git_sha", "unknown")) << ", "
-        << html_escape(in.manifest->text("build_type", "?")) << ")</p>\n";
+    sub << "tgcover " << html::escape(in.manifest->text("command"))
+        << " &#183; " << html::escape(in.manifest->text("tool_version", "?"))
+        << " (" << html::escape(in.manifest->text("git_sha", "unknown"))
+        << ", " << html::escape(in.manifest->text("build_type", "?")) << ")";
   } else {
-    out << "<p class=\"sub\">no embedded manifest in the inputs</p>\n";
+    sub << "no embedded manifest in the inputs";
   }
+  html::page_begin(out, in.title, sub.str());
 
   section_summary_tiles(out, in.summary);
   section_provenance(out, in.manifest);
 
+  out << "<section>\n<h2>Logical cost timeline</h2>\n"
+         "<p class=\"note\">Machine-independent work units per deletion "
+         "round, stacked by protocol phase. Identical inputs produce this "
+         "chart byte-for-byte on any host.";
+  if (in.costs.empty()) {
+    out << " No per-phase cost records in the input — the run predates the "
+           "cost model or telemetry was not armed.";
+  }
+  out << "</p>\n";
+  if (!in.costs.empty()) chart_cost_phases(out, in.costs);
+  out << "</section>\n";
+
+  if (!in.rounds.empty()) {
+    out << "<section>\n<h2>Logical cost curve</h2>\n"
+           "<p class=\"note\">The per-round logical-cost scalar — the "
+           "quantity `tgcover compare` diffs and the bench gate "
+           "enforces.</p>\n";
+    chart_cost_curve(out, in.rounds);
+    out << "</section>\n";
+  }
+
   out << "<section>\n<h2>Round timeline</h2>\n"
          "<p class=\"note\">Scheduler time per deletion round, split by "
-         "phase (ms).";
+         "phase (ms). Wall-clock is advisory: it varies with host and "
+         "load.";
   bool any_phase = false;
   for (const RoundRow& r : in.rounds) {
     if (r.ns_verdicts + r.ns_mis + r.ns_deletion > 0) any_phase = true;
   }
   if (!any_phase) {
-    out << " All phase timers are zero — telemetry was compiled out or "
-           "--metrics was not requested at run time.";
+    out << " All phase timers are zero — span timers were compiled out "
+           "(-DTGC_OBS=OFF) or --metrics was not requested; the logical "
+           "cost sections above are unaffected.";
   }
   out << "</p>\n";
   chart_phases(out, in.rounds);
@@ -544,9 +512,10 @@ std::string render_report_html(const ReportInputs& in) {
   out << "</section>\n";
 
   section_round_table(out, in.rounds);
+  section_cost_totals(out, in.cost_totals);
   section_critical_path(out, in.trace);
 
-  out << "</main>\n</body>\n</html>\n";
+  html::page_end(out);
   return out.str();
 }
 

@@ -21,6 +21,7 @@ RoundRow& RoundRow::operator+=(const RoundRow& rhs) {
   ns_verdicts += rhs.ns_verdicts;
   ns_mis += rhs.ns_mis;
   ns_deletion += rhs.ns_deletion;
+  logical_cost += rhs.logical_cost;
   return *this;
 }
 
@@ -40,6 +41,7 @@ RoundRow row_from_event(const obs::RoundEvent& ev) {
   r.ns_verdicts = ev.delta.span(obs::SpanId::kVerdicts).sum_ns;
   r.ns_mis = ev.delta.span(obs::SpanId::kMis).sum_ns;
   r.ns_deletion = ev.delta.span(obs::SpanId::kDeletion).sum_ns;
+  r.logical_cost = obs::logical_cost(obs::CostVec{ev.delta.counters});
   return r;
 }
 
@@ -59,13 +61,33 @@ RoundRow row_from_record(const obs::JsonRecord& rec) {
   r.ns_verdicts = rec.u64("ns_verdicts");
   r.ns_mis = rec.u64("ns_mis");
   r.ns_deletion = rec.u64("ns_deletion");
+  obs::CostVec v;
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    v.units[i] = rec.u64(
+        std::string(obs::counter_name(static_cast<obs::CounterId>(i))));
+  }
+  r.logical_cost = obs::logical_cost(v);
   return r;
+}
+
+CostRow cost_from_record(const obs::JsonRecord& rec) {
+  CostRow c;
+  c.round = rec.u64("round");
+  c.phase = rec.text("phase");
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    c.vec.units[i] = rec.u64(
+        std::string(obs::counter_name(static_cast<obs::CounterId>(i))));
+  }
+  // Trust the recomputation, not the recorded field — a hand-edited file
+  // cannot smuggle an inconsistent scalar past `compare`.
+  c.logical_cost = obs::logical_cost(c.vec);
+  return c;
 }
 
 std::string render_round_table(const std::vector<RoundRow>& rows) {
   util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
-                     "gf2", "msgs", "lost", "rexmit", "verdict ms", "mis ms",
-                     "del ms"});
+                     "gf2", "msgs", "lost", "rexmit", "cost", "verdict ms",
+                     "mis ms", "del ms"});
   const auto ms = [](std::uint64_t ns) {
     return util::Table::num(static_cast<double>(ns) / 1e6, 2);
   };
@@ -79,7 +101,8 @@ std::string render_round_table(const std::vector<RoundRow>& rows) {
                    std::to_string(r.horton_candidates),
                    std::to_string(r.gf2_pivots), std::to_string(r.messages),
                    std::to_string(r.messages_lost),
-                   std::to_string(r.retransmissions), ms(r.ns_verdicts),
+                   std::to_string(r.retransmissions),
+                   std::to_string(r.logical_cost), ms(r.ns_verdicts),
                    ms(r.ns_mis), ms(r.ns_deletion)});
   }
   if (!rows.empty()) {
@@ -92,24 +115,65 @@ std::string render_round_table(const std::vector<RoundRow>& rows) {
                    std::to_string(total.gf2_pivots),
                    std::to_string(total.messages),
                    std::to_string(total.messages_lost),
-                   std::to_string(total.retransmissions), ms(total.ns_verdicts),
+                   std::to_string(total.retransmissions),
+                   std::to_string(total.logical_cost), ms(total.ns_verdicts),
                    ms(total.ns_mis), ms(total.ns_deletion)});
   }
   return table.to_string();
 }
 
-RoundLog load_round_log(const std::string& path) {
-  std::ifstream f(path);
-  TGC_CHECK_MSG(f.good(), "cannot open '" << path << "'");
+std::string render_cost_table(const std::vector<CostRow>& totals) {
+  util::Table table({"phase", "vpt", "bfs", "horton", "gf2", "msgs", "rexmit",
+                     "waves", "cost"});
+  CostRow sum;
+  for (const CostRow& c : totals) {
+    sum.vec += c.vec;
+    table.add_row({c.phase, std::to_string(c.vec.get(obs::CounterId::kVptTests)),
+                   std::to_string(c.vec.get(obs::CounterId::kBfsExpansions)),
+                   std::to_string(c.vec.get(obs::CounterId::kHortonCandidates)),
+                   std::to_string(c.vec.get(obs::CounterId::kGf2Pivots)),
+                   std::to_string(c.vec.get(obs::CounterId::kMessages)),
+                   std::to_string(c.vec.get(obs::CounterId::kRetransmissions)),
+                   std::to_string(c.vec.get(obs::CounterId::kRepairWaves)),
+                   std::to_string(c.logical_cost)});
+  }
+  if (!totals.empty()) {
+    table.add_row({"total", std::to_string(sum.vec.get(obs::CounterId::kVptTests)),
+                   std::to_string(sum.vec.get(obs::CounterId::kBfsExpansions)),
+                   std::to_string(sum.vec.get(obs::CounterId::kHortonCandidates)),
+                   std::to_string(sum.vec.get(obs::CounterId::kGf2Pivots)),
+                   std::to_string(sum.vec.get(obs::CounterId::kMessages)),
+                   std::to_string(sum.vec.get(obs::CounterId::kRetransmissions)),
+                   std::to_string(sum.vec.get(obs::CounterId::kRepairWaves)),
+                   std::to_string(obs::logical_cost(sum.vec))});
+  }
+  return table.to_string();
+}
 
+RoundLog load_round_log(const std::string& path) {
   RoundLog log;
+  std::ifstream f(path);
+  if (!f.good()) {
+    log.error = "cannot open '" + path + "'";
+    return log;
+  }
+
   std::size_t lineno = 0;
   std::string line;
   while (std::getline(f, line)) {
     ++lineno;
-    if (line.empty()) continue;
+    if (line.empty()) {
+      // Producers never emit blank lines; a blank line means the file was
+      // edited or corrupted, so surface it instead of silently moving on.
+      log.notes.push_back(path + ":" + std::to_string(lineno) +
+                          ": skipping blank line");
+      ++log.skipped;
+      continue;
+    }
     const std::optional<obs::JsonRecord> rec = obs::parse_jsonl_line(line);
     if (!rec.has_value()) {
+      // Also catches a truncated final line (no trailing newline, record
+      // cut mid-field) — getline still yields the partial text.
       log.notes.push_back(path + ":" + std::to_string(lineno) +
                           ": skipping malformed record");
       ++log.skipped;
@@ -117,7 +181,19 @@ RoundLog load_round_log(const std::string& path) {
     }
     const std::string type = rec->text("type");
     if (type == "round") {
-      log.rows.push_back(row_from_record(*rec));
+      RoundRow row = row_from_record(*rec);
+      if (!log.rows.empty() && row.round <= log.rows.back().round) {
+        log.notes.push_back(path + ":" + std::to_string(lineno) +
+                            ": skipping duplicate/out-of-order round id " +
+                            std::to_string(row.round));
+        ++log.skipped;
+        continue;
+      }
+      log.rows.push_back(row);
+    } else if (type == "cost") {
+      log.costs.push_back(cost_from_record(*rec));
+    } else if (type == "cost_total") {
+      log.cost_totals.push_back(cost_from_record(*rec));
     } else if (type == "summary") {
       log.summary = *rec;
     } else if (type == "manifest") {

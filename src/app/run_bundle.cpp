@@ -1,0 +1,74 @@
+#include "tgcover/app/run_bundle.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace tgc::app {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Copies the semantic identity out of a manifest record: the command plus
+/// every cfg_-prefixed key.
+void extract_config(const obs::JsonRecord& manifest, RunBundle& bundle) {
+  bundle.manifest_found = true;
+  if (manifest.has("command")) {
+    bundle.config["command"] = manifest.text("command");
+  }
+  for (const auto& [key, value] : manifest.fields()) {
+    if (key.rfind("cfg_", 0) == 0) bundle.config[key] = manifest.text(key);
+  }
+}
+
+/// The manifest.json sidecar fallback for streams without an embedded
+/// header (e.g. a bare --cost-out file moved next to its sidecar).
+void load_sidecar_config(const fs::path& dir, RunBundle& bundle) {
+  std::ifstream f((dir / "manifest.json").string());
+  if (!f.good()) return;
+  std::string line;
+  if (!std::getline(f, line)) return;
+  const std::optional<obs::JsonRecord> rec = obs::parse_jsonl_line(line);
+  if (rec.has_value()) extract_config(*rec, bundle);
+}
+
+}  // namespace
+
+RunBundle load_run_bundle(const std::string& path) {
+  RunBundle bundle;
+  bundle.label = path;
+
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const char* name : {"metrics.jsonl", "cost.jsonl"}) {
+      const fs::path candidate = fs::path(path) / name;
+      if (fs::exists(candidate, ec)) {
+        bundle.rounds_path = candidate.string();
+        break;
+      }
+    }
+    if (bundle.rounds_path.empty()) {
+      bundle.error = "run directory '" + path +
+                     "' holds neither metrics.jsonl nor cost.jsonl";
+      return bundle;
+    }
+  } else {
+    bundle.rounds_path = path;
+  }
+
+  bundle.log = load_round_log(bundle.rounds_path);
+  if (!bundle.log.error.empty()) {
+    bundle.error = bundle.log.error;
+    return bundle;
+  }
+
+  if (bundle.log.manifest.has_value()) {
+    extract_config(*bundle.log.manifest, bundle);
+  } else {
+    const fs::path dir = fs::path(bundle.rounds_path).parent_path();
+    load_sidecar_config(dir.empty() ? fs::path(".") : dir, bundle);
+  }
+  return bundle;
+}
+
+}  // namespace tgc::app

@@ -102,6 +102,7 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
   std::vector<sim::LocalView> views;
   {
     TGC_OBS_SPAN(obs::SpanId::kKhopCollect);
+    const obs::CostPhaseScope cost_phase(obs::CostPhase::kKhop);
     TracedPhase traced(runner, obs::TracePhase::kKhop);
     views = sim::collect_k_hop_views(runner, k);
   }
@@ -131,6 +132,7 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     std::size_t num_candidates = 0;
     {
       TGC_OBS_SPAN(obs::SpanId::kVerdicts);
+      const obs::CostPhaseScope cost_phase(obs::CostPhase::kVerdicts);
       TracedPhase traced_phase(runner, obs::TracePhase::kVerdicts);
       to_test.clear();
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -169,6 +171,7 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     std::vector<bool> selected;
     {
       TGC_OBS_SPAN(obs::SpanId::kMis);
+      const obs::CostPhaseScope cost_phase(obs::CostPhase::kMis);
       TracedPhase traced_phase(runner, obs::TracePhase::kMis);
       const std::uint64_t round_seed =
           util::splitmix64(config.seed + out.schedule.rounds);
@@ -182,6 +185,7 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     std::size_t num_selected = 0;
     {
       TGC_OBS_SPAN(obs::SpanId::kDeletion);
+      const obs::CostPhaseScope cost_phase(obs::CostPhase::kDeletion);
       TracedPhase traced_phase(runner, obs::TracePhase::kDeletion);
       flood_deletions(runner, selected, k, views);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {

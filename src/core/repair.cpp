@@ -29,6 +29,7 @@ std::vector<bool> near_failures(const Graph& g, const std::vector<bool>& failed,
       queue.push_back(v);
     }
   }
+  std::uint64_t expanded = 0;
   while (!queue.empty()) {
     const VertexId u = queue.front();
     queue.pop_front();
@@ -37,8 +38,10 @@ std::vector<bool> near_failures(const Graph& g, const std::vector<bool>& failed,
       if (failed[w] || dist[w] != graph::kUnreached) continue;
       dist[w] = dist[u] + 1;
       queue.push_back(w);
+      ++expanded;
     }
   }
+  obs::add(obs::CounterId::kBfsExpansions, expanded);
   std::vector<bool> near(g.num_vertices(), false);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     near[v] = !failed[v] && dist[v] != graph::kUnreached;
@@ -64,6 +67,7 @@ RepairResult dcc_repair(const Graph& g, const std::vector<bool>& internal,
 
   for (unsigned radius = k;; radius *= 2) {
     TGC_OBS_SPAN(obs::SpanId::kRepairWave);
+    const obs::CostPhaseScope cost_phase(obs::CostPhase::kRepair);
     obs::add(obs::CounterId::kRepairWaves, 1);
     // Wake the sleeping nodes near the failures (cumulative as the radius
     // escalates: near_failures is monotone in radius).

@@ -98,6 +98,7 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     // is packed bits and is therefore cleared serially afterwards.
     {
       TGC_OBS_SPAN(obs::SpanId::kVerdicts);
+      const obs::CostPhaseScope cost_phase(obs::CostPhase::kVerdicts);
       to_test.clear();
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         if (!result.active[v] || !internal[v]) continue;
@@ -135,6 +136,7 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     std::vector<bool> selected;
     {
       TGC_OBS_SPAN(obs::SpanId::kMis);
+      const obs::CostPhaseScope cost_phase(obs::CostPhase::kMis);
       if (config.mis_priorities.empty()) {
         const std::uint64_t round_seed =
             util::splitmix64(config.seed + result.rounds);
@@ -153,6 +155,7 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     std::size_t num_selected = 0;
     {
       TGC_OBS_SPAN(obs::SpanId::kDeletion);
+      const obs::CostPhaseScope cost_phase(obs::CostPhase::kDeletion);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         if (!selected[v]) continue;
         mark_ball(g, result.active, v, k, ball_dist, ball_queue, stale);

@@ -7,39 +7,25 @@
 #include <cstdint>
 #include <string_view>
 
-/// Compile gate for the telemetry hot path. `tgc_obs` defines it PUBLICly
-/// from the TGC_OBS CMake option; the fallback keeps stray includes working.
+#include "tgcover/obs/cost.hpp"
+
+/// Compile gate for the wall-clock telemetry hot path. `tgc_obs` defines it
+/// PUBLICly from the TGC_OBS CMake option; the fallback keeps stray includes
+/// working.
 #ifndef TGC_OBS_ENABLED
 #define TGC_OBS_ENABLED 1
 #endif
 
 namespace tgc::obs {
 
-/// True when the counters/spans are compiled in (TGC_OBS=ON). With OFF every
-/// increment and span is a no-op expression the optimizer deletes; snapshots
-/// are all-zero but every type stays defined so call sites never #ifdef.
+/// True when the span timers are compiled in (TGC_OBS=ON). With OFF every
+/// span is a no-op expression the optimizer deletes; span histograms are
+/// all-zero but every type stays defined so call sites never #ifdef.
+///
+/// The logical work-unit counters (cost.hpp) are NOT behind this gate: they
+/// are always compiled, runtime-gated by obs::enabled(), and byte-identical
+/// across build flavours — only wall-clock instrumentation compiles out.
 inline constexpr bool kCompiledIn = TGC_OBS_ENABLED != 0;
-
-/// The process-wide monotonic counters. Fixed at compile time: an enum slot
-/// costs 8 bytes per thread shard and one name-table entry, so counters are
-/// cheap to add (see DESIGN.md §8) but deliberately not dynamic — the hot
-/// path indexes a flat array, no hashing, no registration handshake.
-enum class CounterId : unsigned {
-  kVptTests,          ///< VPT deletability evaluations (vertex, local, edge)
-  kVptDeletable,      ///< ... of which answered "deletable"
-  kVptVetoed,         ///< ... of which answered "not deletable"
-  kBfsExpansions,     ///< vertices discovered by k-hop BFS frontiers
-  kHortonCandidates,  ///< Horton candidate cycles generated / considered
-  kGf2Pivots,         ///< GF(2) pivot-elimination XOR steps
-  kMessages,          ///< radio messages simulated by the sim engines
-  kPayloadWords,      ///< 32-bit payload words carried by those messages
-  kRepairWaves,       ///< wake-radius escalations performed by dcc_repair
-  kMessagesLost,      ///< transmissions lost on the air (AsyncEngine)
-  kRetransmissions,   ///< α-synchronizer retransmissions of unacked messages
-  kCount
-};
-inline constexpr std::size_t kNumCounters =
-    static_cast<std::size_t>(CounterId::kCount);
 
 /// Scoped-timer identities. Each span id owns one latency histogram per
 /// thread shard; per-phase nanoseconds in the round log are the deltas of
@@ -56,7 +42,6 @@ inline constexpr std::size_t kNumSpans =
     static_cast<std::size_t>(SpanId::kCount);
 
 /// Snake_case names used as JSONL keys and table headers.
-std::string_view counter_name(CounterId id);
 std::string_view span_name(SpanId id);
 
 /// Power-of-two latency buckets: bucket i counts durations with
@@ -77,9 +62,11 @@ struct HistSnapshot {
   }
 };
 
-/// A merged snapshot of every shard. Counters are monotonic, so the
-/// component-wise difference of two snapshots is the exact work performed
-/// between them — the round log is built entirely from such deltas.
+/// A merged snapshot of every shard: the cost registry's counters (always
+/// live) plus the span histograms (zero under TGC_OBS=OFF). Counters are
+/// monotonic, so the component-wise difference of two snapshots is the exact
+/// work performed between them — the round log is built entirely from such
+/// deltas.
 struct Metrics {
   std::array<std::uint64_t, kNumCounters> counters{};
   std::array<HistSnapshot, kNumSpans> spans{};
@@ -105,18 +92,22 @@ inline std::uint64_t now_ns() {
           .count());
 }
 
+/// Merges the cost registry and (when compiled in) every span shard. Safe to
+/// call while other threads keep counting; the result is a
+/// consistent-enough monotonic view (per-slot atomic reads).
+Metrics snapshot();
+
 #if TGC_OBS_ENABLED
 
 namespace detail {
 
-/// One thread's slice of the registry. Slots are relaxed atomics so the
+/// One thread's slice of the span registry. Slots are relaxed atomics so the
 /// owning thread's increments never race the merging reader; there is no
 /// cross-thread write sharing at all (one shard per thread, registered on
 /// first touch and kept for the life of the process so totals survive worker
 /// exit — the StampedArray/VptWorkspace "own your scratch" pattern applied
-/// to accounting).
+/// to accounting). Counter shards live in cost.hpp.
 struct Shard {
-  std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
   struct Hist {
     std::atomic<std::uint64_t> count{0};
     std::atomic<std::uint64_t> sum_ns{0};
@@ -126,35 +117,12 @@ struct Shard {
 };
 
 Shard& local_shard();
-std::atomic<bool>& enabled_flag();
 int& span_depth_slot();
 
 }  // namespace detail
 
-/// Runtime master switch (default off). With telemetry compiled in but
-/// disabled, every instrumentation site costs one relaxed bool load and a
-/// predicted-untaken branch — the "zero overhead when disabled" budget.
-inline bool enabled() {
-  return detail::enabled_flag().load(std::memory_order_relaxed);
-}
-void set_enabled(bool on);
-
-/// Adds `delta` to the calling thread's shard. Hot loops batch into a local
-/// and call this once per kernel invocation, not once per element.
-inline void add(CounterId id, std::uint64_t delta) {
-  if (!enabled()) return;
-  detail::local_shard()
-      .counters[static_cast<std::size_t>(id)]
-      .fetch_add(delta, std::memory_order_relaxed);
-}
-
 /// Records one span duration (used by ~Span; exposed for tests).
 void record_span(SpanId id, std::uint64_t ns);
-
-/// Merges every shard under the registry lock. Safe to call while other
-/// threads keep counting; the result is a consistent-enough monotonic view
-/// (per-slot atomic reads).
-Metrics snapshot();
 
 /// Nesting depth of live spans on the calling thread (0 outside any span).
 inline int span_depth() { return detail::span_depth_slot(); }
@@ -185,13 +153,9 @@ class Span {
   bool live_;
 };
 
-#else  // !TGC_OBS_ENABLED — every operation is a deletable no-op.
+#else  // !TGC_OBS_ENABLED — every span operation is a deletable no-op.
 
-inline bool enabled() { return false; }
-inline void set_enabled(bool) {}
-inline void add(CounterId, std::uint64_t) {}
 inline void record_span(SpanId, std::uint64_t) {}
-inline Metrics snapshot() { return Metrics{}; }
 inline int span_depth() { return 0; }
 
 class Span {

@@ -24,13 +24,16 @@ struct RoundEvent {
 
 /// Per-run accounting: the scheduler reports round boundaries, the collector
 /// snapshots the registry at each and buffers one RoundEvent per round plus
-/// run totals. Single-threaded by design — it is driven from the scheduler
-/// loop only (the *workers* report through the registry shards).
+/// run totals, keeping an obs::CostModel in lockstep so every round also has
+/// a per-phase logical-cost profile. Single-threaded by design — it is
+/// driven from the scheduler loop only (the *workers* report through the
+/// registry shards).
 ///
-/// The collector works with telemetry compiled out too: counter deltas are
-/// all zero then, but the scheduler-provided fields (active/candidates/
-/// deleted) still populate, so JSONL output and `tgcover stats` stay
-/// functional in a TGC_OBS=OFF build.
+/// The collector works with the span timers compiled out too (TGC_OBS=OFF):
+/// ns_* deltas are all zero then, but the logical counters and the
+/// scheduler-provided fields (active/candidates/deleted) still populate, so
+/// JSONL output, `tgcover stats`, and `tgcover compare` stay byte-identical
+/// on the logical columns across build flavours.
 class RoundCollector {
  public:
   /// Captures the baseline snapshot; run totals are measured from here.
@@ -51,18 +54,28 @@ class RoundCollector {
   void finalize(std::uint64_t survivors);
 
   const std::vector<RoundEvent>& events() const { return events_; }
+  /// Per-round, per-phase logical-cost profiles (aligned with events()).
+  const CostModel& cost() const { return cost_; }
   /// Registry activity from construction to `finalize` (to now, if not yet
   /// finalized).
   Metrics totals() const;
   std::uint64_t wall_ns() const;
   std::uint64_t survivors() const { return survivors_; }
 
-  /// Emits one JSONL record per round plus a trailing summary record — the
-  /// format `tgcover stats` consumes (see DESIGN.md §8 for the schema).
+  /// Emits one JSONL record per round, the per-phase "cost" records, and a
+  /// trailing summary record — the format `tgcover stats` consumes (see
+  /// DESIGN.md §8/§10 for the schema).
   void write_jsonl(std::ostream& out) const;
+
+  /// Emits only the machine-independent records: per-round per-phase "cost"
+  /// lines plus "cost_total" lines. This is the `--cost-out` stream, byte-
+  /// identical across machines, thread counts, log levels, and TGC_OBS build
+  /// flavours for a given input/seed.
+  void write_cost_jsonl(std::ostream& out) const;
 
  private:
   Metrics baseline_;
+  CostModel cost_;
   Metrics round_start_;
   std::uint64_t t0_ns_ = 0;
   std::uint64_t wall_ns_ = 0;  // frozen by finalize

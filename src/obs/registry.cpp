@@ -7,29 +7,16 @@ namespace tgc::obs {
 
 namespace {
 
-constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
-    "vpt_tests",      "vpt_deletable",     "vpt_vetoed",
-    "bfs_expansions", "horton_candidates", "gf2_pivots",
-    "messages",       "payload_words",     "repair_waves",
-    "messages_lost",  "retransmissions",
-};
-
 constexpr std::array<std::string_view, kNumSpans> kSpanNames = {
     "verdicts", "mis", "deletion", "khop_collect", "repair_wave",
 };
 
 // A new enumerator without a matching name entry would value-initialize the
 // trailing slot to an empty view; catch that at compile time.
-static_assert(!kCounterNames.back().empty(),
-              "counter name table out of sync with CounterId");
 static_assert(!kSpanNames.back().empty(),
               "span name table out of sync with SpanId");
 
 }  // namespace
-
-std::string_view counter_name(CounterId id) {
-  return kCounterNames[static_cast<std::size_t>(id)];
-}
 
 std::string_view span_name(SpanId id) {
   return kSpanNames[static_cast<std::size_t>(id)];
@@ -51,14 +38,14 @@ Metrics& Metrics::operator-=(const Metrics& rhs) {
 
 namespace {
 
-/// The process-wide shard registry. Shards live in a deque (stable
+/// The process-wide span-shard registry. Shards live in a deque (stable
 /// addresses, no moves on growth) and are never reclaimed: a worker thread
-/// that exits leaves its accumulated totals behind, which is exactly right
-/// for monotonic counters.
+/// that exits leaves its accumulated histograms behind, which is exactly
+/// right for monotonic accounting. The counter shards (and the shared
+/// enabled flag) live in cost.cpp.
 struct ShardRegistry {
   std::mutex mutex;
   std::deque<detail::Shard> shards;
-  std::atomic<bool> enabled{false};
 };
 
 ShardRegistry& shard_registry() {
@@ -81,18 +68,12 @@ Shard& local_shard() {
   return *shard;
 }
 
-std::atomic<bool>& enabled_flag() { return shard_registry().enabled; }
-
 int& span_depth_slot() {
   thread_local int depth = 0;
   return depth;
 }
 
 }  // namespace detail
-
-void set_enabled(bool on) {
-  detail::enabled_flag().store(on, std::memory_order_relaxed);
-}
 
 void record_span(SpanId id, std::uint64_t ns) {
   if (!enabled()) return;
@@ -105,14 +86,15 @@ void record_span(SpanId id, std::uint64_t ns) {
   hist.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+#endif  // TGC_OBS_ENABLED
+
 Metrics snapshot() {
+  Metrics m;
+  m.counters = cost_snapshot().total().units;
+#if TGC_OBS_ENABLED
   ShardRegistry& r = shard_registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
-  Metrics m;
   for (const detail::Shard& shard : r.shards) {
-    for (std::size_t i = 0; i < kNumCounters; ++i) {
-      m.counters[i] += shard.counters[i].load(std::memory_order_relaxed);
-    }
     for (std::size_t i = 0; i < kNumSpans; ++i) {
       m.spans[i].count += shard.hists[i].count.load(std::memory_order_relaxed);
       m.spans[i].sum_ns +=
@@ -123,9 +105,8 @@ Metrics snapshot() {
       }
     }
   }
+#endif  // TGC_OBS_ENABLED
   return m;
 }
-
-#endif  // TGC_OBS_ENABLED
 
 }  // namespace tgc::obs

@@ -19,12 +19,41 @@ void write_metrics_fields(std::ostream& out, const Metrics& m) {
   }
 }
 
+void write_cost_fields(std::ostream& out, const CostVec& v) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    out << ",\"" << counter_name(static_cast<CounterId>(i))
+        << "\":" << v.units[i];
+  }
+  out << ",\"logical_cost\":" << logical_cost(v);
+}
+
+/// One "cost"/"cost_total" record per phase with any activity. Skipping
+/// all-zero phases keeps the stream compact without costing determinism:
+/// which phases fire is itself a deterministic function of input and seed.
+void write_cost_records(std::ostream& out, std::string_view type,
+                        std::uint64_t round, bool with_round,
+                        const CostSnapshot& s) {
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const CostVec& v = s.phases[p];
+    if (v.is_zero()) continue;
+    out << "{\"type\":\"" << type << '"';
+    if (with_round) out << ",\"round\":" << round;
+    out << ",\"phase\":\"" << cost_phase_name(static_cast<CostPhase>(p))
+        << '"';
+    write_cost_fields(out, v);
+    out << "}\n";
+  }
+}
+
 }  // namespace
 
 RoundCollector::RoundCollector()
     : baseline_(snapshot()), round_start_(baseline_), t0_ns_(now_ns()) {}
 
-void RoundCollector::begin_round() { round_start_ = snapshot(); }
+void RoundCollector::begin_round() {
+  round_start_ = snapshot();
+  cost_.begin_round();
+}
 
 void RoundCollector::end_round(std::uint64_t active, std::uint64_t candidates,
                                std::uint64_t deleted) {
@@ -35,6 +64,7 @@ void RoundCollector::end_round(std::uint64_t active, std::uint64_t candidates,
   ev.deleted = deleted;
   ev.delta = snapshot() - round_start_;
   events_.push_back(std::move(ev));
+  cost_.end_round();
 }
 
 void RoundCollector::finalize(std::uint64_t survivors) {
@@ -42,6 +72,7 @@ void RoundCollector::finalize(std::uint64_t survivors) {
   wall_ns_ = now_ns() - t0_ns_;
   final_totals_ = snapshot() - baseline_;
   finalized_ = true;
+  cost_.finalize();
 }
 
 Metrics RoundCollector::totals() const {
@@ -53,18 +84,36 @@ std::uint64_t RoundCollector::wall_ns() const {
 }
 
 void RoundCollector::write_jsonl(std::ostream& out) const {
+  const std::vector<CostProfile>& profiles = cost_.profiles();
   for (const RoundEvent& ev : events_) {
     out << "{\"type\":\"round\",\"round\":" << ev.round
         << ",\"active\":" << ev.active << ",\"candidates\":" << ev.candidates
         << ",\"deleted\":" << ev.deleted;
     write_metrics_fields(out, ev.delta);
     out << "}\n";
+    // The collector drives both buffers in lockstep, so index == index.
+    if (ev.round <= profiles.size()) {
+      write_cost_records(out, "cost", ev.round, /*with_round=*/true,
+                         profiles[ev.round - 1].delta);
+    }
   }
+  write_cost_records(out, "cost_total", 0, /*with_round=*/false,
+                     cost_.totals());
   out << "{\"type\":\"summary\",\"rounds\":" << events_.size()
       << ",\"survivors\":" << survivors_ << ",\"wall_ns\":" << wall_ns()
-      << ",\"obs_compiled\":" << (kCompiledIn ? 1 : 0);
+      << ",\"obs_compiled\":" << (kCompiledIn ? 1 : 0)
+      << ",\"logical_cost\":" << logical_cost(cost_.totals().total());
   write_metrics_fields(out, totals());
   out << "}\n";
+}
+
+void RoundCollector::write_cost_jsonl(std::ostream& out) const {
+  for (const CostProfile& profile : cost_.profiles()) {
+    write_cost_records(out, "cost", profile.round, /*with_round=*/true,
+                       profile.delta);
+  }
+  write_cost_records(out, "cost_total", 0, /*with_round=*/false,
+                     cost_.totals());
 }
 
 }  // namespace tgc::obs

@@ -20,12 +20,18 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     }
     TGC_CHECK_MSG(arg.size() > 2 && arg.rfind("--", 0) == 0,
                   "expected --key [value], got '" << arg << "'");
-    const std::string key = arg.substr(2);
-    // A following token that does not start with "--" is this key's value.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[key] = argv[++i];
+    // "--key=value" binds in one token (the value may be empty or contain
+    // further '='); otherwise a following token that does not start with
+    // "--" is this key's value.
+    const std::size_t eq = arg.find('=', 2);
+    if (eq != std::string::npos) {
+      const std::string key = arg.substr(2, eq - 2);
+      TGC_CHECK_MSG(!key.empty(), "expected --key=value, got '" << arg << "'");
+      values_[key] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg.substr(2)] = argv[++i];
     } else {
-      values_[key] = "";
+      values_[arg.substr(2)] = "";
     }
   }
 }

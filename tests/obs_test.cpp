@@ -49,14 +49,11 @@ TEST(ObsRegistry, CounterMergeAcrossThreads) {
 
   const obs::Metrics delta = obs::snapshot() - before;
   obs::set_enabled(false);
-  if (obs::kCompiledIn) {
-    // Every worker counted into its own shard; the snapshot merge must not
-    // lose or double-count a single increment.
-    EXPECT_EQ(delta.get(obs::CounterId::kMessages), kIncrements);
-    EXPECT_EQ(delta.get(obs::CounterId::kPayloadWords), 3 * kIncrements);
-  } else {
-    EXPECT_EQ(delta.get(obs::CounterId::kMessages), 0u);
-  }
+  // Every worker counted into its own shard; the snapshot merge must not
+  // lose or double-count a single increment. Logical counters are NOT
+  // behind the TGC_OBS gate, so this holds in both builds.
+  EXPECT_EQ(delta.get(obs::CounterId::kMessages), kIncrements);
+  EXPECT_EQ(delta.get(obs::CounterId::kPayloadWords), 3 * kIncrements);
 }
 
 TEST(ObsRegistry, DisabledAddsAreDropped) {
@@ -170,33 +167,40 @@ TEST(ObsCollector, RoundTripThroughWriter) {
   std::istringstream in(jsonl.str());
   std::string line;
   std::size_t rounds = 0;
+  std::size_t cost_records = 0;
+  std::size_t cost_totals = 0;
   std::uint64_t per_round_tests = 0;
   std::optional<obs::JsonRecord> summary;
   while (std::getline(in, line)) {
     const auto rec = obs::parse_jsonl_line(line);
     ASSERT_TRUE(rec.has_value()) << line;
-    if (rec->text("type") == "round") {
+    const std::string type = rec->text("type");
+    if (type == "round") {
       ++rounds;
       per_round_tests += rec->u64("vpt_tests");
+    } else if (type == "cost") {
+      ++cost_records;
+    } else if (type == "cost_total") {
+      ++cost_totals;
     } else {
-      ASSERT_EQ(rec->text("type"), "summary");
+      ASSERT_EQ(type, "summary");
       summary = *rec;
     }
   }
   ASSERT_TRUE(summary.has_value());
+  // The stream interleaves per-phase logical-cost records with the rounds.
+  EXPECT_GT(cost_records, 0u);
+  EXPECT_GT(cost_totals, 0u);
   EXPECT_EQ(rounds, s.result.rounds);
   EXPECT_EQ(summary->u64("rounds"), s.result.rounds);
   EXPECT_EQ(summary->u64("survivors"), s.result.survivors);
   EXPECT_EQ(summary->u64("obs_compiled"), obs::kCompiledIn ? 1u : 0u);
-  if (obs::kCompiledIn) {
-    // The summary totals span the whole run, including the final fixpoint
-    // round that found no candidates — so they dominate the per-round sum.
-    EXPECT_GE(summary->u64("vpt_tests"), per_round_tests);
-    EXPECT_GT(per_round_tests, 0u);
-    EXPECT_EQ(summary->u64("vpt_tests"), s.result.vpt_tests);
-  } else {
-    EXPECT_EQ(summary->u64("vpt_tests"), 0u);
-  }
+  // The summary totals span the whole run, including the final fixpoint
+  // round that found no candidates — so they dominate the per-round sum.
+  // Logical counters are live in both TGC_OBS builds.
+  EXPECT_GE(summary->u64("vpt_tests"), per_round_tests);
+  EXPECT_GT(per_round_tests, 0u);
+  EXPECT_EQ(summary->u64("vpt_tests"), s.result.vpt_tests);
 }
 
 // ----------------------------------------------------------- Determinism

@@ -296,7 +296,7 @@ TEST_F(ReportFixture, VersionReportsBuildProvenance) {
     EXPECT_NE(out.find("tgcover "), std::string::npos) << spelling;
     EXPECT_NE(out.find("git:"), std::string::npos) << spelling;
     EXPECT_NE(out.find("build:"), std::string::npos) << spelling;
-    EXPECT_NE(out.find("telemetry compiled"), std::string::npos) << spelling;
+    EXPECT_NE(out.find("span timers compiled"), std::string::npos) << spelling;
   }
 }
 

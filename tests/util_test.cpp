@@ -373,6 +373,41 @@ TEST(ArgParser, NegativeNumbersAsValues) {
   args.finish();
 }
 
+TEST(ArgParser, EqualsSyntaxParsesTypedOptions) {
+  const char* argv[] = {"prog", "--nodes=400", "--gamma=1.5", "--name=x",
+                        "--flag"};
+  ArgParser args(5, argv);
+  EXPECT_EQ(args.get_int("nodes", 100), 400);
+  EXPECT_DOUBLE_EQ(args.get_double("gamma", 2.0), 1.5);
+  EXPECT_EQ(args.get_string("name", "y"), "x");
+  EXPECT_TRUE(args.get_flag("flag"));
+  args.finish();
+}
+
+TEST(ArgParser, EqualsSyntaxEdgeCases) {
+  // An empty value, a value containing '=', and a negative number — the
+  // split happens at the FIRST '=' only.
+  const char* argv[] = {"prog", "--empty=", "--expr=a=b", "--threshold=-85.0"};
+  ArgParser args(4, argv);
+  EXPECT_EQ(args.get_string("empty", "default"), "");
+  EXPECT_EQ(args.get_string("expr", ""), "a=b");
+  EXPECT_DOUBLE_EQ(args.get_double("threshold", 0.0), -85.0);
+  args.finish();
+}
+
+TEST(ArgParser, EqualsAndSpacedFormsMix) {
+  const char* argv[] = {"prog", "--in=net.tgc", "--tau", "5"};
+  ArgParser args(4, argv);
+  EXPECT_EQ(args.get_string("in", ""), "net.tgc");
+  EXPECT_EQ(args.get_int("tau", 0), 5);
+  args.finish();
+}
+
+TEST(ArgParser, EmptyKeyBeforeEqualsThrows) {
+  const char* argv[] = {"prog", "--=value"};
+  EXPECT_THROW(ArgParser(2, argv), tgc::CheckError);
+}
+
 // ------------------------------------------------------------------- Table
 
 TEST(Table, AlignsAndCsv) {

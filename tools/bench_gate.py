@@ -3,26 +3,31 @@
 
 Compares a freshly produced bench JSON (e.g. from
 `bench_ablation_parallel --json fresh.json`) against the committed
-`BENCH_*.json` baseline and fails when the run regressed:
+`BENCH_*.json` baseline. The gate reasons about two kinds of columns:
 
-  * determinism fields must match EXACTLY — `vpt_tests` is a pure function
-    of (nodes, tau, degree, seed), so any drift means the algorithm changed
-    behaviour, not just speed;
-  * a baseline row missing from the fresh run is a hard failure (silently
-    dropping a configuration is how regressions hide);
-  * `seconds` may grow up to --tolerance x the baseline (default 3.0 —
-    generous on purpose: baselines are recorded on developer machines and CI
-    runners are slower and noisier; the gate exists to catch catastrophic
-    slowdowns, not 10% jitter).
+  * LOGICAL columns (`vpt_tests`, `bfs_expansions`, `logical_cost`) are
+    machine-independent work-unit counts — pure functions of
+    (nodes, tau, degree, seed). They must match the baseline EXACTLY; any
+    drift means the algorithm changed behaviour, and the gate fails. A
+    baseline row missing from the fresh run is likewise a failure (silently
+    dropping a configuration is how regressions hide). A logical column
+    absent from the baseline (recorded before the cost model) is skipped
+    with a note, so old baselines keep working.
+  * WALL-CLOCK (`seconds`) is machine- and load-dependent, so it is ALWAYS
+    advisory: ratios above --tolerance are reported loudly but never change
+    the exit code. Cross-machine performance conclusions belong to the
+    logical columns.
 
-Stdlib only. Exit codes: 0 ok, 1 regression, 2 usage/IO error.
-With --advisory, regressions are reported but the exit code stays 0
-(used on PR builds; pushes to main hard-fail).
+Stdlib only. Exit codes: 0 ok, 1 logical regression, 2 usage/IO error.
+With --advisory, even logical regressions are reported but the exit code
+stays 0 (used on PR builds; pushes to main hard-fail).
 """
 
 import argparse
 import json
 import sys
+
+LOGICAL_FIELDS = ("vpt_tests", "bfs_expansions", "logical_cost")
 
 
 def load(path):
@@ -50,7 +55,7 @@ def main():
         "--tolerance",
         type=float,
         default=3.0,
-        help="max allowed seconds ratio fresh/baseline (default 3.0)",
+        help="advisory seconds ratio fresh/baseline to report (default 3.0)",
     )
     ap.add_argument(
         "--advisory",
@@ -77,38 +82,60 @@ def main():
         sys.exit(2)
 
     failures = []
+    advisories = []
+    skipped_fields = set()
     print(f"bench_gate: {baseline.get('bench')} "
-          f"({len(base_rows)} baseline rows, tolerance {args.tolerance}x)")
-    print(f"{'config':<28} {'base s':>10} {'fresh s':>10} {'ratio':>7}  verdict")
+          f"({len(base_rows)} baseline rows; logical columns gate, "
+          f"seconds advisory at {args.tolerance}x)")
+    print(f"{'config':<28} {'cost base':>10} {'cost fresh':>10} "
+          f"{'base s':>9} {'fresh s':>9} {'ratio':>7}  verdict")
     for key, base in sorted(base_rows.items()):
         fresh_row = fresh_rows.get(key)
         if fresh_row is None:
             failures.append(f"{fmt_key(key)}: missing from fresh run")
-            print(f"{fmt_key(key):<28} {'-':>10} {'-':>10} {'-':>7}  MISSING")
+            print(f"{fmt_key(key):<28} {'-':>10} {'-':>10} {'-':>9} {'-':>9} "
+                  f"{'-':>7}  MISSING")
             continue
         verdicts = []
-        if fresh_row.get("vpt_tests") != base.get("vpt_tests"):
-            verdicts.append(
-                f"vpt_tests {fresh_row.get('vpt_tests')} != baseline "
-                f"{base.get('vpt_tests')} (determinism!)"
-            )
+        for field in LOGICAL_FIELDS:
+            if field not in base:
+                skipped_fields.add(field)
+                continue
+            if fresh_row.get(field) != base.get(field):
+                verdicts.append(
+                    f"{field} {fresh_row.get(field)} != baseline "
+                    f"{base.get(field)} (machine-independent — this is a "
+                    f"behaviour change, not noise)"
+                )
         base_s = float(base.get("seconds", 0.0))
         fresh_s = float(fresh_row.get("seconds", 0.0))
         ratio = fresh_s / base_s if base_s > 0 else float("inf")
-        if ratio > args.tolerance:
-            verdicts.append(f"{ratio:.2f}x slower than baseline")
-        status = "FAIL: " + "; ".join(verdicts) if verdicts else "ok"
-        print(f"{fmt_key(key):<28} {base_s:>10.4f} {fresh_s:>10.4f} "
-              f"{ratio:>6.2f}x  {status}")
+        slow = ratio > args.tolerance
+        if slow:
+            advisories.append(
+                f"{fmt_key(key)}: {ratio:.2f}x slower than baseline "
+                f"(advisory: wall-clock never gates)"
+            )
+        status = ("FAIL: " + "; ".join(verdicts)) if verdicts else (
+            "ok (slow, advisory)" if slow else "ok")
+        print(f"{fmt_key(key):<28} {base.get('logical_cost', '-'):>10} "
+              f"{fresh_row.get('logical_cost', '-'):>10} "
+              f"{base_s:>9.4f} {fresh_s:>9.4f} {ratio:>6.2f}x  {status}")
         for v in verdicts:
             failures.append(f"{fmt_key(key)}: {v}")
 
     extra = sorted(set(fresh_rows) - set(base_rows))
     for key in extra:
         print(f"{fmt_key(key):<28} (new row, not in baseline — ignored)")
+    if skipped_fields:
+        print("bench_gate: baseline predates logical column(s) "
+              f"{sorted(skipped_fields)} — not gated this run")
 
+    for a in advisories:
+        print(f"bench_gate: advisory: {a}", file=sys.stderr)
     if failures:
-        print(f"\nbench_gate: {len(failures)} regression(s):", file=sys.stderr)
+        print(f"\nbench_gate: {len(failures)} logical regression(s):",
+              file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         if args.advisory:
@@ -116,7 +143,7 @@ def main():
                   file=sys.stderr)
             return 0
         return 1
-    print("bench_gate: no regressions")
+    print("bench_gate: no logical regressions")
     return 0
 
 
