@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     cached.tau = tau;
     cached.seed = seed;
     core::DccConfig uncached = cached;
-    uncached.disable_verdict_cache = true;
+    uncached.incremental = false;
 
     const auto t0 = std::chrono::steady_clock::now();
     const obs::Metrics m0 = obs::snapshot();

@@ -151,6 +151,18 @@ struct MetricsOptions {
   }
 };
 
+/// Declares the incremental-rounds escape hatch shared by the scheduling
+/// commands. Incremental (cross-round verdict caching with dirty-frontier
+/// invalidation, DESIGN.md §11) is the default; `--no-incremental` re-tests
+/// every node every round. Schedules are bit-identical either way, so this
+/// is execution detail — like `--threads`, never a semantic manifest key.
+bool declare_incremental(util::ArgParser& args) {
+  return !args.get_flag(
+      "no-incremental",
+      "disable cross-round VPT verdict caching (re-test every node every "
+      "round; schedules are bit-identical — ablation escape hatch)");
+}
+
 MetricsOptions declare_metrics_options(util::ArgParser& args) {
   MetricsOptions m;
   m.out_path = args.get_string("metrics-out", "",
@@ -292,6 +304,7 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
                 "--threads must be in [0, 1024], got " << threads_arg);
   const auto threads = static_cast<unsigned>(threads_arg);
+  const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
   configure_logging(args);
   args.finish();
@@ -303,6 +316,7 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   config.tau = tau;
   config.seed = seed;
   config.num_threads = threads;
+  config.incremental = incremental;
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
   const core::ScheduleSummary s = core::run_dcc(net, config);
@@ -480,6 +494,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
       args.get_int("net-seed", 1, "link delay / loss seed (async)"));
   const double retransmit = args.get_double(
       "retransmit", 4.0, "retransmission interval for unacked messages");
+  const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
   configure_logging(args);
   args.finish();
@@ -502,6 +517,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   config.tau = tau;
   config.seed = seed;
   config.num_threads = threads;
+  config.incremental = incremental;
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
 
@@ -588,6 +604,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
                 "--threads must be in [0, 1024], got " << threads_arg);
   const auto threads = static_cast<unsigned>(threads_arg);
+  const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
   configure_logging(args);
   args.finish();
@@ -603,6 +620,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   core::DccConfig config;
   config.tau = tau;
   config.num_threads = threads;
+  config.incremental = incremental;
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
   const core::RepairResult result = core::dcc_repair(
@@ -644,18 +662,22 @@ int cmd_stats(util::ArgParser& args, std::ostream& out) {
 
   if (csv) {
     // Re-render through Table for the CSV path too, so columns stay in sync.
-    util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
-                       "gf2", "msgs", "lost", "rexmit", "cost", "ns_verdicts",
-                       "ns_mis", "ns_deletion"});
+    util::Table table({"round", "active", "cand", "del", "vpt",
+                       "verdict_cache_hits", "dirty_nodes", "bfs", "horton",
+                       "gf2", "msgs", "lost", "rexmit", "ball_view_bytes",
+                       "cost", "ns_verdicts", "ns_mis", "ns_deletion"});
     for (const RoundRow& r : rows) {
       table.add_row({std::to_string(r.round), std::to_string(r.active),
                      std::to_string(r.candidates), std::to_string(r.deleted),
                      std::to_string(r.vpt_tests),
+                     std::to_string(r.cache_hits),
+                     std::to_string(r.dirty_nodes),
                      std::to_string(r.bfs_expansions),
                      std::to_string(r.horton_candidates),
                      std::to_string(r.gf2_pivots), std::to_string(r.messages),
                      std::to_string(r.messages_lost),
                      std::to_string(r.retransmissions),
+                     std::to_string(r.ball_view_bytes),
                      std::to_string(r.logical_cost),
                      std::to_string(r.ns_verdicts), std::to_string(r.ns_mis),
                      std::to_string(r.ns_deletion)});

@@ -19,6 +19,9 @@ struct RoundRow {
   std::uint64_t candidates = 0;
   std::uint64_t deleted = 0;
   std::uint64_t vpt_tests = 0;
+  std::uint64_t cache_hits = 0;       ///< verdicts reused from the cache
+  std::uint64_t dirty_nodes = 0;      ///< nodes re-queued by dirty frontiers
+  std::uint64_t ball_view_bytes = 0;  ///< ball-view arena bytes materialized
   std::uint64_t bfs_expansions = 0;
   std::uint64_t horton_candidates = 0;
   std::uint64_t gf2_pivots = 0;

@@ -366,32 +366,34 @@ void section_cost_totals(std::ostringstream& out,
          "numbers are byte-identical across machines, thread counts, and "
          "log levels — compare them across runs with `tgcover "
          "compare`.</p>\n"
-         "<table>\n<tr><th>phase</th><th>vpt</th><th>bfs</th><th>horton</th>"
+         "<table>\n<tr><th>phase</th><th>vpt</th><th>hits</th>"
+         "<th>dirty</th><th>bfs</th><th>horton</th>"
          "<th>gf2</th><th>msgs</th><th>rexmit</th><th>waves</th>"
-         "<th>cost</th></tr>\n";
+         "<th>view B</th><th>cost</th></tr>\n";
   obs::CostVec sum;
   std::uint64_t sum_cost = 0;
+  const auto cells = [&out](const obs::CostVec& v, std::uint64_t cost) {
+    out << v.get(obs::CounterId::kVptTests) << "</td><td>"
+        << v.get(obs::CounterId::kVerdictCacheHits) << "</td><td>"
+        << v.get(obs::CounterId::kDirtyNodes) << "</td><td>"
+        << v.get(obs::CounterId::kBfsExpansions) << "</td><td>"
+        << v.get(obs::CounterId::kHortonCandidates) << "</td><td>"
+        << v.get(obs::CounterId::kGf2Pivots) << "</td><td>"
+        << v.get(obs::CounterId::kMessages) << "</td><td>"
+        << v.get(obs::CounterId::kRetransmissions) << "</td><td>"
+        << v.get(obs::CounterId::kRepairWaves) << "</td><td>"
+        << v.get(obs::CounterId::kBallViewBytes) << "</td><td>" << cost
+        << "</td></tr>\n";
+  };
   for (const CostRow& c : totals) {
     sum += c.vec;
     sum_cost += c.logical_cost;
-    out << "<tr><td>" << html::escape(c.phase) << "</td><td>"
-        << c.vec.get(obs::CounterId::kVptTests) << "</td><td>"
-        << c.vec.get(obs::CounterId::kBfsExpansions) << "</td><td>"
-        << c.vec.get(obs::CounterId::kHortonCandidates) << "</td><td>"
-        << c.vec.get(obs::CounterId::kGf2Pivots) << "</td><td>"
-        << c.vec.get(obs::CounterId::kMessages) << "</td><td>"
-        << c.vec.get(obs::CounterId::kRetransmissions) << "</td><td>"
-        << c.vec.get(obs::CounterId::kRepairWaves) << "</td><td>"
-        << c.logical_cost << "</td></tr>\n";
+    out << "<tr><td>" << html::escape(c.phase) << "</td><td>";
+    cells(c.vec, c.logical_cost);
   }
-  out << "<tr><td>total</td><td>" << sum.get(obs::CounterId::kVptTests)
-      << "</td><td>" << sum.get(obs::CounterId::kBfsExpansions) << "</td><td>"
-      << sum.get(obs::CounterId::kHortonCandidates) << "</td><td>"
-      << sum.get(obs::CounterId::kGf2Pivots) << "</td><td>"
-      << sum.get(obs::CounterId::kMessages) << "</td><td>"
-      << sum.get(obs::CounterId::kRetransmissions) << "</td><td>"
-      << sum.get(obs::CounterId::kRepairWaves) << "</td><td>" << sum_cost
-      << "</td></tr>\n</table>\n</section>\n";
+  out << "<tr><td>total</td><td>";
+  cells(sum, sum_cost);
+  out << "</table>\n</section>\n";
 }
 
 void section_critical_path(std::ostringstream& out, const TraceStats* trace) {

@@ -12,6 +12,9 @@ RoundRow& RoundRow::operator+=(const RoundRow& rhs) {
   candidates += rhs.candidates;
   deleted += rhs.deleted;
   vpt_tests += rhs.vpt_tests;
+  cache_hits += rhs.cache_hits;
+  dirty_nodes += rhs.dirty_nodes;
+  ball_view_bytes += rhs.ball_view_bytes;
   bfs_expansions += rhs.bfs_expansions;
   horton_candidates += rhs.horton_candidates;
   gf2_pivots += rhs.gf2_pivots;
@@ -32,6 +35,9 @@ RoundRow row_from_event(const obs::RoundEvent& ev) {
   r.candidates = ev.candidates;
   r.deleted = ev.deleted;
   r.vpt_tests = ev.delta.get(obs::CounterId::kVptTests);
+  r.cache_hits = ev.delta.get(obs::CounterId::kVerdictCacheHits);
+  r.dirty_nodes = ev.delta.get(obs::CounterId::kDirtyNodes);
+  r.ball_view_bytes = ev.delta.get(obs::CounterId::kBallViewBytes);
   r.bfs_expansions = ev.delta.get(obs::CounterId::kBfsExpansions);
   r.horton_candidates = ev.delta.get(obs::CounterId::kHortonCandidates);
   r.gf2_pivots = ev.delta.get(obs::CounterId::kGf2Pivots);
@@ -52,6 +58,9 @@ RoundRow row_from_record(const obs::JsonRecord& rec) {
   r.candidates = rec.u64("candidates");
   r.deleted = rec.u64("deleted");
   r.vpt_tests = rec.u64("vpt_tests");
+  r.cache_hits = rec.u64("verdict_cache_hits");
+  r.dirty_nodes = rec.u64("dirty_nodes");
+  r.ball_view_bytes = rec.u64("ball_view_bytes");
   r.bfs_expansions = rec.u64("bfs_expansions");
   r.horton_candidates = rec.u64("horton_candidates");
   r.gf2_pivots = rec.u64("gf2_pivots");
@@ -85,67 +94,77 @@ CostRow cost_from_record(const obs::JsonRecord& rec) {
 }
 
 std::string render_round_table(const std::vector<RoundRow>& rows) {
-  util::Table table({"round", "active", "cand", "del", "vpt", "bfs", "horton",
-                     "gf2", "msgs", "lost", "rexmit", "cost", "verdict ms",
-                     "mis ms", "del ms"});
+  // "hits"/"dirty"/"view B" mirror the cost table's incremental-rounds
+  // columns (DESIGN.md §11) so `tgcover stats` shows per-round how much
+  // verdict work was reused and how many ball-view bytes were materialized.
+  util::Table table({"round", "active", "cand", "del", "vpt", "hits", "dirty",
+                     "bfs", "horton", "gf2", "msgs", "lost", "rexmit",
+                     "view B", "cost", "verdict ms", "mis ms", "del ms"});
   const auto ms = [](std::uint64_t ns) {
     return util::Table::num(static_cast<double>(ns) / 1e6, 2);
+  };
+  const auto row_of = [&ms](const std::string& label, const RoundRow& r) {
+    return std::vector<std::string>{
+        label,
+        std::to_string(r.active),
+        std::to_string(r.candidates),
+        std::to_string(r.deleted),
+        std::to_string(r.vpt_tests),
+        std::to_string(r.cache_hits),
+        std::to_string(r.dirty_nodes),
+        std::to_string(r.bfs_expansions),
+        std::to_string(r.horton_candidates),
+        std::to_string(r.gf2_pivots),
+        std::to_string(r.messages),
+        std::to_string(r.messages_lost),
+        std::to_string(r.retransmissions),
+        std::to_string(r.ball_view_bytes),
+        std::to_string(r.logical_cost),
+        ms(r.ns_verdicts),
+        ms(r.ns_mis),
+        ms(r.ns_deletion)};
   };
   RoundRow total;
   for (const RoundRow& r : rows) {
     total += r;
-    table.add_row({std::to_string(r.round), std::to_string(r.active),
-                   std::to_string(r.candidates), std::to_string(r.deleted),
-                   std::to_string(r.vpt_tests),
-                   std::to_string(r.bfs_expansions),
-                   std::to_string(r.horton_candidates),
-                   std::to_string(r.gf2_pivots), std::to_string(r.messages),
-                   std::to_string(r.messages_lost),
-                   std::to_string(r.retransmissions),
-                   std::to_string(r.logical_cost), ms(r.ns_verdicts),
-                   ms(r.ns_mis), ms(r.ns_deletion)});
+    table.add_row(row_of(std::to_string(r.round), r));
   }
   if (!rows.empty()) {
-    table.add_row({"total", std::to_string(total.active),
-                   std::to_string(total.candidates),
-                   std::to_string(total.deleted),
-                   std::to_string(total.vpt_tests),
-                   std::to_string(total.bfs_expansions),
-                   std::to_string(total.horton_candidates),
-                   std::to_string(total.gf2_pivots),
-                   std::to_string(total.messages),
-                   std::to_string(total.messages_lost),
-                   std::to_string(total.retransmissions),
-                   std::to_string(total.logical_cost), ms(total.ns_verdicts),
-                   ms(total.ns_mis), ms(total.ns_deletion)});
+    table.add_row(row_of("total", total));
   }
   return table.to_string();
 }
 
 std::string render_cost_table(const std::vector<CostRow>& totals) {
-  util::Table table({"phase", "vpt", "bfs", "horton", "gf2", "msgs", "rexmit",
-                     "waves", "cost"});
+  // "hits"/"dirty"/"view B" are the incremental-rounds counters (DESIGN.md
+  // §11): verdicts reused from the cache, nodes re-queued by dirty
+  // frontiers, and bytes of BallView arena built for VPT tests. They are
+  // outside the logical-cost scalar (work avoided / memory, not work done)
+  // but equally machine-independent.
+  util::Table table({"phase", "vpt", "hits", "dirty", "bfs", "horton", "gf2",
+                     "msgs", "rexmit", "waves", "view B", "cost"});
   CostRow sum;
+  const auto row_of = [](const std::string& label, const CostRow& c,
+                         std::uint64_t cost) {
+    return std::vector<std::string>{
+        label, std::to_string(c.vec.get(obs::CounterId::kVptTests)),
+        std::to_string(c.vec.get(obs::CounterId::kVerdictCacheHits)),
+        std::to_string(c.vec.get(obs::CounterId::kDirtyNodes)),
+        std::to_string(c.vec.get(obs::CounterId::kBfsExpansions)),
+        std::to_string(c.vec.get(obs::CounterId::kHortonCandidates)),
+        std::to_string(c.vec.get(obs::CounterId::kGf2Pivots)),
+        std::to_string(c.vec.get(obs::CounterId::kMessages)),
+        std::to_string(c.vec.get(obs::CounterId::kRetransmissions)),
+        std::to_string(c.vec.get(obs::CounterId::kRepairWaves)),
+        std::to_string(c.vec.get(obs::CounterId::kBallViewBytes)),
+        std::to_string(cost)};
+  };
   for (const CostRow& c : totals) {
     sum.vec += c.vec;
-    table.add_row({c.phase, std::to_string(c.vec.get(obs::CounterId::kVptTests)),
-                   std::to_string(c.vec.get(obs::CounterId::kBfsExpansions)),
-                   std::to_string(c.vec.get(obs::CounterId::kHortonCandidates)),
-                   std::to_string(c.vec.get(obs::CounterId::kGf2Pivots)),
-                   std::to_string(c.vec.get(obs::CounterId::kMessages)),
-                   std::to_string(c.vec.get(obs::CounterId::kRetransmissions)),
-                   std::to_string(c.vec.get(obs::CounterId::kRepairWaves)),
-                   std::to_string(c.logical_cost)});
+    table.add_row(row_of(c.phase, c, c.logical_cost));
   }
   if (!totals.empty()) {
-    table.add_row({"total", std::to_string(sum.vec.get(obs::CounterId::kVptTests)),
-                   std::to_string(sum.vec.get(obs::CounterId::kBfsExpansions)),
-                   std::to_string(sum.vec.get(obs::CounterId::kHortonCandidates)),
-                   std::to_string(sum.vec.get(obs::CounterId::kGf2Pivots)),
-                   std::to_string(sum.vec.get(obs::CounterId::kMessages)),
-                   std::to_string(sum.vec.get(obs::CounterId::kRetransmissions)),
-                   std::to_string(sum.vec.get(obs::CounterId::kRepairWaves)),
-                   std::to_string(obs::logical_cost(sum.vec))});
+    table.add_row(row_of("total", sum, obs::logical_cost(sum.vec)));
   }
   return table.to_string();
 }

@@ -77,7 +77,11 @@ BoundaryRing select_boundary_ring_waypoints(
   for (std::size_t i = 0; i < ring.anchors.size(); ++i) {
     const VertexId from = ring.anchors[i];
     const VertexId to = ring.anchors[(i + 1) % ring.anchors.size()];
-    const graph::ShortestPathTree spt(g, from);
+    // Early-exit SPT: only the from→to path is extracted, so the build can
+    // stop as soon as `to`'s BFS layer completes (identical path — see the
+    // stop_at contract). Anchors are near-adjacent on the ring, so this
+    // turns each stitch from O(V+E) into O(local ball).
+    const graph::ShortestPathTree spt(g, from, graph::kUnreached, to);
     TGC_CHECK_MSG(spt.reached(to), "boundary ring not connectable in graph");
     for (VertexId u = to; u != from; u = spt.parent(u)) {
       ring.cb.flip(spt.parent_edge(u));

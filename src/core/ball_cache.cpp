@@ -1,0 +1,81 @@
+#include "tgcover/core/ball_cache.hpp"
+
+#include <algorithm>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::core {
+
+using graph::VertexId;
+
+void BallCache::reset(std::size_t n, std::size_t num_shards) {
+  shards_.assign(num_shards, Shard{});
+  entries_.assign(n, Entry{});
+  valid_.assign(n, 0);
+}
+
+BallCache::View BallCache::view(VertexId v) const {
+  TGC_CHECK(has(v));
+  const Entry& e = entries_[v];
+  const Shard& s = shards_[e.shard];
+  View out;
+  out.members = {s.members.data() + e.mem_begin, e.mem_count};
+  out.offsets = s.offsets.data() + e.off_begin;
+  out.rows = s.rows.data();
+  return out;
+}
+
+std::size_t BallCache::capture(std::size_t shard_idx, const graph::Graph& g,
+                               const std::vector<bool>& active, VertexId v,
+                               std::span<const VertexId> punctured_members) {
+  TGC_CHECK(shard_idx < shards_.size());
+  TGC_CHECK(v < entries_.size());
+  Shard& s = shards_[shard_idx];
+
+  Entry e;
+  e.shard = static_cast<std::uint32_t>(shard_idx);
+  e.mem_begin = static_cast<std::uint32_t>(s.members.size());
+  e.mem_count = static_cast<std::uint32_t>(punctured_members.size() + 1);
+  e.off_begin = static_cast<std::uint32_t>(s.offsets.size());
+
+  // Merge the owner back into the sorted punctured member list.
+  const auto split =
+      std::lower_bound(punctured_members.begin(), punctured_members.end(), v);
+  s.members.insert(s.members.end(), punctured_members.begin(), split);
+  s.members.push_back(v);
+  s.members.insert(s.members.end(), split, punctured_members.end());
+
+  // One adjacency scan per member, filtered to (active-at-capture, in-ball).
+  // Graph adjacency is ascending and filtering preserves order, which is the
+  // row contract the cached VPT kernel's BallView build relies on.
+  const std::span<const VertexId> ball{s.members.data() + e.mem_begin,
+                                       e.mem_count};
+  s.offsets.push_back(static_cast<std::uint32_t>(s.rows.size()));
+  for (const VertexId m : ball) {
+    for (const VertexId b : g.neighbors(m)) {
+      if (active[b] && std::binary_search(ball.begin(), ball.end(), b)) {
+        s.rows.push_back(b);
+      }
+    }
+    s.offsets.push_back(static_cast<std::uint32_t>(s.rows.size()));
+  }
+
+  entries_[v] = e;
+  valid_[v] = 1;
+  const std::size_t row_count =
+      s.offsets.back() - s.offsets[e.off_begin];
+  return (e.mem_count + row_count) * sizeof(VertexId) +
+         (e.mem_count + 1) * sizeof(std::uint32_t);
+}
+
+std::size_t BallCache::resident_bytes() const {
+  std::size_t bytes = 0;
+  for (const Shard& s : shards_) {
+    bytes += s.members.size() * sizeof(VertexId) +
+             s.offsets.size() * sizeof(std::uint32_t) +
+             s.rows.size() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+}  // namespace tgc::core

@@ -118,7 +118,7 @@ EdgeScheduleResult dcc_schedule_edges(const Graph& g,
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       if (!result.edge_active[e] || is_protected(e)) continue;
       if (dirty[e] || verdict[e] == Verdict::kUnknown ||
-          config.disable_verdict_cache) {
+          !config.incremental) {
         ++result.vpt_tests;
         verdict[e] = edge_deletable_masked(g, node_active, result.edge_active,
                                            e, vpt)

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+
+namespace tgc::core {
+
+/// Per-schedule-call pool of frozen k-hop balls: for each node that has been
+/// VPT-tested once, the sorted member list of its radius-k ball (owner
+/// included) plus every member's adjacency row restricted to the ball, all in
+/// flat arena storage. Re-tests of a dirtied node then run their BFS entirely
+/// inside the pooled rows, filtered by the *current* active mask — no global
+/// graph traversal.
+///
+/// Why filtering a stale capture is exact (DESIGN.md §11): within one
+/// scheduler call the active set only shrinks. Any path of ≤ k hops through
+/// currently-active nodes was also a path of ≤ k hops through
+/// active-at-capture nodes, so all of its vertices were captured as members
+/// and all of its edges are in the stored rows. Filtering the capture by the
+/// live mask therefore yields exactly the members and induced edges a fresh
+/// BFS over the active topology would find — verdicts are bit-identical by
+/// construction, with no erase bookkeeping at all.
+///
+/// The pool is sharded per worker: each worker appends captures to its own
+/// arena and publishes the entry through a per-node slot (distinct slots, no
+/// word sharing — same discipline as the scheduler's fresh-verdict array).
+/// Which shard a ball lands in depends on work partitioning, but the entry
+/// *content* is a pure function of (graph, active-at-capture, node), so
+/// schedules and cost streams stay thread-count independent.
+///
+/// Lifetime is one scheduler call: across calls the awake set may grow
+/// (repair waves wake nodes), which would break the shrink-only argument, so
+/// the scheduler never reuses a pool across calls.
+class BallCache {
+ public:
+  /// Read-only handle over one pooled ball.
+  struct View {
+    /// Sorted ball members, owner included.
+    std::span<const graph::VertexId> members;
+    /// `members.size() + 1` row boundaries into `rows`.
+    const std::uint32_t* offsets = nullptr;
+    const graph::VertexId* rows = nullptr;
+
+    /// Adjacency of `members[i]` restricted to the ball (ascending, filtered
+    /// by the active mask at capture time).
+    std::span<const graph::VertexId> row(std::size_t i) const {
+      return {rows + offsets[i], offsets[i + 1] - offsets[i]};
+    }
+  };
+
+  /// Arms the pool for a graph of `n` vertices and `num_shards` workers,
+  /// dropping all previous captures.
+  void reset(std::size_t n, std::size_t num_shards);
+
+  bool has(graph::VertexId v) const {
+    return v < valid_.size() && valid_[v] != 0;
+  }
+
+  /// The pooled ball of `v`; `has(v)` must hold.
+  View view(graph::VertexId v) const;
+
+  /// Captures the radius-k ball of `v` into shard `shard`: members are the
+  /// punctured member set a fresh VPT test just collected (sorted, `v`
+  /// excluded) — `v` is merged back in and every member's adjacency row is
+  /// scanned from `g` filtered to (active, in-ball). Only worker `shard` may
+  /// call this with its shard id; distinct nodes use distinct entry slots.
+  /// Returns the entry's footprint in bytes (charged to ball-view bytes by
+  /// the caller).
+  std::size_t capture(std::size_t shard, const graph::Graph& g,
+                      const std::vector<bool>& active, graph::VertexId v,
+                      std::span<const graph::VertexId> punctured_members);
+
+  /// Total bytes resident across all shard arenas.
+  std::size_t resident_bytes() const;
+
+ private:
+  struct Shard {
+    std::vector<graph::VertexId> members;
+    std::vector<std::uint32_t> offsets;
+    std::vector<graph::VertexId> rows;
+  };
+  struct Entry {
+    std::uint32_t shard = 0;
+    std::uint32_t mem_begin = 0;
+    std::uint32_t mem_count = 0;
+    std::uint32_t off_begin = 0;
+  };
+
+  std::vector<Shard> shards_;
+  std::vector<Entry> entries_;
+  /// char, not vector<bool>: workers publish distinct slots concurrently.
+  std::vector<char> valid_;
+};
+
+}  // namespace tgc::core

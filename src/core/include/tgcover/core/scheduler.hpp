@@ -12,6 +12,8 @@ class RoundCollector;
 
 namespace tgc::core {
 
+class VerdictCache;
+
 /// Configuration of a DCC scheduling run.
 struct DccConfig {
   unsigned tau = 3;
@@ -22,9 +24,19 @@ struct DccConfig {
   std::uint64_t seed = 1;
   /// Safety cap on deletion rounds (the fixpoint terminates on its own).
   std::size_t max_rounds = static_cast<std::size_t>(-1);
-  /// Disable the dirty-set verdict cache (re-test every node every round);
-  /// results are identical — exposed for the caching ablation bench.
-  bool disable_verdict_cache = false;
+  /// Incremental rounds (default): VPT verdicts are cached across rounds and
+  /// only nodes whose k-hop ball intersected a deletion wave are re-tested
+  /// (VerdictCache dirty-frontier invalidation). Schedules are bit-identical
+  /// either way — verdicts are pure functions of the ball — so `false` is an
+  /// escape hatch (`--no-incremental`) that re-tests every node every round,
+  /// used by the equivalence tests and the ablation benches.
+  bool incremental = true;
+  /// Optional external verdict cache surviving across scheduler calls.
+  /// `dcc_repair` threads one through its escalating waves so verdicts far
+  /// from the failure are not re-evaluated wave after wave; `prepare`
+  /// re-dirties exactly the neighbourhood of the awake-set delta. Null: the
+  /// scheduler uses a private per-call cache.
+  VerdictCache* cache = nullptr;
   /// Optional fixed per-node MIS priorities (higher = deleted earlier),
   /// overriding the seeded random ones. Used by the energy-aware lifetime
   /// scheduler. Oracle executor only; must be empty for the distributed one.
@@ -56,6 +68,11 @@ struct DccResult {
   std::size_t rounds = 0;
   std::vector<DccRoundInfo> per_round;
   std::size_t vpt_tests = 0;  ///< VPT evaluations performed (cache ablation)
+  /// Verdicts reused from the cache instead of re-evaluated (incremental
+  /// mode; 0 with `incremental = false`).
+  std::size_t cache_hits = 0;
+  /// Nodes marked dirty by deletion/wake frontiers across the run.
+  std::size_t dirty_marked = 0;
 };
 
 /// DCC — the paper's distributed confine-coverage scheduling (Section V-B) —

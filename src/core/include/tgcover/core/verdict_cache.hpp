@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tgcover/graph/graph.hpp"
+#include "tgcover/util/stamped.hpp"
+
+namespace tgc::core {
+
+/// Cross-round (and cross-wave) cache of per-node VPT verdicts with
+/// dirty-frontier invalidation.
+///
+/// A node's VPT verdict is a pure function of its punctured k-hop ball
+/// Γ^k(v) over the active topology (the paper's τ-confine locality), so it
+/// stays valid until some node within k hops of v changes state. The cache
+/// keeps one verdict slot per node plus a dirty bit, and converts every
+/// state-change wave — a round's deletion set, or the awake-set delta
+/// between repair waves — into the exact dirty frontier by one bounded
+/// multi-source BFS from the changed nodes, reusing epoch-stamped scratch so
+/// steady-state rounds allocate nothing.
+///
+/// Invariant (the incremental-rounds contract, DESIGN.md §11): after
+/// `prepare`/`note_deletions`, every node whose ball could differ from the
+/// ball its cached verdict was computed against is marked dirty. Verdict
+/// purity then makes incremental schedules bit-identical to full recompute.
+///
+/// The scheduler owns a private instance per call; `dcc_repair` threads one
+/// across its escalating waves through `DccConfig::cache` so verdicts far
+/// from the failure survive wave re-entry. Not synchronized — the scheduler
+/// thread is the only writer (workers return verdicts; the scheduler
+/// stores them).
+class VerdictCache {
+ public:
+  enum class Verdict : char { kUnknown = 0, kDeletable, kNotDeletable };
+
+  /// Re-targets the cache at graph `g` / awake set `active`. First use (or
+  /// an order change) resets every node to unknown+dirty. On reuse, nodes
+  /// whose ball may have changed since the cache last saw the topology are
+  /// re-marked dirty: a depth-k multi-source BFS from every node whose
+  /// active bit differs from the remembered snapshot, run over the *union*
+  /// topology (nodes active before or now relay), which over-approximates
+  /// ball changes in both directions (wakes and deletions).
+  void prepare(const graph::Graph& g, const std::vector<bool>& active,
+               unsigned k);
+
+  /// Records a deletion wave: `deleted` nodes (currently active) are about
+  /// to power down. Marks dirty every node within k hops of the wave over
+  /// the pre-deletion active topology — exactly the nodes whose ball
+  /// intersects the deleted set — and updates the remembered snapshot. One
+  /// multi-source BFS per wave (the previous implementation ran one BFS per
+  /// deleted node, re-visiting overlap at radius ≤ 2k).
+  void note_deletions(const graph::Graph& g, const std::vector<bool>& active,
+                      std::span<const graph::VertexId> deleted, unsigned k);
+
+  bool dirty(graph::VertexId v) const { return dirty_[v]; }
+  Verdict verdict(graph::VertexId v) const { return verdicts_[v]; }
+
+  /// Stores a freshly evaluated verdict and clears the dirty bit.
+  void store(graph::VertexId v, bool deletable) {
+    verdicts_[v] = deletable ? Verdict::kDeletable : Verdict::kNotDeletable;
+    dirty_[v] = false;
+  }
+
+  /// Dirty marks applied by the last prepare/note_deletions call (the
+  /// `dirty_nodes` obs counter mirrors the cumulative sum).
+  std::size_t last_dirty_marked() const { return last_dirty_marked_; }
+
+  std::size_t size() const { return verdicts_.size(); }
+
+ private:
+  /// Depth-`k` multi-source BFS from `sources` over nodes passing
+  /// `relay(v)`; marks every reached node dirty. Returns frontier expansions
+  /// (for the kBfsExpansions counter, sources excluded).
+  template <typename RelayFn>
+  std::uint64_t mark_frontier(const graph::Graph& g,
+                              std::span<const graph::VertexId> sources,
+                              unsigned k, RelayFn&& relay);
+
+  std::vector<Verdict> verdicts_;
+  std::vector<bool> dirty_;
+  /// The awake set the stored verdicts were computed against.
+  std::vector<bool> last_active_;
+  util::StampedArray<std::uint32_t> dist_;
+  std::vector<graph::VertexId> queue_;
+  std::vector<graph::VertexId> changed_;
+  std::size_t last_dirty_marked_ = 0;
+};
+
+}  // namespace tgc::core

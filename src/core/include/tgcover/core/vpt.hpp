@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "tgcover/core/ball_cache.hpp"
 #include "tgcover/cycle/span.hpp"
 #include "tgcover/graph/graph.hpp"
+#include "tgcover/graph/subgraph.hpp"
 #include "tgcover/sim/khop.hpp"
 #include "tgcover/util/stamped.hpp"
 
@@ -28,7 +30,8 @@ struct VptConfig {
 /// it needs a BFS frontier, an induced punctured subgraph, and GF(2)
 /// candidate vectors — previously all allocated per test through hash maps.
 /// The workspace hoists them into flat epoch-stamped arrays sized once to
-/// the graph order, so back-to-back tests (the scheduler runs thousands per
+/// the graph order, and the punctured subgraph into an arena-backed
+/// graph::BallView, so back-to-back tests (the scheduler runs thousands per
 /// round) touch the allocator only on capacity growth.
 ///
 /// One workspace per thread: instances are not synchronized. The scheduler
@@ -39,7 +42,7 @@ struct VptWorkspace {
   util::StampedArray<graph::VertexId> local; ///< parent id → punctured-local id
   std::vector<graph::VertexId> queue;        ///< flat BFS frontier
   std::vector<graph::VertexId> members;      ///< collected k-hop neighbourhood
-  graph::GraphBuilder builder{0};            ///< reusable punctured-graph builder
+  graph::BallView ball;                      ///< arena-backed punctured view
   cycle::SpanScratch span;                   ///< candidate vector + dedup table
 
   /// Grows the vertex-indexed arrays to cover ids < n (never shrinks).
@@ -77,6 +80,17 @@ bool vpt_vertex_deletable_local(const sim::LocalView& view,
 /// evaluates one verdict per node per round through a shared workspace).
 bool vpt_vertex_deletable_local(const sim::LocalView& view,
                                 const VptConfig& config, VptWorkspace& ws);
+
+/// Re-evaluates the vertex test for `v` inside its pooled ball (captured at
+/// `v`'s first test this scheduler call) filtered by the current `active`
+/// mask. Because the active set only shrinks within a call, the filtered
+/// capture reproduces a fresh BFS exactly (see BallCache) — the verdict is
+/// bit-identical to `vpt_vertex_deletable` while never traversing the global
+/// graph: the work is charged to ball-view bytes, not BFS expansions.
+bool vpt_vertex_deletable_cached(const BallCache::View& view,
+                                 const std::vector<bool>& active,
+                                 graph::VertexId v, const VptConfig& config,
+                                 VptWorkspace& ws);
 
 /// The τ-VPT edge-deletability test: edge (u, v) may be deleted iff the
 /// k-hop neighbourhood of the edge (nodes within k hops of u or v) minus the

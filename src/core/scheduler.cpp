@@ -1,5 +1,7 @@
 #include "tgcover/core/scheduler.hpp"
 
+#include "tgcover/core/ball_cache.hpp"
+#include "tgcover/core/verdict_cache.hpp"
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/obs/log.hpp"
 #include "tgcover/obs/obs.hpp"
@@ -7,46 +9,12 @@
 #include "tgcover/sim/mis.hpp"
 #include "tgcover/util/check.hpp"
 #include "tgcover/util/rng.hpp"
-#include "tgcover/util/stamped.hpp"
 #include "tgcover/util/thread_pool.hpp"
 
 namespace tgc::core {
 
-namespace {
-
 using graph::Graph;
 using graph::VertexId;
-
-/// Marks every active node within `radius` hops of `source` (over the
-/// active topology, `source` included) in `out`. The stamped dist array and
-/// flat frontier are caller-owned: Step 3 runs one ball per selected MIS
-/// vertex per round, and re-allocating an O(n) dist vector for each was a
-/// measurable slice of large-deployment runs.
-void mark_ball(const Graph& g, const std::vector<bool>& active,
-               VertexId source, unsigned radius,
-               util::StampedArray<std::uint32_t>& dist,
-               std::vector<VertexId>& queue, std::vector<bool>& out) {
-  dist.clear();
-  queue.clear();
-  dist.put(source, 0);
-  out[source] = true;
-  queue.push_back(source);
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const VertexId u = queue[head];
-    const std::uint32_t du = dist.get(u);
-    if (du == radius) continue;
-    for (const VertexId w : g.neighbors(u)) {
-      if (active[w] && !dist.contains(w)) {
-        dist.put(w, du + 1);
-        out[w] = true;
-        queue.push_back(w);
-      }
-    }
-  }
-  obs::add(obs::CounterId::kBfsExpansions, queue.size() - 1);  // minus source
-}
-
-}  // namespace
 
 DccResult dcc_schedule(const Graph& g, const std::vector<bool>& internal,
                        const DccConfig& config) {
@@ -71,16 +39,31 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
   DccResult result;
   result.active = initial_active;
 
-  // Cached VPT verdicts. A verdict depends only on the punctured k-hop
-  // neighbourhood, so it stays valid until a deletion occurs within k hops.
-  enum class Verdict : char { kUnknown, kDeletable, kNotDeletable };
-  std::vector<Verdict> verdict(g.num_vertices(), Verdict::kUnknown);
-  std::vector<bool> dirty(g.num_vertices(), true);
+  // Cross-round verdict cache (DESIGN.md §11). A verdict depends only on the
+  // punctured k-hop ball, so it stays valid until a state change occurs
+  // within k hops; the cache tracks that dirty frontier. Callers may pass a
+  // cache that already saw an earlier awake set (repair waves) — `prepare`
+  // re-dirties exactly the delta neighbourhood.
+  VerdictCache local_cache;
+  VerdictCache& cache = config.cache != nullptr ? *config.cache : local_cache;
+  cache.prepare(g, result.active, k);
+  result.dirty_marked += cache.last_dirty_marked();
+
+  // Pooled k-hop balls (DESIGN.md §11): a node's first test this call
+  // captures its ball into a flat arena; every re-test after a dirtying
+  // deletion then runs inside the pooled rows filtered by the live active
+  // mask — exact, because active only shrinks within a call. The pool is
+  // strictly per-call: repair waves wake nodes between calls, which would
+  // break the shrink-only argument.
+  BallCache balls;
+  if (config.incremental) balls.reset(g.num_vertices(), pool.num_workers());
 
   std::vector<VertexId> to_test;
-  util::StampedArray<std::uint32_t> ball_dist;
-  std::vector<VertexId> ball_queue;
-  ball_dist.resize(g.num_vertices());
+  std::vector<VertexId> deleted_wave;
+  // Per-node fresh verdicts for the current round's fan-out. Workers write
+  // distinct char slots (no word sharing, unlike the cache's packed dirty
+  // bits); the scheduler thread folds them into the cache afterwards.
+  std::vector<char> fresh(g.num_vertices(), 0);
 
   // Running awake count, maintained for the round log only.
   std::size_t num_active = 0;
@@ -91,38 +74,56 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
   while (result.rounds < config.max_rounds) {
     if (config.collector != nullptr) config.collector->begin_round();
     // Step 1 (Section V-B): every internal node tests its own deletability
-    // from local connectivity. Each verdict reads only the graph and the
-    // pre-round `active` snapshot and writes only its own slot of `verdict`
-    // (a distinct char — no word sharing), so the dirty set fans out over
-    // the pool and the outcome is bit-identical to the serial loop; `dirty`
-    // is packed bits and is therefore cleared serially afterwards.
+    // from local connectivity. In incremental mode only dirty (or
+    // never-evaluated) nodes are tested; the rest reuse their cached
+    // verdict, which is sound because the cache's invariant guarantees the
+    // ball they were computed against is unchanged. Each verdict reads only
+    // the graph and the pre-round `active` snapshot and writes only its own
+    // slot (a distinct char — no word sharing), so the dirty set fans out
+    // over the pool and the outcome is bit-identical to the serial loop.
     {
       TGC_OBS_SPAN(obs::SpanId::kVerdicts);
       const obs::CostPhaseScope cost_phase(obs::CostPhase::kVerdicts);
       to_test.clear();
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         if (!result.active[v] || !internal[v]) continue;
-        if (dirty[v] || config.disable_verdict_cache ||
-            verdict[v] == Verdict::kUnknown) {
+        if (!config.incremental || cache.dirty(v) ||
+            cache.verdict(v) == VerdictCache::Verdict::kUnknown) {
           to_test.push_back(v);
+        } else {
+          ++result.cache_hits;
+          obs::add(obs::CounterId::kVerdictCacheHits, 1);
         }
       }
       result.vpt_tests += to_test.size();
       pool.parallel_for(0, to_test.size(), [&](std::size_t i, unsigned worker) {
         const VertexId v = to_test[i];
-        verdict[v] = vpt_vertex_deletable(g, result.active, v, vpt,
-                                          workspaces[worker])
-                         ? Verdict::kDeletable
-                         : Verdict::kNotDeletable;
+        VptWorkspace& ws = workspaces[worker];
+        bool verdict;
+        if (config.incremental && balls.has(v)) {
+          // Re-test inside the pooled ball: no global-graph traversal.
+          verdict = vpt_vertex_deletable_cached(balls.view(v), result.active,
+                                                v, vpt, ws);
+        } else {
+          verdict = vpt_vertex_deletable(g, result.active, v, vpt, ws);
+          if (config.incremental) {
+            // The fresh kernel left the punctured member set in ws.members;
+            // capture the ball for the re-tests to come. Workers append to
+            // their own shard and publish distinct per-node slots.
+            obs::add(obs::CounterId::kBallViewBytes,
+                     balls.capture(worker, g, result.active, v, ws.members));
+          }
+        }
+        fresh[v] = verdict ? 1 : 0;
       });
-      for (const VertexId v : to_test) dirty[v] = false;
+      for (const VertexId v : to_test) cache.store(v, fresh[v] != 0);
     }
 
     std::vector<bool> candidate(g.num_vertices(), false);
     std::size_t num_candidates = 0;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (!result.active[v] || !internal[v]) continue;
-      if (verdict[v] == Verdict::kDeletable) {
+      if (cache.verdict(v) == VerdictCache::Verdict::kDeletable) {
         candidate[v] = true;
         ++num_candidates;
       }
@@ -150,26 +151,26 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     }
 
     // Step 3: delete the MIS; verdicts within k hops of a deletion (over the
-    // pre-deletion topology) become stale.
-    std::vector<bool> stale(g.num_vertices(), false);
-    std::size_t num_selected = 0;
+    // pre-deletion topology) become stale. One multi-source BFS covers the
+    // whole wave — MIS spacing ≥ k+1 keeps the sources distinct but their
+    // k-balls may still meet (at distance up to 2k), and the joint frontier
+    // visits that overlap once.
     {
       TGC_OBS_SPAN(obs::SpanId::kDeletion);
       const obs::CostPhaseScope cost_phase(obs::CostPhase::kDeletion);
+      deleted_wave.clear();
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (!selected[v]) continue;
-        mark_ball(g, result.active, v, k, ball_dist, ball_queue, stale);
-        ++num_selected;
+        if (selected[v]) deleted_wave.push_back(v);
       }
-      TGC_CHECK(num_selected > 0);  // a MIS of a non-empty set is non-empty
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (selected[v]) {
-          result.active[v] = false;
-          ++result.deleted;
-        }
-        if (stale[v]) dirty[v] = true;
+      TGC_CHECK(!deleted_wave.empty());  // MIS of a non-empty set is non-empty
+      cache.note_deletions(g, result.active, deleted_wave, k);
+      result.dirty_marked += cache.last_dirty_marked();
+      for (const VertexId v : deleted_wave) {
+        result.active[v] = false;
+        ++result.deleted;
       }
     }
+    const std::size_t num_selected = deleted_wave.size();
     result.per_round.push_back(DccRoundInfo{num_candidates, num_selected});
     num_active -= num_selected;
     if (config.collector != nullptr) {

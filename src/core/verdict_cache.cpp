@@ -1,0 +1,94 @@
+#include "tgcover/core/verdict_cache.hpp"
+
+#include "tgcover/obs/cost.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+template <typename RelayFn>
+std::uint64_t VerdictCache::mark_frontier(const Graph& g,
+                                          std::span<const VertexId> sources,
+                                          unsigned k, RelayFn&& relay) {
+  dist_.clear();
+  queue_.clear();
+  last_dirty_marked_ = 0;
+  for (const VertexId s : sources) {
+    if (dist_.contains(s)) continue;
+    dist_.put(s, 0);
+    queue_.push_back(s);
+    if (!dirty_[s]) {
+      dirty_[s] = true;
+      ++last_dirty_marked_;
+    }
+  }
+  const std::size_t num_sources = queue_.size();
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const VertexId u = queue_[head];
+    const std::uint32_t du = dist_.get(u);
+    if (du == k) continue;
+    for (const VertexId w : g.neighbors(u)) {
+      if (!relay(w) || dist_.contains(w)) continue;
+      dist_.put(w, du + 1);
+      queue_.push_back(w);
+      if (!dirty_[w]) {
+        dirty_[w] = true;
+        ++last_dirty_marked_;
+      }
+    }
+  }
+  return queue_.size() - num_sources;
+}
+
+void VerdictCache::prepare(const Graph& g, const std::vector<bool>& active,
+                           unsigned k) {
+  const std::size_t n = g.num_vertices();
+  TGC_CHECK(active.size() == n);
+  if (verdicts_.size() != n) {
+    verdicts_.assign(n, Verdict::kUnknown);
+    dirty_.assign(n, true);
+    last_active_ = active;
+    dist_.resize(n);
+    last_dirty_marked_ = n;
+    obs::add(obs::CounterId::kDirtyNodes, n);
+    return;
+  }
+  changed_.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    if (last_active_[v] != active[v]) changed_.push_back(v);
+  }
+  if (!changed_.empty()) {
+    // Union-topology relay: a path of nodes active before OR now witnesses
+    // a possible ball change in either snapshot; if no changed node is
+    // within k union-hops of v, every node within k hops of v has the same
+    // state in both snapshots and v's ball is untouched.
+    const std::uint64_t expanded =
+        mark_frontier(g, changed_, k, [&](VertexId w) {
+          return last_active_[w] || active[w];
+        });
+    obs::add(obs::CounterId::kBfsExpansions, expanded);
+    obs::add(obs::CounterId::kDirtyNodes, last_dirty_marked_);
+    last_active_ = active;
+  } else {
+    last_dirty_marked_ = 0;
+  }
+}
+
+void VerdictCache::note_deletions(const Graph& g,
+                                  const std::vector<bool>& active,
+                                  std::span<const VertexId> deleted,
+                                  unsigned k) {
+  TGC_CHECK(verdicts_.size() == g.num_vertices());
+  TGC_CHECK(active.size() == g.num_vertices());
+  // Pre-deletion topology: the deleted nodes are still active here, so the
+  // frontier reaches exactly the nodes whose punctured ball mentions one.
+  const std::uint64_t expanded =
+      mark_frontier(g, deleted, k, [&](VertexId w) { return active[w]; });
+  obs::add(obs::CounterId::kBfsExpansions, expanded);
+  obs::add(obs::CounterId::kDirtyNodes, last_dirty_marked_);
+  for (const VertexId v : deleted) last_active_[v] = false;
+}
+
+}  // namespace tgc::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tgcover/core/ball_cache.hpp"
 #include "tgcover/cycle/span.hpp"
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/obs/obs.hpp"
@@ -46,8 +47,9 @@ void assign_local_ids(const std::vector<VertexId>& members, VptWorkspace& ws) {
 }
 
 /// The two Definition-5 conditions on an already-built punctured
-/// neighbourhood graph.
-bool neighbourhood_passes(const Graph& punctured, unsigned tau,
+/// neighbourhood (Graph or arena-backed BallView).
+template <typename G>
+bool neighbourhood_passes(const G& punctured, unsigned tau,
                           cycle::SpanScratch& scratch) {
   if (punctured.num_vertices() == 0) return true;  // nothing local to preserve
   if (!graph::is_connected(punctured)) return false;
@@ -55,13 +57,19 @@ bool neighbourhood_passes(const Graph& punctured, unsigned tau,
 }
 
 /// Accounts one finished deletability test (any operator flavour): the test
-/// itself, its verdict, and the BFS frontier it expanded.
-bool record_verdict(bool deletable, std::size_t members) {
+/// itself, its verdict, the global-graph BFS frontier it expanded, and the
+/// ball-view bytes it materialized. `expansions` counts only vertices
+/// discovered by traversing the *global* topology — kernels that evaluate
+/// inside an already-materialized view (pooled ball, distributed local view)
+/// pass 0 and their work shows up under ball-view bytes instead.
+bool record_verdict(bool deletable, std::size_t expansions,
+                    std::size_t ball_bytes) {
   obs::add(obs::CounterId::kVptTests, 1);
   obs::add(deletable ? obs::CounterId::kVptDeletable
                      : obs::CounterId::kVptVetoed,
            1);
-  obs::add(obs::CounterId::kBfsExpansions, members);
+  obs::add(obs::CounterId::kBfsExpansions, expansions);
+  obs::add(obs::CounterId::kBallViewBytes, ball_bytes);
   return deletable;
 }
 
@@ -86,19 +94,17 @@ bool vpt_vertex_deletable(const Graph& g, const std::vector<bool>& active,
   std::sort(ws.members.begin(), ws.members.end());
 
   // Build the punctured neighbourhood directly: v is not a member, so its
-  // edges never materialize.
+  // edges never materialize. Rows come out sorted because members are sorted
+  // and Graph adjacency is sorted, which is what BallView's first-encounter
+  // edge-id assignment requires.
   assign_local_ids(ws.members, ws);
-  ws.builder.reset(ws.members.size());
-  for (const VertexId a : ws.members) {
-    const VertexId la = ws.local.get(a);
-    for (const VertexId b : g.neighbors(a)) {
-      if (!active[b] || !ws.local.contains(b)) continue;
-      ws.builder.add_edge(la, ws.local.get(b));
+  ws.ball.build(ws.members.size(), [&](VertexId la, auto&& emit) {
+    for (const VertexId b : g.neighbors(ws.members[la])) {
+      if (active[b] && ws.local.contains(b)) emit(ws.local.get(b));
     }
-  }
-  return record_verdict(
-      neighbourhood_passes(ws.builder.build(), config.tau, ws.span),
-      ws.members.size());
+  });
+  return record_verdict(neighbourhood_passes(ws.ball, config.tau, ws.span),
+                        ws.members.size(), ws.ball.bytes());
 }
 
 bool vpt_vertex_deletable_local(const sim::LocalView& view,
@@ -114,15 +120,11 @@ bool vpt_vertex_deletable_local(const sim::LocalView& view,
 
   // The view's records carry global ids; size the stamped arrays to cover
   // every id they mention (cheap single scan, amortized by resize-only-grows).
-  VertexId bound = view.owner;
-  for (const auto& [node, nbrs] : view.adjacency) {
-    bound = std::max(bound, node);
-    for (const VertexId w : nbrs) bound = std::max(bound, w);
-  }
-  ws.ensure(static_cast<std::size_t>(bound) + 1);
+  ws.ensure(static_cast<std::size_t>(view.id_bound()) + 1);
 
   // BFS inside the view: deletions may have lengthened paths since the view
   // was collected, so recompute which recorded nodes are still within k hops.
+  // Tombstoned (erased) nodes neither relay nor appear as members.
   ws.dist.clear();
   ws.queue.clear();
   ws.members.clear();
@@ -132,10 +134,9 @@ bool vpt_vertex_deletable_local(const sim::LocalView& view,
     const VertexId u = ws.queue[head];
     const std::uint32_t du = ws.dist.get(u);
     if (du == k) continue;
-    const auto it = view.adjacency.find(u);
-    if (it == view.adjacency.end()) continue;
-    for (const VertexId w : it->second) {
-      if (ws.dist.contains(w)) continue;
+    if (!view.knows(u)) continue;
+    for (const VertexId w : view.record(u)) {
+      if (!view.alive(w) || ws.dist.contains(w)) continue;
       ws.dist.put(w, du + 1);
       ws.members.push_back(w);
       ws.queue.push_back(w);
@@ -144,19 +145,81 @@ bool vpt_vertex_deletable_local(const sim::LocalView& view,
   std::sort(ws.members.begin(), ws.members.end());
 
   // Build the punctured neighbourhood from the view's adjacency records.
+  // Records preserve the origin's sorted adjacency order, so the filtered
+  // rows are ascending as BallView requires.
   assign_local_ids(ws.members, ws);
-  ws.builder.reset(ws.members.size());
-  for (const VertexId u : ws.members) {
-    const auto it = view.adjacency.find(u);
-    if (it == view.adjacency.end()) continue;
-    const VertexId lu = ws.local.get(u);
-    for (const VertexId w : it->second) {
-      if (ws.local.contains(w)) ws.builder.add_edge(lu, ws.local.get(w));
+  ws.ball.build(ws.members.size(), [&](VertexId lu, auto&& emit) {
+    const VertexId u = ws.members[lu];
+    if (!view.knows(u)) return;
+    for (const VertexId w : view.record(u)) {
+      if (view.alive(w) && ws.local.contains(w)) emit(ws.local.get(w));
+    }
+  });
+  // No global-graph traversal happened: the BFS ran over the view's arena
+  // records (the collection protocol's cost is accounted as messages).
+  return record_verdict(neighbourhood_passes(ws.ball, config.tau, ws.span), 0,
+                        ws.members.size() * sizeof(VertexId) +
+                            ws.ball.bytes());
+}
+
+bool vpt_vertex_deletable_cached(const BallCache::View& view,
+                                 const std::vector<bool>& active, VertexId v,
+                                 const VptConfig& config, VptWorkspace& ws) {
+  TGC_CHECK(!view.members.empty());
+  TGC_CHECK_MSG(active[v], "VPT test on inactive vertex " << v);
+  const unsigned k = config.effective_k();
+  // Member ids are global; the sorted list's back bounds every id the BFS
+  // and the local-id map will touch.
+  ws.ensure(static_cast<std::size_t>(view.members.back()) + 1);
+
+  // Map member → pooled row index so the BFS can follow rows by id.
+  ws.local.clear();
+  for (VertexId i = 0; i < view.members.size(); ++i) {
+    ws.local.put(view.members[i], i);
+  }
+
+  // BFS inside the pooled ball, filtered by the *current* active mask.
+  // Deletions since capture only shrink the active set, so every live ≤ k-hop
+  // path lies within the captured members and rows (see BallCache) — the
+  // membership this computes is exactly what a fresh BFS over the active
+  // topology would find, without touching the global graph.
+  ws.dist.clear();
+  ws.queue.clear();
+  ws.members.clear();
+  ws.dist.put(v, 0);
+  ws.queue.push_back(v);
+  std::size_t bytes_scanned = view.members.size() * sizeof(VertexId);
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const VertexId u = ws.queue[head];
+    const std::uint32_t du = ws.dist.get(u);
+    if (du == k) continue;
+    const auto row = view.row(ws.local.get(u));
+    bytes_scanned += row.size() * sizeof(VertexId);
+    for (const VertexId w : row) {
+      if (!active[w] || ws.dist.contains(w)) continue;
+      ws.dist.put(w, du + 1);
+      ws.members.push_back(w);
+      ws.queue.push_back(w);
     }
   }
-  return record_verdict(
-      neighbourhood_passes(ws.builder.build(), config.tau, ws.span),
-      ws.members.size());
+  std::sort(ws.members.begin(), ws.members.end());
+
+  // Build the punctured neighbourhood from the pooled rows. Reassigning
+  // ws.local to punctured ids loses the row index, so rows are re-found by
+  // binary search over the sorted member list; v itself never gets a
+  // punctured id, so its edges vanish exactly as in the fresh kernel.
+  assign_local_ids(ws.members, ws);
+  ws.ball.build(ws.members.size(), [&](VertexId lu, auto&& emit) {
+    const VertexId u = ws.members[lu];
+    const std::size_t iu = static_cast<std::size_t>(
+        std::lower_bound(view.members.begin(), view.members.end(), u) -
+        view.members.begin());
+    for (const VertexId w : view.row(iu)) {
+      if (active[w] && ws.local.contains(w)) emit(ws.local.get(w));
+    }
+  });
+  return record_verdict(neighbourhood_passes(ws.ball, config.tau, ws.span), 0,
+                        bytes_scanned + ws.ball.bytes());
 }
 
 bool vpt_edge_deletable(const Graph& g, const std::vector<bool>& active,
@@ -184,18 +247,16 @@ bool vpt_edge_deletable(const Graph& g, const std::vector<bool>& active,
                    ws.members.end());
 
   assign_local_ids(ws.members, ws);
-  ws.builder.reset(ws.members.size());
-  for (const VertexId a : ws.members) {
-    const VertexId la = ws.local.get(a);
+  ws.ball.build(ws.members.size(), [&](VertexId la, auto&& emit) {
+    const VertexId a = ws.members[la];
     for (const VertexId b : g.neighbors(a)) {
       if (!active[b] || !ws.local.contains(b)) continue;
       if ((a == u && b == v) || (a == v && b == u)) continue;  // puncture
-      ws.builder.add_edge(la, ws.local.get(b));
+      emit(ws.local.get(b));
     }
-  }
-  return record_verdict(
-      neighbourhood_passes(ws.builder.build(), config.tau, ws.span),
-      ws.members.size());
+  });
+  return record_verdict(neighbourhood_passes(ws.ball, config.tau, ws.span),
+                        ws.members.size(), ws.ball.bytes());
 }
 
 }  // namespace tgc::core

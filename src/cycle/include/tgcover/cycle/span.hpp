@@ -7,6 +7,7 @@
 #include "tgcover/cycle/candidates.hpp"
 #include "tgcover/cycle/cycle.hpp"
 #include "tgcover/graph/graph.hpp"
+#include "tgcover/graph/subgraph.hpp"
 #include "tgcover/util/gf2_elim.hpp"
 
 namespace tgc::cycle {
@@ -33,6 +34,14 @@ struct SpanScratch {
 
 /// `short_cycles_span` evaluated through caller-owned scratch storage.
 bool short_cycles_span(const graph::Graph& g, std::uint32_t tau,
+                       SpanScratch& scratch);
+
+/// The same streaming span test over an arena-backed punctured ball view —
+/// the VPT hot path. Identical candidate enumeration and elimination order
+/// as the Graph overload on the same structure (BallView reproduces
+/// GraphBuilder's edge-id assignment), so the logical-cost counters are
+/// byte-identical too.
+bool short_cycles_span(const graph::BallView& g, std::uint32_t tau,
                        SpanScratch& scratch);
 
 /// Streaming membership test: is `target` (an edge-incidence vector over g's

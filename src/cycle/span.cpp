@@ -19,9 +19,9 @@ using graph::VertexId;
 /// builds each fundamental cycle of length ≤ tau of the depth-⌊τ/2⌋ tree
 /// rooted at `root` into `scratch` and calls `sink(scratch, length)`; the
 /// sink copies only what it keeps. Returns false early when the sink asks to
-/// stop.
-template <typename Sink>
-bool emit_root_candidates(const Graph& g, VertexId root, std::uint32_t tau,
+/// stop. Generic over Graph-like types (Graph, BallView).
+template <typename G, typename Sink>
+bool emit_root_candidates(const G& g, VertexId root, std::uint32_t tau,
                           util::Gf2Vector& scratch, Sink&& sink) {
   const ShortestPathTree spt(g, root, tau / 2);
   for (VertexId x = 0; x < g.num_vertices(); ++x) {
@@ -51,7 +51,8 @@ bool emit_root_candidates(const Graph& g, VertexId root, std::uint32_t tau,
 
 /// Streams all short-cycle candidates into an eliminator, stopping early as
 /// soon as the rank reaches `nu` (S_τ then spans the whole cycle space).
-util::Gf2Eliminator build_streaming_basis(const Graph& g, std::uint32_t tau,
+template <typename G>
+util::Gf2Eliminator build_streaming_basis(const G& g, std::uint32_t tau,
                                           std::size_t nu,
                                           SpanScratch& scratch) {
   util::Gf2Eliminator elim(g.num_edges());
@@ -77,6 +78,16 @@ util::Gf2Eliminator build_streaming_basis(const Graph& g, std::uint32_t tau,
   return elim;
 }
 
+/// The streaming span test shared by the Graph and BallView overloads.
+template <typename G>
+bool short_cycles_span_impl(const G& g, std::uint32_t tau,
+                            SpanScratch& scratch) {
+  TGC_CHECK(tau >= 3);
+  const std::size_t nu = graph::cycle_space_dimension(g);
+  if (nu == 0) return true;
+  return build_streaming_basis(g, tau, nu, scratch).rank() == nu;
+}
+
 }  // namespace
 
 bool short_cycles_span(const Graph& g, std::uint32_t tau) {
@@ -86,10 +97,12 @@ bool short_cycles_span(const Graph& g, std::uint32_t tau) {
 
 bool short_cycles_span(const Graph& g, std::uint32_t tau,
                        SpanScratch& scratch) {
-  TGC_CHECK(tau >= 3);
-  const std::size_t nu = graph::cycle_space_dimension(g);
-  if (nu == 0) return true;
-  return build_streaming_basis(g, tau, nu, scratch).rank() == nu;
+  return short_cycles_span_impl(g, tau, scratch);
+}
+
+bool short_cycles_span(const graph::BallView& g, std::uint32_t tau,
+                       SpanScratch& scratch) {
+  return short_cycles_span_impl(g, tau, scratch);
 }
 
 bool short_cycles_contain(const Graph& g, std::uint32_t tau,

@@ -91,40 +91,6 @@ std::size_t cycle_space_dimension(const Graph& g) {
   return g.num_edges() + components - g.num_vertices();
 }
 
-ShortestPathTree::ShortestPathTree(const Graph& g, VertexId root,
-                                   std::uint32_t max_depth)
-    : root_(root),
-      parent_(g.num_vertices(), kInvalidVertex),
-      parent_edge_(g.num_vertices(), kInvalidEdge),
-      depth_(g.num_vertices(), kUnreached) {
-  TGC_CHECK(root < g.num_vertices());
-  depth_[root] = 0;
-  // Layered BFS processing vertices in increasing id within each layer;
-  // combined with sorted adjacency this assigns every vertex the smallest-id
-  // eligible parent (lexicographic tie-breaking).
-  std::vector<VertexId> layer{root};
-  std::uint32_t d = 0;
-  while (!layer.empty() && d < max_depth) {
-    std::vector<VertexId> next;
-    for (const VertexId u : layer) {
-      const auto nbrs = g.neighbors(u);
-      const auto eids = g.incident_edges(u);
-      for (std::size_t j = 0; j < nbrs.size(); ++j) {
-        const VertexId w = nbrs[j];
-        if (depth_[w] == kUnreached) {
-          depth_[w] = d + 1;
-          parent_[w] = u;
-          parent_edge_[w] = eids[j];
-          next.push_back(w);
-        }
-      }
-    }
-    std::sort(next.begin(), next.end());
-    layer = std::move(next);
-    ++d;
-  }
-}
-
 VertexId ShortestPathTree::lca(VertexId x, VertexId y) const {
   TGC_CHECK(reached(x) && reached(y));
   while (x != y) {

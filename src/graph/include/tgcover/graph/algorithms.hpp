@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -22,6 +23,46 @@ std::vector<std::uint32_t> connected_components(const Graph& g,
 
 bool is_connected(const Graph& g);
 
+/// Generic overloads over any Graph-like type exposing num_vertices /
+/// num_edges / neighbors / incident_edges (Graph, BallView). The VPT kernels
+/// run these on arena-backed ball views; the non-template Graph overloads
+/// above stay preferred for Graph arguments.
+template <typename G>
+std::size_t count_components(const G& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<bool> seen(n, false);
+  std::size_t components = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    seen[s] = true;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId w : g.neighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++components;
+  }
+  return components;
+}
+
+template <typename G>
+bool is_connected(const G& g) {
+  return g.num_vertices() <= 1 || count_components(g) == 1;
+}
+
+/// Dimension of the GF(2) cycle space: |E| - |V| + #components.
+template <typename G>
+std::size_t cycle_space_dimension(const G& g) {
+  return g.num_edges() + count_components(g) - g.num_vertices();
+}
+
 /// Mask of the vertices in the largest connected component (ties broken
 /// toward the smallest component label). Useful for trace-derived graphs,
 /// which can come out disconnected.
@@ -41,8 +82,50 @@ std::size_t cycle_space_dimension(const Graph& g);
 class ShortestPathTree {
  public:
   /// Builds the SPT of `g` rooted at `root`, truncated at `max_depth`.
-  ShortestPathTree(const Graph& g, VertexId root,
-                   std::uint32_t max_depth = kUnreached);
+  /// Generic over Graph-like types (Graph, BallView) — the streaming span
+  /// kernel builds one per root over arena-backed ball views.
+  ///
+  /// `stop_at` stops the build once that vertex's layer completes: every
+  /// vertex at depth ≤ depth(stop_at) — the whole root→stop_at path in
+  /// particular — gets exactly the parent the untruncated build assigns
+  /// (layers finish before the check, so tie-breaking never changes).
+  /// Callers that only extract one path (boundary ring stitching) skip the
+  /// rest of the graph.
+  template <typename G>
+  ShortestPathTree(const G& g, VertexId root,
+                   std::uint32_t max_depth = kUnreached,
+                   VertexId stop_at = kInvalidVertex)
+      : root_(root),
+        parent_(g.num_vertices(), kInvalidVertex),
+        parent_edge_(g.num_vertices(), kInvalidEdge),
+        depth_(g.num_vertices(), kUnreached) {
+    depth_[root] = 0;
+    // Layered BFS processing vertices in increasing id within each layer;
+    // combined with sorted adjacency this assigns every vertex the
+    // smallest-id eligible parent (lexicographic tie-breaking).
+    std::vector<VertexId> layer{root};
+    std::uint32_t d = 0;
+    while (!layer.empty() && d < max_depth &&
+           (stop_at == kInvalidVertex || depth_[stop_at] == kUnreached)) {
+      std::vector<VertexId> next;
+      for (const VertexId u : layer) {
+        const auto nbrs = g.neighbors(u);
+        const auto eids = g.incident_edges(u);
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          const VertexId w = nbrs[j];
+          if (depth_[w] == kUnreached) {
+            depth_[w] = d + 1;
+            parent_[w] = u;
+            parent_edge_[w] = eids[j];
+            next.push_back(w);
+          }
+        }
+      }
+      std::sort(next.begin(), next.end());
+      layer = std::move(next);
+      ++d;
+    }
+  }
 
   VertexId root() const { return root_; }
 

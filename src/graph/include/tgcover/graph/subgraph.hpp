@@ -1,10 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "tgcover/graph/graph.hpp"
+#include "tgcover/util/check.hpp"
 
 namespace tgc::graph {
 
@@ -26,6 +28,101 @@ struct InducedSubgraph {
 /// duplicate-free).
 InducedSubgraph induce_vertices(const Graph& g,
                                 std::span<const VertexId> vertices);
+
+/// Arena-backed punctured-neighbourhood view: a flat CSR slice over
+/// punctured-local vertex ids, rebuilt in place for every VPT test.
+///
+/// This replaces the per-test `GraphBuilder::build()` Graph (whose edge
+/// dedup hash map dominated both allocation traffic and memory at large n).
+/// A BallView owns four flat arrays and nothing else; `build` re-fills them
+/// without releasing capacity, so a worker testing thousands of balls
+/// back-to-back is allocation-free once the arrays have grown to the
+/// largest ball seen.
+///
+/// Edge-id compatibility is load-bearing: local edge ids are assigned in
+/// first-encounter order while scanning rows in ascending local-vertex
+/// order — exactly the insertion order `GraphBuilder` used — so every
+/// downstream deterministic structure (Horton candidate enumeration, GF(2)
+/// pivot sequences, the logical-cost counters) is byte-identical to the
+/// builder-based implementation. The reverse direction of an edge resolves
+/// its id by binary search in the partner's already-built row instead of a
+/// hash probe, which requires each emitted row to be sorted ascending (true
+/// for every caller: rows derive from sorted Graph adjacency or sorted
+/// LocalView records, filtered order-preservingly).
+class BallView {
+ public:
+  std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Edge ids parallel to `neighbors(v)`.
+  std::span<const EdgeId> incident_edges(VertexId v) const {
+    return {adjacency_edge_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Endpoints of edge `e`, with first < second.
+  std::pair<VertexId, VertexId> edge(EdgeId e) const { return edges_[e]; }
+
+  /// Rebuilds the view for `nv` local vertices. `row(la, emit)` is invoked
+  /// once per local vertex in ascending order and calls `emit(lb)` for each
+  /// neighbour, strictly ascending in `lb`, self-loops excluded. Symmetry is
+  /// required (la appears in lb's row iff lb appears in la's) and checked.
+  template <typename RowFn>
+  void build(std::size_t nv, RowFn&& row) {
+    offsets_.clear();
+    adjacency_.clear();
+    adjacency_edge_.clear();
+    edges_.clear();
+    offsets_.reserve(nv + 1);
+    offsets_.push_back(0);
+    for (VertexId la = 0; la < nv; ++la) {
+      row(la, [&](VertexId lb) {
+        adjacency_.push_back(lb);
+        if (la < lb) {
+          adjacency_edge_.push_back(static_cast<EdgeId>(edges_.size()));
+          edges_.emplace_back(la, lb);
+        } else {
+          // The partner row lb (< la) is complete; its sorted entries give
+          // the already-assigned id of (lb, la) in O(log deg).
+          const auto begin = adjacency_.begin() +
+                             static_cast<std::ptrdiff_t>(offsets_[lb]);
+          const auto end = adjacency_.begin() +
+                           static_cast<std::ptrdiff_t>(offsets_[lb + 1]);
+          const auto it = std::lower_bound(begin, end, la);
+          TGC_CHECK_MSG(it != end && *it == la,
+                        "asymmetric ball rows: " << lb << " lacks " << la);
+          adjacency_edge_.push_back(
+              adjacency_edge_[static_cast<std::size_t>(it -
+                                                       adjacency_.begin())]);
+        }
+      });
+      offsets_.push_back(adjacency_.size());
+    }
+  }
+
+  /// Logical payload bytes of the current ball (fixed per-element widths, so
+  /// the `ball_view_bytes` counter is machine-independent): the CSR offsets,
+  /// both adjacency-parallel arrays, and the edge endpoint list.
+  std::size_t bytes() const {
+    return 8 * offsets_.size() + (4 + 4) * adjacency_.size() +
+           8 * edges_.size();
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;                  // nv+1
+  std::vector<VertexId> adjacency_;                   // 2m, sorted per row
+  std::vector<EdgeId> adjacency_edge_;                // 2m, parallel
+  std::vector<std::pair<VertexId, VertexId>> edges_;  // m, (min, max)
+};
 
 /// The same vertex set as `g` but keeping only edges whose both endpoints are
 /// active. Deleted (inactive) vertices become isolated; vertex and edge-count

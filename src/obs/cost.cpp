@@ -8,10 +8,11 @@ namespace tgc::obs {
 namespace {
 
 constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
-    "vpt_tests",      "vpt_deletable",     "vpt_vetoed",
-    "bfs_expansions", "horton_candidates", "gf2_pivots",
-    "messages",       "payload_words",     "repair_waves",
-    "messages_lost",  "retransmissions",
+    "vpt_tests",         "vpt_deletable",     "vpt_vetoed",
+    "bfs_expansions",    "horton_candidates", "gf2_pivots",
+    "messages",          "payload_words",     "repair_waves",
+    "messages_lost",     "retransmissions",   "verdict_cache_hits",
+    "dirty_nodes",       "ball_view_bytes",
 };
 
 constexpr std::array<std::string_view, kNumPhases> kPhaseNames = {

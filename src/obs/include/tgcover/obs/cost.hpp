@@ -37,6 +37,9 @@ enum class CounterId : unsigned {
   kRepairWaves,       ///< wake-radius escalations performed by dcc_repair
   kMessagesLost,      ///< transmissions lost on the air (AsyncEngine)
   kRetransmissions,   ///< α-synchronizer retransmissions of unacked messages
+  kVerdictCacheHits,  ///< VPT verdicts reused from the cross-round cache
+  kDirtyNodes,        ///< nodes re-marked dirty by deletion/wake frontiers
+  kBallViewBytes,     ///< logical bytes of punctured ball views materialized
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -103,6 +106,11 @@ struct CostVec {
 /// logical cost per primitive operation. Sub-counts (deletable/vetoed are a
 /// partition of tests, lost is a subset of messages) and payload_words (a
 /// different unit) are excluded to avoid double counting — see DESIGN.md §10.
+/// The incremental-round bookkeeping counters (verdict_cache_hits,
+/// dirty_nodes, ball_view_bytes) are likewise excluded: hits and dirty marks
+/// describe work *avoided* or re-queued, not performed, and bytes are a
+/// memory unit — all three remain machine-independent and exact-match gated
+/// as their own bench columns.
 std::uint64_t logical_cost(const CostVec& v);
 
 /// Registry state split by phase. `total()` collapses the phase axis and is

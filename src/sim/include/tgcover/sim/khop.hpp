@@ -1,6 +1,8 @@
 #pragma once
 
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "tgcover/graph/graph.hpp"
@@ -14,15 +16,57 @@ namespace tgc::sim {
 /// Γ^k(v) = G[N^k(v)] that the VPT deletability test needs (Section V-B:
 /// "Each internal node v only needs to collect the connectivity Γ^k_G(v)
 /// among its k-hop neighbors").
+///
+/// Storage is a flat SoA record pool: every learned adjacency list is
+/// appended to one contiguous `pool` and addressed by (offset, length) —
+/// one allocation path instead of a vector per recorded node, which is what
+/// lets a 10⁵-node distributed round fit in RAM. Deletions are lazy
+/// tombstones: `erase_node` marks the id erased in O(1) (previously an
+/// O(|view|·deg) scrub of every list) and readers filter through `alive`.
 struct LocalView {
   graph::VertexId owner = graph::kInvalidVertex;
-  /// adjacency[u] = known neighbor list of u, for every u within k hops of
-  /// the owner (the owner's own list included).
-  std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> adjacency;
 
-  /// Removes a (deleted) node from the view: drops its list and its
-  /// occurrences in other lists.
+  /// Record pool: learned adjacency lists back-to-back, in learn order.
+  std::vector<graph::VertexId> pool;
+  struct Slice {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  /// node id → its record in `pool`. One entry per node the owner has heard
+  /// an adjacency record for (tombstoned nodes keep no entry).
+  std::unordered_map<graph::VertexId, Slice> index;
+  /// Lazy tombstones: ids announced as deleted. Their records are dropped
+  /// from `index`; stale mentions inside other records remain in `pool` and
+  /// are skipped by readers via `alive`.
+  std::unordered_set<graph::VertexId> erased;
+
+  bool alive(graph::VertexId v) const {
+    return erased.find(v) == erased.end();
+  }
+
+  /// True iff the view holds a (non-tombstoned) record for `v`.
+  bool knows(graph::VertexId v) const {
+    return index.find(v) != index.end();
+  }
+
+  /// The recorded neighbor list of `v` (must be known). May mention
+  /// tombstoned ids — filter with `alive` when reading post-deletion.
+  std::span<const graph::VertexId> record(graph::VertexId v) const {
+    const Slice s = index.at(v);
+    return {pool.data() + s.offset, s.length};
+  }
+
+  /// Stores the adjacency record of `v`; ignored if already known or
+  /// tombstoned. Returns true iff the record was new.
+  bool add_record(graph::VertexId v, std::span<const graph::VertexId> nbrs);
+
+  /// Removes a (deleted) node from the view: drops its record and tombstones
+  /// the id so stale mentions in other records are skipped. O(1) amortized.
   void erase_node(graph::VertexId v);
+
+  /// Largest node id the view mentions (owner included) — sizes the VPT
+  /// workspace's stamped arrays.
+  graph::VertexId id_bound() const;
 };
 
 /// Runs the k-round adjacency-flooding protocol on `runner` (any SyncRunner

@@ -1,6 +1,7 @@
 #include "tgcover/sim/khop.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "tgcover/obs/trace.hpp"
 #include "tgcover/util/check.hpp"
@@ -13,7 +14,7 @@ constexpr std::uint32_t kMsgAdjacency = 1;
 
 /// Appends a record [node, degree, neighbors...] to `payload`.
 void append_record(std::vector<std::uint32_t>& payload, graph::VertexId node,
-                   const std::vector<graph::VertexId>& nbrs) {
+                   std::span<const graph::VertexId> nbrs) {
   payload.push_back(node);
   payload.push_back(static_cast<std::uint32_t>(nbrs.size()));
   payload.insert(payload.end(), nbrs.begin(), nbrs.end());
@@ -29,13 +30,9 @@ void absorb(LocalView& view, const Message& msg,
     const graph::VertexId who = msg.payload[i++];
     const std::uint32_t deg = msg.payload[i++];
     TGC_CHECK(i + deg <= msg.payload.size());
-    // try_emplace probes the table once; the neighbor list is only copied
-    // out of the payload when the record is actually new.
-    const auto [it, inserted] = view.adjacency.try_emplace(who);
-    if (inserted) {
-      it->second.assign(
-          msg.payload.begin() + static_cast<std::ptrdiff_t>(i),
-          msg.payload.begin() + static_cast<std::ptrdiff_t>(i + deg));
+    if (view.add_record(
+            who, std::span<const graph::VertexId>(msg.payload.data() + i,
+                                                  deg))) {
       learned.push_back(who);
     }
     i += deg;
@@ -44,12 +41,34 @@ void absorb(LocalView& view, const Message& msg,
 
 }  // namespace
 
+bool LocalView::add_record(graph::VertexId v,
+                           std::span<const graph::VertexId> nbrs) {
+  if (!alive(v)) return false;
+  // try_emplace probes the table once; the neighbor list is only appended
+  // to the pool when the record is actually new.
+  const auto [it, inserted] = index.try_emplace(v);
+  if (!inserted) return false;
+  TGC_CHECK(pool.size() + nbrs.size() <=
+            std::numeric_limits<std::uint32_t>::max());
+  it->second.offset = static_cast<std::uint32_t>(pool.size());
+  it->second.length = static_cast<std::uint32_t>(nbrs.size());
+  pool.insert(pool.end(), nbrs.begin(), nbrs.end());
+  return true;
+}
+
 void LocalView::erase_node(graph::VertexId v) {
-  adjacency.erase(v);
-  for (auto& [node, nbrs] : adjacency) {
-    (void)node;
-    nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), v), nbrs.end());
+  index.erase(v);
+  erased.insert(v);
+}
+
+graph::VertexId LocalView::id_bound() const {
+  graph::VertexId bound = owner;
+  for (const auto& [node, slice] : index) {
+    (void)slice;
+    bound = std::max(bound, node);
   }
+  for (const graph::VertexId w : pool) bound = std::max(bound, w);
+  return bound;
 }
 
 std::vector<LocalView> collect_k_hop_views(SyncRunner& runner, unsigned k) {
@@ -59,14 +78,15 @@ std::vector<LocalView> collect_k_hop_views(SyncRunner& runner, unsigned k) {
 
   std::vector<LocalView> views(n);
   // Seed: every active node knows its own (active-filtered) adjacency.
+  std::vector<graph::VertexId> nbrs;
   for (graph::VertexId v = 0; v < n; ++v) {
     if (!runner.is_active(v)) continue;
     views[v].owner = v;
-    std::vector<graph::VertexId> nbrs;
+    nbrs.clear();
     for (const graph::VertexId u : g.neighbors(v)) {
       if (runner.is_active(u)) nbrs.push_back(u);
     }
-    views[v].adjacency.emplace(v, std::move(nbrs));
+    views[v].add_record(v, nbrs);
   }
 
   // Round 0 sends the node's own record; in round r (1 ≤ r ≤ k) each node
@@ -93,11 +113,11 @@ std::vector<LocalView> collect_k_hop_views(SyncRunner& runner, unsigned k) {
         std::vector<std::uint32_t> payload;
         std::size_t payload_size = 0;
         for (const graph::VertexId who : to_send) {
-          payload_size += 2 + views[node].adjacency.at(who).size();
+          payload_size += 2 + views[node].record(who).size();
         }
         payload.reserve(payload_size);
         for (const graph::VertexId who : to_send) {
-          append_record(payload, who, views[node].adjacency.at(who));
+          append_record(payload, who, views[node].record(who));
         }
         mailer.broadcast(kMsgAdjacency, payload);
       }

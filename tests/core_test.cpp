@@ -396,7 +396,7 @@ TEST_F(SchedulerFixture, VerdictCacheDoesNotChangeResult) {
   cached.tau = 4;
   cached.seed = 3;
   DccConfig uncached = cached;
-  uncached.disable_verdict_cache = true;
+  uncached.incremental = false;
   const DccResult a = dcc_schedule(dep_.graph, internal_, cached);
   const DccResult b = dcc_schedule(dep_.graph, internal_, uncached);
   EXPECT_EQ(a.active, b.active);

@@ -217,7 +217,7 @@ TEST(EdgeScheduler, CacheDoesNotChangeResult) {
   DccConfig cached;
   cached.tau = 4;
   DccConfig uncached = cached;
-  uncached.disable_verdict_cache = true;
+  uncached.incremental = false;
   const auto a = dcc_schedule_edges(dep.graph, nodes, util::Gf2Vector(), cached);
   const auto b =
       dcc_schedule_edges(dep.graph, nodes, util::Gf2Vector(), uncached);

@@ -277,14 +277,14 @@ TEST(PropertySim, KHopViewsConsistentAfterDeactivations) {
   const Graph active_graph = graph::filter_active(dep.graph, engine.active());
   for (VertexId v = 0; v < 70; ++v) {
     if (!engine.is_active(v)) {
-      EXPECT_TRUE(views[v].adjacency.empty());
+      EXPECT_TRUE(views[v].index.empty());
       continue;
     }
     const auto dist = graph::bfs_distances(active_graph, v, 2);
     for (VertexId u = 0; u < 70; ++u) {
       const bool expect_known =
           dist[u] != graph::kUnreached && engine.is_active(u);
-      EXPECT_EQ(views[v].adjacency.count(u) > 0, expect_known)
+      EXPECT_EQ(views[v].knows(u), expect_known)
           << "owner " << v << " node " << u;
     }
   }

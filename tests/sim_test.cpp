@@ -108,10 +108,12 @@ TEST(KHop, ViewsMatchGroundTruth) {
         if (dist[u] != graph::kUnreached) expected.insert(u);
       }
       std::set<VertexId> got;
-      for (const auto& [node, adj] : views[v].adjacency) {
+      for (const auto& [node, slice] : views[v].index) {
+        (void)slice;
         got.insert(node);
         // Each recorded adjacency list is the node's true neighbor list.
-        std::vector<VertexId> sorted_adj = adj;
+        const auto adj = views[v].record(node);
+        std::vector<VertexId> sorted_adj(adj.begin(), adj.end());
         std::sort(sorted_adj.begin(), sorted_adj.end());
         const auto nbrs = g.neighbors(node);
         EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), sorted_adj.begin(),
@@ -132,16 +134,31 @@ TEST(KHop, TrafficIsCounted) {
   EXPECT_GT(engine.stats().payload_words, 0u);
 }
 
+// Erasure is a lazy tombstone: the record disappears, the id reads as dead,
+// and stale mentions inside surviving records are filtered by `alive` (the
+// previous implementation scrubbed every list eagerly — O(|view|·deg) per
+// deletion; this is O(1)).
 TEST(LocalView, EraseNode) {
   LocalView view;
   view.owner = 0;
-  view.adjacency[0] = {1, 2};
-  view.adjacency[1] = {0, 2};
-  view.adjacency[2] = {0, 1};
+  const std::vector<VertexId> l0{1, 2}, l1{0, 2}, l2{0, 1};
+  view.add_record(0, l0);
+  view.add_record(1, l1);
+  view.add_record(2, l2);
   view.erase_node(2);
-  EXPECT_EQ(view.adjacency.count(2), 0u);
-  EXPECT_EQ(view.adjacency[0], (std::vector<VertexId>{1}));
-  EXPECT_EQ(view.adjacency[1], (std::vector<VertexId>{0}));
+  EXPECT_FALSE(view.knows(2));
+  EXPECT_FALSE(view.alive(2));
+  // Live filtering of the surviving records.
+  for (const VertexId u : {0u, 1u}) {
+    std::vector<VertexId> live;
+    for (const VertexId w : view.record(u)) {
+      if (view.alive(w)) live.push_back(w);
+    }
+    EXPECT_EQ(live, (std::vector<VertexId>{u == 0 ? 1u : 0u}));
+  }
+  // Tombstoned ids never re-enter via late records.
+  EXPECT_FALSE(view.add_record(2, l2));
+  EXPECT_FALSE(view.knows(2));
 }
 
 // --------------------------------------------------------------------- MIS

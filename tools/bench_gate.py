@@ -5,9 +5,10 @@ Compares a freshly produced bench JSON (e.g. from
 `bench_ablation_parallel --json fresh.json`) against the committed
 `BENCH_*.json` baseline. The gate reasons about two kinds of columns:
 
-  * LOGICAL columns (`vpt_tests`, `bfs_expansions`, `logical_cost`) are
-    machine-independent work-unit counts — pure functions of
-    (nodes, tau, degree, seed). They must match the baseline EXACTLY; any
+  * LOGICAL columns (`vpt_tests`, `bfs_expansions`, `logical_cost`,
+    `verdict_cache_hits`, `dirty_nodes`, `rounds`) are machine-independent
+    work-unit counts — pure functions of
+    (mode, nodes, tau, degree, seed). They must match the baseline EXACTLY; any
     drift means the algorithm changed behaviour, and the gate fails. A
     baseline row missing from the fresh run is likewise a failure (silently
     dropping a configuration is how regressions hide). A logical column
@@ -27,7 +28,14 @@ import argparse
 import json
 import sys
 
-LOGICAL_FIELDS = ("vpt_tests", "bfs_expansions", "logical_cost")
+LOGICAL_FIELDS = (
+    "vpt_tests",
+    "bfs_expansions",
+    "logical_cost",
+    "verdict_cache_hits",
+    "dirty_nodes",
+    "rounds",
+)
 
 
 def load(path):
@@ -40,11 +48,13 @@ def load(path):
 
 
 def row_key(row):
-    return (row.get("nodes"), row.get("threads"))
+    # Rows recorded before the multi-round DCC section carry no mode tag;
+    # they are the single-round VPT sweep.
+    return (row.get("mode", "sweep"), row.get("nodes"), row.get("threads"))
 
 
 def fmt_key(key):
-    return f"nodes={key[0]} threads={key[1]}"
+    return f"{key[0]} nodes={key[1]} threads={key[2]}"
 
 
 def main():
@@ -84,16 +94,20 @@ def main():
     failures = []
     advisories = []
     skipped_fields = set()
+    # Speedup columns recorded on a single-core host never exercised real
+    # parallelism — say so instead of letting a flat baseline read as "no
+    # speedup regression".
+    base_single_core = baseline.get("hardware_concurrency") == 1
     print(f"bench_gate: {baseline.get('bench')} "
           f"({len(base_rows)} baseline rows; logical columns gate, "
           f"seconds advisory at {args.tolerance}x)")
-    print(f"{'config':<28} {'cost base':>10} {'cost fresh':>10} "
+    print(f"{'config':<40} {'cost base':>10} {'cost fresh':>10} "
           f"{'base s':>9} {'fresh s':>9} {'ratio':>7}  verdict")
     for key, base in sorted(base_rows.items()):
         fresh_row = fresh_rows.get(key)
         if fresh_row is None:
             failures.append(f"{fmt_key(key)}: missing from fresh run")
-            print(f"{fmt_key(key):<28} {'-':>10} {'-':>10} {'-':>9} {'-':>9} "
+            print(f"{fmt_key(key):<40} {'-':>10} {'-':>10} {'-':>9} {'-':>9} "
                   f"{'-':>7}  MISSING")
             continue
         verdicts = []
@@ -118,7 +132,10 @@ def main():
             )
         status = ("FAIL: " + "; ".join(verdicts)) if verdicts else (
             "ok (slow, advisory)" if slow else "ok")
-        print(f"{fmt_key(key):<28} {base.get('logical_cost', '-'):>10} "
+        if (base_single_core and not verdicts
+                and "speedup_vs_1t" in base and base.get("threads", 1) > 1):
+            status += " [speedup unverifiable: baseline captured on 1 core]"
+        print(f"{fmt_key(key):<40} {base.get('logical_cost', '-'):>10} "
               f"{fresh_row.get('logical_cost', '-'):>10} "
               f"{base_s:>9.4f} {fresh_s:>9.4f} {ratio:>6.2f}x  {status}")
         for v in verdicts:
@@ -126,7 +143,7 @@ def main():
 
     extra = sorted(set(fresh_rows) - set(base_rows))
     for key in extra:
-        print(f"{fmt_key(key):<28} (new row, not in baseline — ignored)")
+        print(f"{fmt_key(key):<40} (new row, not in baseline — ignored)")
     if skipped_fields:
         print("bench_gate: baseline predates logical column(s) "
               f"{sorted(skipped_fields)} — not gated this run")
