@@ -1,0 +1,259 @@
+#include "tgcover/app/charts.hpp"
+
+#include <algorithm>
+
+#include "tgcover/app/html.hpp"
+
+namespace tgc::app::charts {
+
+namespace {
+
+using html::bar_path;
+using html::draw_frame;
+using html::escape;
+using html::fnum;
+using html::Frame;
+using html::nice_ceil;
+using html::rect;
+using html::svg_begin;
+
+std::vector<std::uint64_t> slot_ids_of(const std::vector<BarSlot>& slots) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(slots.size());
+  for (const BarSlot& s : slots) ids.push_back(s.id);
+  return ids;
+}
+
+}  // namespace
+
+void stacked_bars(std::ostringstream& out, const std::string& aria_label,
+                  const Legend& legend, const std::vector<BarSlot>& slots,
+                  const std::string& axis_name) {
+  double maxv = 0.0;
+  for (const BarSlot& s : slots) {
+    double sum = 0.0;
+    for (const Seg& seg : s.segs) sum += seg.value;
+    maxv = std::max(maxv, sum);
+  }
+  Frame f;
+  f.n = slots.size();
+  f.ymax = nice_ceil(maxv);
+  html::legend(out, legend);
+  svg_begin(out, aria_label);
+  draw_frame(out, f, slot_ids_of(slots), axis_name);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::vector<Seg>& segs = slots[i].segs;
+    const double bw = std::max(2.0, f.slot() * 0.7);
+    const double bx = f.x(i) + (f.slot() - bw) / 2.0;
+    std::size_t last = segs.size();  // topmost non-zero gets the rounded end
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      if (segs[s].value > 0.0) last = s;
+    }
+    double top = f.y(0);
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      const double h = (segs[s].value / f.ymax) * f.ph();
+      if (h <= 0.0) continue;
+      top -= h;
+      if (s == last) {
+        bar_path(out, segs[s].cls + " seg", bx, top, bw, h, segs[s].title);
+      } else {
+        rect(out, segs[s].cls + " seg", bx, top, bw, h, segs[s].title);
+      }
+    }
+  }
+  out << "</svg>\n";
+}
+
+void grouped_bars(std::ostringstream& out, const std::string& aria_label,
+                  const Legend& legend, const std::vector<BarSlot>& slots,
+                  const std::string& axis_name) {
+  double maxv = 0.0;
+  std::size_t group = 1;
+  for (const BarSlot& s : slots) {
+    group = std::max(group, s.segs.size());
+    for (const Seg& seg : s.segs) maxv = std::max(maxv, seg.value);
+  }
+  Frame f;
+  f.n = slots.size();
+  f.ymax = nice_ceil(maxv);
+  html::legend(out, legend);
+  svg_begin(out, aria_label);
+  draw_frame(out, f, slot_ids_of(slots), axis_name);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::vector<Seg>& bars = slots[i].segs;
+    const double gw = f.slot() * 0.78;
+    const double gap = 2.0;
+    const double bw = std::max(
+        1.0, (gw - static_cast<double>(group - 1) * gap) /
+                 static_cast<double>(group));
+    const double gx = f.x(i) + (f.slot() - gw) / 2.0;
+    for (std::size_t b = 0; b < bars.size(); ++b) {
+      const double h = (bars[b].value / f.ymax) * f.ph();
+      if (h <= 0.0) continue;
+      bar_path(out, bars[b].cls, gx + static_cast<double>(b) * (bw + gap),
+               f.y(0) - h, bw, h, bars[b].title);
+    }
+  }
+  out << "</svg>\n";
+}
+
+void line_chart(std::ostringstream& out, const LineChartSpec& spec) {
+  double maxv = 0.0;
+  for (const BarSeries& b : spec.bars) {
+    for (const double v : b.values) maxv = std::max(maxv, v);
+  }
+  for (const LineSeries& l : spec.lines) {
+    for (const double v : l.values) maxv = std::max(maxv, v);
+  }
+  Frame f;
+  f.n = std::max<std::size_t>(1, spec.slot_ids.size());
+  f.ymax = nice_ceil(maxv);
+  html::legend(out, spec.legend);
+  svg_begin(out, spec.aria_label);
+  draw_frame(out, f, spec.slot_ids, spec.axis_name);
+  for (const BarSeries& b : spec.bars) {
+    for (std::size_t i = 0; i < b.values.size(); ++i) {
+      const double bw = std::max(2.0, f.slot() * b.width_factor);
+      const double bx = f.x(i) + (f.slot() - bw) / 2.0;
+      const double h = (b.values[i] / f.ymax) * f.ph();
+      if (h <= 0.0) continue;
+      bar_path(out, b.cls, bx, f.y(0) - h, bw, h,
+               i < b.titles.size() ? b.titles[i] : std::string());
+    }
+  }
+  for (const LineSeries& l : spec.lines) {
+    if (l.values.empty()) continue;
+    std::ostringstream pts;
+    for (std::size_t i = 0; i < l.values.size(); ++i) {
+      if (i != 0) pts << ' ';
+      pts << fnum(f.x(i) + f.slot() / 2.0, 2) << ','
+          << fnum(f.y(l.values[i]), 2);
+    }
+    out << "<polyline class=\"line" << l.series << "\" points=\"" << pts.str()
+        << "\"/>\n";
+    for (std::size_t i = 0; i < l.values.size(); ++i) {
+      out << "<circle class=\"dot" << l.series << "\" cx=\""
+          << fnum(f.x(i) + f.slot() / 2.0, 2) << "\" cy=\""
+          << fnum(f.y(l.values[i]), 2) << "\" r=\"2.5\"><title>"
+          << escape(i < l.titles.size() ? l.titles[i] : std::string())
+          << "</title></circle>\n";
+    }
+  }
+  out << "</svg>\n";
+}
+
+void heatmap(std::ostringstream& out, const HeatmapSpec& spec) {
+  const std::size_t cols = spec.col_labels.size();
+  const std::size_t rows = spec.row_labels.size();
+  if (cols == 0 || rows == 0) return;
+  constexpr double kCellH = 26.0;
+  constexpr double kPadL = 64.0;
+  constexpr double kPadR = 14.0;
+  constexpr double kPadT = 8.0;
+  constexpr double kPadB = 34.0;
+  const double cw = (html::kSvgW - kPadL - kPadR) / static_cast<double>(cols);
+  const double height = kPadT + kCellH * static_cast<double>(rows) + kPadB;
+
+  double lo = 0.0;
+  double hi = 0.0;
+  bool seen = false;
+  for (std::size_t i = 0; i < spec.values.size(); ++i) {
+    if (i < spec.present.size() && spec.present[i] == 0) continue;
+    if (!seen || spec.values[i] < lo) lo = spec.values[i];
+    if (!seen || spec.values[i] > hi) hi = spec.values[i];
+    seen = true;
+  }
+
+  out << "<svg viewBox=\"0 0 " << html::axis_label(html::kSvgW) << ' '
+      << html::axis_label(height) << "\" role=\"img\" aria-label=\""
+      << escape(spec.aria_label) << "\">\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double cy = kPadT + kCellH * static_cast<double>(r);
+    out << "<text x=\"" << fnum(kPadL - 6, 1) << "\" y=\""
+        << fnum(cy + kCellH / 2 + 4, 1) << "\" text-anchor=\"end\">"
+        << escape(spec.row_labels[r]) << "</text>\n";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = r * cols + c;
+      const double cx = kPadL + cw * static_cast<double>(c);
+      const bool present =
+          i < spec.present.size() ? spec.present[i] != 0 : false;
+      const std::string title =
+          i < spec.titles.size() ? spec.titles[i] : std::string();
+      if (!present) {
+        out << "<rect class=\"hm-missing\" x=\"" << fnum(cx, 2) << "\" y=\""
+            << fnum(cy, 2) << "\" width=\"" << fnum(cw, 2) << "\" height=\""
+            << fnum(kCellH, 2) << "\"><title>" << escape(title)
+            << "</title></rect>\n";
+        continue;
+      }
+      // Opacity encodes the value; a degenerate range (all cells equal)
+      // renders mid-scale so one flat sweep still reads as populated.
+      const double t =
+          hi > lo ? (spec.values[i] - lo) / (hi - lo) : 0.5;
+      out << "<rect class=\"hm\" style=\"fill-opacity:"
+          << fnum(0.12 + 0.83 * t, 3) << "\" x=\"" << fnum(cx, 2)
+          << "\" y=\"" << fnum(cy, 2) << "\" width=\"" << fnum(cw, 2)
+          << "\" height=\"" << fnum(kCellH, 2) << "\"><title>"
+          << escape(title) << "</title></rect>\n";
+      if (i < spec.cell_text.size() && !spec.cell_text[i].empty()) {
+        out << "<text class=\"hmv\" x=\"" << fnum(cx + cw / 2, 1)
+            << "\" y=\"" << fnum(cy + kCellH / 2 + 4, 1)
+            << "\" text-anchor=\"middle\">" << escape(spec.cell_text[i])
+            << "</text>\n";
+      }
+    }
+  }
+  const double ly = kPadT + kCellH * static_cast<double>(rows) + 16;
+  for (std::size_t c = 0; c < cols; ++c) {
+    out << "<text x=\"" << fnum(kPadL + cw * (static_cast<double>(c) + 0.5), 1)
+        << "\" y=\"" << fnum(ly, 1) << "\" text-anchor=\"middle\">"
+        << escape(spec.col_labels[c]) << "</text>\n";
+  }
+  out << "<text x=\"" << fnum(kPadL + (html::kSvgW - kPadL - kPadR) / 2, 1)
+      << "\" y=\"" << fnum(height - 4, 1) << "\" text-anchor=\"middle\">"
+      << escape(spec.corner_label) << "</text>\n";
+  out << "</svg>\n";
+}
+
+std::string sparkline(const std::vector<double>& values,
+                      const std::string& title) {
+  constexpr double kW = 100.0;
+  constexpr double kH = 26.0;
+  constexpr double kPad = 3.0;
+  std::ostringstream out;
+  out << "<svg class=\"spark-box\" viewBox=\"0 0 " << html::axis_label(kW)
+      << ' ' << html::axis_label(kH) << "\" role=\"img\" aria-label=\""
+      << escape(title) << "\"><title>" << escape(title) << "</title>";
+  if (!values.empty()) {
+    double lo = values[0];
+    double hi = values[0];
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const auto px = [&](std::size_t i) {
+      return values.size() < 2
+                 ? kW / 2
+                 : kPad + (kW - 2 * kPad) * static_cast<double>(i) /
+                       static_cast<double>(values.size() - 1);
+    };
+    const auto py = [&](double v) {
+      return hi > lo ? kPad + (kH - 2 * kPad) * (1.0 - (v - lo) / (hi - lo))
+                     : kH / 2;
+    };
+    if (values.size() >= 2) {
+      out << "<polyline class=\"spark\" points=\"";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out << ' ';
+        out << fnum(px(i), 2) << ',' << fnum(py(values[i]), 2);
+      }
+      out << "\"/>";
+    }
+    out << "<circle class=\"spark-dot\" cx=\"" << fnum(px(values.size() - 1), 2)
+        << "\" cy=\"" << fnum(py(values.back()), 2) << "\" r=\"2\"/>";
+  }
+  out << "</svg>";
+  return out.str();
+}
+
+}  // namespace tgc::app::charts

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "tgcover/app/compare.hpp"
+#include "tgcover/app/fleet.hpp"
 #include "tgcover/app/report.hpp"
 #include "tgcover/app/rounds.hpp"
 #include "tgcover/app/run_bundle.hpp"
@@ -40,6 +41,7 @@
 #include "tgcover/trace/greenorbs.hpp"
 #include "tgcover/util/args.hpp"
 #include "tgcover/util/check.hpp"
+#include "tgcover/util/digest.hpp"
 #include "tgcover/util/rng.hpp"
 #include "tgcover/util/table.hpp"
 #include "tgcover/version.hpp"
@@ -252,36 +254,19 @@ int cmd_generate(util::ArgParser& args, std::ostream& out) {
   configure_logging(args);
   args.finish();
 
-  util::Rng rng(seed);
-  gen::Deployment dep;
-  if (type == "udg") {
-    dep = gen::random_connected_udg(
-        n, gen::side_for_average_degree(n, 1.0, degree), 1.0, rng);
-  } else if (type == "quasi") {
-    const double side = gen::side_for_average_degree(n, 1.0, degree);
-    for (std::uint64_t attempt = 0;; ++attempt) {
-      TGC_CHECK_MSG(attempt < 64, "could not generate a connected quasi-UDG");
-      util::Rng r = rng.fork(attempt);
-      dep = gen::random_quasi_udg(n, side, 1.0, alpha, p_link, r);
-      if (graph::is_connected(dep.graph)) break;
-      TGC_LOG(kDebug) << "quasi-UDG attempt disconnected, retrying"
-                      << obs::kv("attempt", attempt);
-    }
-  } else if (type == "strip") {
-    const double area = static_cast<double>(n) * 3.1415926535 / degree;
-    const double width = std::sqrt(area / strip_aspect);
-    for (std::uint64_t attempt = 0;; ++attempt) {
-      TGC_CHECK_MSG(attempt < 64, "could not generate a connected strip");
-      util::Rng r = rng.fork(attempt);
-      dep = gen::random_strip_udg(n, strip_aspect * width, width, 1.0, r);
-      if (graph::is_connected(dep.graph)) break;
-      TGC_LOG(kDebug) << "strip attempt disconnected, retrying"
-                      << obs::kv("attempt", attempt);
-    }
-  } else {
+  if (type != "udg" && type != "quasi" && type != "strip") {
     out << "unknown --type '" << type << "'\n";
     return 2;
   }
+  GenSpec spec;
+  spec.model = type;
+  spec.nodes = n;
+  spec.degree = degree;
+  spec.seed = seed;
+  spec.alpha = alpha;
+  spec.p_link = p_link;
+  spec.aspect = strip_aspect;
+  const gen::Deployment dep = generate_deployment(spec);
   io::save_deployment(dep, path);
   out << "wrote " << path << ": " << dep.graph.num_vertices() << " nodes, "
       << dep.graph.num_edges() << " links, avg degree "
@@ -325,7 +310,8 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   io::save_mask(s.result.active, out_path);
   out << "scheduled tau=" << tau << ": " << s.result.survivors << " of "
       << net.dep.graph.num_vertices() << " nodes awake ("
-      << s.result.rounds << " rounds); wrote " << out_path << "\n";
+      << s.result.rounds << " rounds); wrote " << out_path << " (digest "
+      << util::hex64(io::mask_digest(s.result.active)) << ")\n";
   return 0;
 }
 
@@ -578,7 +564,8 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
       << result.traffic.messages << " messages / "
       << result.traffic.payload_bytes() / 1024 << " KiB over "
       << result.traffic.rounds << " engine rounds; wrote " << out_path
-      << "\n";
+      << " (digest " << util::hex64(io::mask_digest(result.schedule.active))
+      << ")\n";
   if (async) {
     out << "async substrate: sim duration " << result.sim_duration << ", "
         << result.messages_lost << " transmissions lost, "
@@ -859,6 +846,129 @@ int cmd_report(util::ArgParser& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_fleet(util::ArgParser& args, std::ostream& out) {
+  FleetOptions opts;
+  const std::string spec_path = args.get_string(
+      "spec", "",
+      "flat JSON grid spec file ({\"nodes\":\"200,400\",...}); explicit "
+      "flags override its keys");
+  // Axis and scalar flags are declared as strings so "not given" is
+  // representable — only explicitly-set ones override the spec file.
+  const std::pair<const char*, const char*> keys[] = {
+      {"models", "comma list of deployment models (udg|quasi|strip)"},
+      {"nodes", "comma list of node counts"},
+      {"degrees", "comma list of target average degrees"},
+      {"taus", "comma list of confine sizes"},
+      {"losses",
+       "comma list of per-message loss probabilities (0 = oracle scheduler, "
+       ">0 = asynchronous lossy engine)"},
+      {"seeds", "comma list of seeds (deployment, MIS, and network)"},
+      {"band", "periphery band width"},
+      {"alpha", "quasi-UDG certain-link fraction"},
+      {"p-link", "quasi-UDG band link probability"},
+      {"aspect", "strip length/width ratio"},
+      {"min-delay", "minimum link delay (lossy cells)"},
+      {"max-delay", "maximum link delay (lossy cells)"},
+      {"retransmit", "retransmission interval (lossy cells)"},
+  };
+  std::vector<std::pair<std::string, std::string>> overrides;
+  for (const auto& [key, help] : keys) {
+    overrides.emplace_back(key, args.get_string(key, "", help));
+  }
+  opts.sink_path =
+      args.get_string("out", "fleet.jsonl", "streaming JSONL summary sink");
+  const std::int64_t threads_arg = args.get_int(
+      "threads", 0, "campaign workers (0 = hardware concurrency)");
+  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
+                "--threads must be in [0, 1024], got " << threads_arg);
+  opts.threads = static_cast<unsigned>(threads_arg);
+  opts.progress = !args.get_flag(
+      "no-progress", "suppress the live done/failed/ETA line on stderr");
+  configure_logging(args);
+  args.finish();
+
+  std::string error;
+  if (!spec_path.empty()) {
+    TGC_CHECK_MSG(load_fleet_spec(spec_path, opts.spec, error), error);
+  }
+  for (const auto& [key, value] : overrides) {
+    if (value.empty()) continue;
+    TGC_CHECK_MSG(apply_fleet_key(opts.spec, key, value, error), error);
+  }
+
+  // The manifest's semantic config is the *resolved* grid — when a spec file
+  // and flags mix, the embedded header still states exactly what ran.
+  obs::RunManifest manifest = make_manifest("fleet", args, {});
+  for (auto& kv : fleet_spec_config(opts.spec)) {
+    manifest.config.push_back(std::move(kv));
+  }
+
+  const int rc = run_fleet(opts, manifest, out);
+  if (!write_manifest_sidecar(manifest, opts.sink_path)) return 1;
+  return rc;
+}
+
+int cmd_fleet_report(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path = args.get_string(
+      "in", "fleet.jsonl", "fleet JSONL sink (from `tgcover fleet`)");
+  const std::string out_path =
+      args.get_string("out", "fleet.html", "output HTML dashboard");
+  const std::string title =
+      args.get_string("title", "tgcover fleet report", "report headline");
+  configure_logging(args);
+  args.finish();
+
+  const FleetSink sink = load_fleet_sink(in_path);
+  if (!sink.error.empty()) {
+    out << "error: " << sink.error << "\n";
+    return 1;
+  }
+  if (sink.runs.empty()) {
+    out << "error: no run records in " << in_path
+        << " — produce one with `tgcover fleet`\n";
+    return 1;
+  }
+  if (sink.skipped > 0) {
+    TGC_LOG(kWarn) << "fleet sink has unreadable lines"
+                   << obs::kv("skipped", sink.skipped);
+  }
+
+  const std::string html = render_fleet_report_html(sink, title);
+  std::ofstream f(out_path, std::ios::binary);
+  f << html;
+  f.flush();
+  if (!f.good()) {
+    TGC_LOG(kError) << "report sink failed" << obs::kv("path", out_path);
+    out << "error: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  out << "wrote fleet report (" << sink.runs.size() << " runs";
+  if (sink.skipped > 0) out << ", " << sink.skipped << " lines skipped";
+  out << ") to " << out_path << "\n";
+  return 0;
+}
+
+/// Copies a run (directory or single JSONL file) into the baseline slot,
+/// replacing whatever was saved before.
+void save_baseline(const std::string& src, const std::string& dir,
+                   std::ostream& out) {
+  namespace fs = std::filesystem;
+  TGC_CHECK_MSG(fs::exists(src), "cannot save missing run '" << src << "'");
+  TGC_CHECK_MSG(!fs::exists(dir) || !fs::equivalent(src, dir),
+                "refusing to save the baseline onto itself ('" << src
+                                                               << "')");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  if (fs::is_directory(src)) {
+    fs::copy(src, dir,
+             fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+  } else {
+    fs::copy_file(src, fs::path(dir) / fs::path(src).filename(),
+                  fs::copy_options::overwrite_existing);
+  }
+  out << "saved baseline " << src << " -> " << dir << "\n";
+}
+
 int cmd_compare(std::vector<std::string> runs, util::ArgParser& args,
                 std::ostream& out) {
   const std::string allow = args.get_string(
@@ -873,11 +983,34 @@ int cmd_compare(std::vector<std::string> runs, util::ArgParser& args,
       "out", "compare.html", "HTML diff dashboard sink (empty = none)");
   const std::string title = args.get_string(
       "title", "tgcover run comparison", "dashboard headline");
+  const bool save = args.get_flag(
+      "save",
+      "after a clean compare, store the last run as the saved baseline "
+      "(with a single run and no --against-last: save without comparing)");
+  const bool against_last = args.get_flag(
+      "against-last", "compare the given run(s) against the saved baseline");
+  const std::string baseline_dir = args.get_string(
+      "baseline-dir", ".tgcover/baseline",
+      "where --save / --against-last keep the baseline run");
   configure_logging(args);
   args.finish();
 
+  if (against_last) {
+    if (!std::filesystem::exists(baseline_dir)) {
+      out << "error: no saved baseline at '" << baseline_dir
+          << "' — create one with `tgcover compare RUN --save`\n";
+      return 1;
+    }
+    runs.insert(runs.begin(), baseline_dir);
+  }
+  if (save && runs.size() == 1) {
+    // Seeding the workflow: nothing to diff yet, just remember this run.
+    save_baseline(runs.front(), baseline_dir, out);
+    return 0;
+  }
+
   CompareOptions opts;
-  opts.runs = std::move(runs);
+  opts.runs = runs;
   for (std::size_t start = 0; start <= allow.size();) {
     const std::size_t comma = allow.find(',', start);
     const std::size_t end = comma == std::string::npos ? allow.size() : comma;
@@ -891,7 +1024,13 @@ int cmd_compare(std::vector<std::string> runs, util::ArgParser& args,
   opts.json_path = json_path;
   opts.html_path = html_path;
   opts.title = title;
-  return compare_runs(opts, out);
+  const int rc = compare_runs(opts, out);
+  if (save && rc == 0) {
+    // Only a clean compare advances the baseline — a regressed run must
+    // never silently become the new reference.
+    save_baseline(runs.back(), baseline_dir, out);
+  }
+  return rc;
 }
 
 int cmd_version(std::ostream& out) {
@@ -948,6 +1087,23 @@ void print_help(std::ostream& out) {
          "                 dashboard (report [METRICS|DIR] [--rounds FILE]"
          " [--trace FILE]\n"
          "                 [--out report.html] [--title T])\n"
+         "  fleet          expand a parameter grid (--models M,.. --nodes"
+         " N,.. --degrees D,..\n"
+         "                 --taus T,.. --losses P,.. --seeds S,.. or --spec"
+         " grid.json) and\n"
+         "                 run every cell over the thread pool (--threads"
+         " N), streaming\n"
+         "                 one summary record per run to --out FILE (JSONL;"
+         " failed cells\n"
+         "                 become status:\"failed\" rows and the campaign"
+         " keeps going)\n"
+         "  fleet-report   render a fleet sink as an aggregate HTML"
+         " dashboard: per-facet\n"
+         "                 heatmaps of awake-set ratio and logical cost over"
+         " n x tau,\n"
+         "                 across-seed sparklines, failure table\n"
+         "                 (fleet-report [SINK] [--in FILE] [--out"
+         " fleet.html])\n"
          "  compare        diff two or more runs by machine-independent"
          " logical cost\n"
          "                 (compare RUN1 RUN2 [RUN...] [--allow-diff"
@@ -956,7 +1112,11 @@ void print_help(std::ostream& out) {
          " [--out compare.html];\n"
          "                 refuses runs whose semantic config differs;"
          " wall-clock is\n"
-         "                 reported but advisory)\n"
+         "                 reported but advisory; --save stores the last run"
+         " as the\n"
+         "                 baseline, --against-last compares against the"
+         " stored one,\n"
+         "                 --baseline-dir DIR picks the slot)\n"
          "  version        print tool version, git revision, and build"
          " flags\n"
          "  help           this text\n\n"
@@ -1001,7 +1161,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   rest.push_back(program.c_str());
   int first = 2;
   if ((command == "stats" || command == "trace-analyze" ||
-       command == "report") &&
+       command == "report" || command == "fleet-report") &&
       argc > 2 && argv[2][0] != '-') {
     rest.push_back(command == "report" ? "--rounds" : "--in");
     rest.push_back(argv[2]);
@@ -1029,6 +1189,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "stats") return cmd_stats(args, out);
   if (command == "trace-analyze") return cmd_trace_analyze(args, out);
   if (command == "report") return cmd_report(args, out);
+  if (command == "fleet") return cmd_fleet(args, out);
+  if (command == "fleet-report") return cmd_fleet_report(args, out);
   if (command == "compare") {
     return cmd_compare(std::move(compare_paths), args, out);
   }

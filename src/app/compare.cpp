@@ -9,6 +9,7 @@
 #include <sstream>
 #include <utility>
 
+#include "tgcover/app/charts.hpp"
 #include "tgcover/app/html.hpp"
 #include "tgcover/app/run_bundle.hpp"
 #include "tgcover/obs/cost.hpp"
@@ -352,52 +353,31 @@ void section_curves(std::ostringstream& out,
   }
   out << ".</p>\n";
   const std::size_t drawn = std::min<std::size_t>(3, views.size());
-  std::vector<std::pair<std::string, std::string>> entries;
-  for (std::size_t r = 0; r < drawn; ++r) {
-    entries.emplace_back("c" + std::to_string(r + 1),
-                         short_label(views[r].bundle.label));
-  }
-  html::legend(out, entries);
+  charts::LineChartSpec spec;
+  spec.aria_label = "Per-round logical cost per run";
   std::size_t n = 0;
-  double maxv = 0.0;
   for (std::size_t r = 0; r < drawn; ++r) {
     n = std::max(n, views[r].round_cost.size());
-    for (const auto& [round, cost] : views[r].round_cost) {
-      maxv = std::max(maxv, static_cast<double>(cost));
-    }
   }
-  html::Frame f;
-  f.n = std::max<std::size_t>(1, n);
-  f.ymax = html::nice_ceil(maxv);
-  html::svg_begin(out, "Per-round logical cost per run");
-  std::vector<std::uint64_t> ids;
   for (std::size_t i = 0; i < n; ++i) {
-    ids.push_back(i < views.front().round_cost.size()
-                      ? views.front().round_cost[i].first
-                      : static_cast<std::uint64_t>(i + 1));
+    spec.slot_ids.push_back(i < views.front().round_cost.size()
+                                ? views.front().round_cost[i].first
+                                : static_cast<std::uint64_t>(i + 1));
   }
-  html::draw_frame(out, f, ids);
   for (std::size_t r = 0; r < drawn; ++r) {
-    const auto& pts_src = views[r].round_cost;
-    if (pts_src.empty()) continue;
-    std::ostringstream pts;
-    for (std::size_t i = 0; i < pts_src.size(); ++i) {
-      if (i != 0) pts << ' ';
-      pts << html::fnum(f.x(i) + f.slot() / 2.0, 2) << ','
-          << html::fnum(f.y(static_cast<double>(pts_src[i].second)), 2);
+    const std::string label = short_label(views[r].bundle.label);
+    spec.legend.emplace_back("c" + std::to_string(r + 1), label);
+    charts::LineSeries line;
+    line.series = std::to_string(r + 1);
+    for (const auto& [round, cost] : views[r].round_cost) {
+      line.values.push_back(static_cast<double>(cost));
+      line.titles.push_back("round " + std::to_string(round) + " — " + label +
+                            " " + std::to_string(cost));
     }
-    out << "<polyline class=\"line" << (r + 1) << "\" points=\"" << pts.str()
-        << "\"/>\n";
-    for (std::size_t i = 0; i < pts_src.size(); ++i) {
-      out << "<circle class=\"dot" << (r + 1) << "\" cx=\""
-          << html::fnum(f.x(i) + f.slot() / 2.0, 2) << "\" cy=\""
-          << html::fnum(f.y(static_cast<double>(pts_src[i].second)), 2)
-          << "\" r=\"2.5\"><title>round " << pts_src[i].first << " — "
-          << html::escape(short_label(views[r].bundle.label)) << " "
-          << pts_src[i].second << "</title></circle>\n";
-    }
+    spec.lines.push_back(std::move(line));
   }
-  out << "</svg>\n</section>\n";
+  charts::line_chart(out, spec);
+  out << "</section>\n";
 }
 
 void section_round_deltas(std::ostringstream& out,

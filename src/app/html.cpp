@@ -196,6 +196,14 @@ const char kStyle[] = R"css(
   .dot3 { fill: var(--series-3); stroke: var(--surface-1); stroke-width: 1; }
   .sbad { fill: var(--bad); }
   .sgood { fill: var(--good); }
+  .hm { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 1; }
+  .hm-missing { fill: none; stroke: var(--grid); stroke-width: 1;
+    stroke-dasharray: 3 2; }
+  .hmv { fill: var(--text-primary); font-size: 10px; }
+  .spark-box { display: inline-block; width: 100px; height: 26px;
+    vertical-align: middle; }
+  .spark { fill: none; stroke: var(--series-1); stroke-width: 1.5; }
+  .spark-dot { fill: var(--series-1); }
   table { border-collapse: collapse; width: 100%; font-size: 13px; }
   th { color: var(--text-secondary); font-weight: 600; text-align: right;
     padding: 4px 8px; border-bottom: 1px solid var(--baseline); }

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tgcover/gen/deployments.hpp"
+#include "tgcover/obs/jsonl.hpp"
+#include "tgcover/obs/manifest.hpp"
+
+/// `tgcover fleet`: one process, many networks. Expands a parameter grid
+/// (model × n × degree × τ × loss × seed) into individual scheduling runs,
+/// executes them over the shared util::ThreadPool (each run single-threaded
+/// on one worker lane), and streams one summary record per completed run to
+/// a single JSONL sink headed by the fleet's RunManifest. `tgcover
+/// fleet-report` renders the sink into an aggregate dashboard.
+
+namespace tgc::app {
+
+/// Deployment-generation parameters for one fleet cell — the exact knobs
+/// `tgcover generate` takes, so a cell can be reproduced individually.
+struct GenSpec {
+  std::string model = "udg";  ///< udg | quasi | strip
+  std::size_t nodes = 400;
+  double degree = 25.0;
+  std::uint64_t seed = 1;
+  double alpha = 0.7;   ///< quasi-UDG certain-link fraction
+  double p_link = 0.6;  ///< quasi-UDG band link probability
+  double aspect = 4.0;  ///< strip length/width ratio
+};
+
+/// Generates one connected deployment — the single code path shared by
+/// `tgcover generate` and the fleet runner, so a fleet cell's network is
+/// byte-identical to the one `tgcover generate` writes for the same knobs
+/// (that is what makes fleet schedule digests comparable to individual
+/// `tgcover schedule` runs). Throws CheckError on an unknown model or when
+/// no connected instance is found.
+gen::Deployment generate_deployment(const GenSpec& spec);
+
+/// The expanded parameter grid. Axes multiply; scalars apply to every run.
+struct FleetSpec {
+  std::vector<std::string> models = {"udg"};
+  std::vector<std::size_t> nodes = {200};
+  std::vector<double> degrees = {25.0};
+  std::vector<unsigned> taus = {4};
+  std::vector<double> losses = {0.0};  ///< 0 = oracle; > 0 = async lossy
+  std::vector<std::uint64_t> seeds = {1};
+  double band = 1.0;
+  double alpha = 0.7;
+  double p_link = 0.6;
+  double aspect = 4.0;
+  double min_delay = 0.5;  ///< async substrate (loss > 0)
+  double max_delay = 1.5;
+  double retransmit = 4.0;
+
+  std::size_t total_runs() const {
+    return models.size() * nodes.size() * degrees.size() * taus.size() *
+           losses.size() * seeds.size();
+  }
+};
+
+/// Applies one spec key to `spec` — axis keys (models, nodes, degrees,
+/// taus, losses, seeds) take comma lists, scalar keys (band, alpha, p-link,
+/// aspect, min-delay, max-delay, retransmit) a single value. Shared by the
+/// CLI flags and the JSON spec loader so both spellings accept exactly the
+/// same grammar. Returns false with a message on unknown keys or unparsable
+/// values.
+bool apply_fleet_key(FleetSpec& spec, const std::string& key,
+                     const std::string& value, std::string& error);
+
+/// Merges a flat JSON spec file ({"nodes":"200,400","taus":"3,4",...} —
+/// values may be comma-list strings or bare scalars; keys are the
+/// apply_fleet_key keys) into `spec`. Returns false with a message on
+/// unreadable files, malformed JSON, unknown keys, or unparsable values.
+bool load_fleet_spec(const std::string& path, FleetSpec& spec,
+                     std::string& error);
+
+/// The resolved grid as manifest config pairs (axis values re-joined as
+/// comma lists) — the fleet's embedded sink header states exactly what ran
+/// even when a spec file and override flags were mixed.
+std::vector<std::pair<std::string, std::string>> fleet_spec_config(
+    const FleetSpec& spec);
+
+struct FleetOptions {
+  FleetSpec spec;
+  std::string sink_path = "fleet.jsonl";
+  unsigned threads = 0;    ///< pool size (0 = hardware concurrency)
+  bool progress = true;    ///< live done/failed/ETA line on stderr
+};
+
+/// Runs the campaign: expands the grid in deterministic row-major order
+/// (model, nodes, degree, tau, loss, seed — last axis fastest), schedules
+/// runs over the pool, and streams one record per run to the sink in
+/// completion order. Failed runs (TGC_CHECK, bad cell parameters) become
+/// `status:"failed"` records and the campaign keeps draining; the exit code
+/// is 0 only when every run succeeded and the sink closed cleanly.
+int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
+              std::ostream& out);
+
+// ------------------------------------------------------------ fleet sink
+
+/// A loaded fleet sink: the embedded manifest (when present) plus per-run
+/// records sorted by run id — sink order is completion order and varies
+/// with the thread count, so consumers must not depend on it. Malformed or
+/// truncated lines (a killed campaign) are counted, not fatal.
+struct FleetSink {
+  std::optional<obs::JsonRecord> manifest;
+  std::vector<obs::JsonRecord> runs;
+  std::size_t skipped = 0;  ///< malformed / partial lines tolerated
+  std::string error;        ///< non-empty when the file was unreadable
+};
+
+FleetSink load_fleet_sink(const std::string& path);
+
+/// Renders the aggregate dashboard: facet heatmaps (awake-set ratio and
+/// logical cost over n × τ, one facet per model/degree/loss combination),
+/// per-cell across-seed sparklines, the failure table, and the full run
+/// table. Byte-deterministic: only machine-independent record fields enter
+/// the document (wall time and worker lanes never do).
+std::string render_fleet_report_html(const FleetSink& sink,
+                                     const std::string& title);
+
+}  // namespace tgc::app

@@ -5,8 +5,11 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "tgcover/app/charts.hpp"
 #include "tgcover/app/html.hpp"
 #include "tgcover/obs/cost.hpp"
 
@@ -14,14 +17,7 @@ namespace tgc::app {
 
 namespace {
 
-using html::bar_path;
-using html::draw_frame;
 using html::fnum;
-using html::Frame;
-using html::legend;
-using html::nice_ceil;
-using html::rect;
-using html::svg_begin;
 
 std::string ms(std::uint64_t ns) {
   return fnum(static_cast<double>(ns) / 1e6, 2);
@@ -43,56 +39,29 @@ const char* phase_series(const std::string& phase) {
 /// Section: per-round scheduler phase time as stacked bars (verdict / MIS /
 /// deletion, bottom to top).
 void chart_phases(std::ostringstream& out, const std::vector<RoundRow>& rows) {
-  double maxv = 0.0;
+  std::vector<charts::BarSlot> slots;
   for (const RoundRow& r : rows) {
-    maxv = std::max(
-        maxv, static_cast<double>(r.ns_verdicts + r.ns_mis + r.ns_deletion) /
-                  1e6);
-  }
-  Frame f;
-  f.n = rows.size();
-  f.ymax = nice_ceil(maxv);
-  legend(out, {{"c1", "verdict phase"},
-               {"c2", "MIS phase"},
-               {"c3", "deletion phase"}});
-  svg_begin(out, "Per-round scheduler phase time in milliseconds");
-  std::vector<std::uint64_t> ids;
-  for (const RoundRow& r : rows) ids.push_back(r.round);
-  draw_frame(out, f, ids);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const RoundRow& r = rows[i];
-    const double bw = std::max(2.0, f.slot() * 0.7);
-    const double bx = f.x(i) + (f.slot() - bw) / 2.0;
-    struct Seg {
-      const char* cls;
-      const char* name;
-      double v;
+    charts::BarSlot slot;
+    slot.id = r.round;
+    const std::pair<const char*, std::uint64_t> segs[] = {
+        {"verdict", r.ns_verdicts},
+        {"MIS", r.ns_mis},
+        {"deletion", r.ns_deletion},
     };
-    const Seg segs[] = {
-        {"s1 seg", "verdict", static_cast<double>(r.ns_verdicts) / 1e6},
-        {"s2 seg", "MIS", static_cast<double>(r.ns_mis) / 1e6},
-        {"s3 seg", "deletion", static_cast<double>(r.ns_deletion) / 1e6},
-    };
-    double top = f.y(0);
-    int last = -1;
-    for (int s = 0; s < 3; ++s) {
-      if (segs[s].v > 0.0) last = s;
+    int series = 1;
+    for (const auto& [name, ns] : segs) {
+      const double v = static_cast<double>(ns) / 1e6;
+      slot.segs.push_back({"s" + std::to_string(series++), v,
+                           "round " + std::to_string(r.round) + " — " + name +
+                               " " + fnum(v, 2) + " ms"});
     }
-    for (int s = 0; s < 3; ++s) {
-      const double h = (segs[s].v / f.ymax) * f.ph();
-      if (h <= 0.0) continue;
-      const std::string title = "round " + std::to_string(r.round) + " — " +
-                                segs[s].name + " " + fnum(segs[s].v, 2) +
-                                " ms";
-      top -= h;
-      if (s == last) {
-        bar_path(out, segs[s].cls, bx, top, bw, h, title);
-      } else {
-        rect(out, segs[s].cls, bx, top, bw, h, title);
-      }
-    }
+    slots.push_back(std::move(slot));
   }
-  out << "</svg>\n";
+  charts::stacked_bars(out, "Per-round scheduler phase time in milliseconds",
+                       {{"c1", "verdict phase"},
+                        {"c2", "MIS phase"},
+                        {"c3", "deletion phase"}},
+                       slots);
 }
 
 /// Section: machine-independent logical cost per round as stacked bars, one
@@ -117,171 +86,92 @@ void chart_cost_phases(std::ostringstream& out,
       phases_seen.push_back(c.phase);
     }
   }
-  double maxv = 0.0;
-  for (const auto& [round, segs] : rounds) {
-    double sum = 0.0;
-    for (const auto& [phase, v] : segs) sum += static_cast<double>(v);
-    maxv = std::max(maxv, sum);
-  }
-  Frame f;
-  f.n = rounds.size();
-  f.ymax = nice_ceil(maxv);
-  std::vector<std::pair<std::string, std::string>> entries;
+  charts::Legend entries;
   for (const std::string& phase : phases_seen) {
     entries.emplace_back("c" + std::string(phase_series(phase)), phase);
   }
-  legend(out, entries);
-  svg_begin(out, "Per-round logical cost by protocol phase");
-  std::vector<std::uint64_t> ids;
-  for (const auto& [round, segs] : rounds) ids.push_back(round);
-  draw_frame(out, f, ids);
-  for (std::size_t i = 0; i < rounds.size(); ++i) {
-    const auto& segs = rounds[i].second;
-    const double bw = std::max(2.0, f.slot() * 0.7);
-    const double bx = f.x(i) + (f.slot() - bw) / 2.0;
-    double top = f.y(0);
-    for (std::size_t s = 0; s < segs.size(); ++s) {
-      const double h =
-          (static_cast<double>(segs[s].second) / f.ymax) * f.ph();
-      if (h <= 0.0) continue;
-      const std::string cls =
-          "s" + std::string(phase_series(segs[s].first)) + " seg";
-      const std::string title = "round " + std::to_string(rounds[i].first) +
-                                " — " + segs[s].first + " cost " +
-                                std::to_string(segs[s].second);
-      top -= h;
-      if (s + 1 == segs.size()) {
-        bar_path(out, cls, bx, top, bw, h, title);
-      } else {
-        rect(out, cls, bx, top, bw, h, title);
-      }
+  std::vector<charts::BarSlot> slots;
+  for (const auto& [round, segs] : rounds) {
+    charts::BarSlot slot;
+    slot.id = round;
+    for (const auto& [phase, v] : segs) {
+      slot.segs.push_back({"s" + std::string(phase_series(phase)),
+                           static_cast<double>(v),
+                           "round " + std::to_string(round) + " — " + phase +
+                               " cost " + std::to_string(v)});
     }
+    slots.push_back(std::move(slot));
   }
-  out << "</svg>\n";
+  charts::stacked_bars(out, "Per-round logical cost by protocol phase",
+                       entries, slots);
 }
 
 /// Section: the per-round logical-cost curve (the scalar the bench gate and
 /// `tgcover compare` reason about).
 void chart_cost_curve(std::ostringstream& out,
                       const std::vector<RoundRow>& rows) {
-  double maxv = 0.0;
+  charts::LineChartSpec spec;
+  spec.aria_label = "Per-round logical cost";
+  spec.legend = {{"c1", "logical cost per round"}};
+  charts::LineSeries line;
   for (const RoundRow& r : rows) {
-    maxv = std::max(maxv, static_cast<double>(r.logical_cost));
+    spec.slot_ids.push_back(r.round);
+    line.values.push_back(static_cast<double>(r.logical_cost));
+    line.titles.push_back("round " + std::to_string(r.round) + " — cost " +
+                          std::to_string(r.logical_cost));
   }
-  Frame f;
-  f.n = rows.size();
-  f.ymax = nice_ceil(maxv);
-  legend(out, {{"c1", "logical cost per round"}});
-  svg_begin(out, "Per-round logical cost");
-  std::vector<std::uint64_t> ids;
-  for (const RoundRow& r : rows) ids.push_back(r.round);
-  draw_frame(out, f, ids);
-  std::ostringstream pts;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (i != 0) pts << ' ';
-    pts << fnum(f.x(i) + f.slot() / 2.0, 2) << ','
-        << fnum(f.y(static_cast<double>(rows[i].logical_cost)), 2);
-  }
-  out << "<polyline class=\"line1\" points=\"" << pts.str() << "\"/>\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    out << "<circle class=\"dot1\" cx=\"" << fnum(f.x(i) + f.slot() / 2.0, 2)
-        << "\" cy=\""
-        << fnum(f.y(static_cast<double>(rows[i].logical_cost)), 2)
-        << "\" r=\"2.5\"><title>round " << rows[i].round << " — cost "
-        << rows[i].logical_cost << "</title></circle>\n";
-  }
-  out << "</svg>\n";
+  spec.lines.push_back(std::move(line));
+  charts::line_chart(out, spec);
 }
 
 /// Section: the coverage curve — active nodes after each round (line) and
 /// nodes deleted in the round (bars). Both in node counts, one axis.
 void chart_coverage(std::ostringstream& out,
                     const std::vector<RoundRow>& rows) {
-  double maxv = 0.0;
+  charts::LineChartSpec spec;
+  spec.aria_label = "Active and deleted node counts per round";
+  spec.legend = {{"c1", "active nodes after round"},
+                 {"c2", "deleted this round"}};
+  charts::BarSeries deleted;
+  charts::LineSeries active;
   for (const RoundRow& r : rows) {
-    maxv = std::max({maxv, static_cast<double>(r.active),
-                     static_cast<double>(r.deleted)});
+    spec.slot_ids.push_back(r.round);
+    deleted.values.push_back(static_cast<double>(r.deleted));
+    deleted.titles.push_back("round " + std::to_string(r.round) +
+                             " — deleted " + std::to_string(r.deleted));
+    active.values.push_back(static_cast<double>(r.active));
+    active.titles.push_back("round " + std::to_string(r.round) + " — active " +
+                            std::to_string(r.active));
   }
-  Frame f;
-  f.n = rows.size();
-  f.ymax = nice_ceil(maxv);
-  legend(out, {{"c1", "active nodes after round"},
-               {"c2", "deleted this round"}});
-  svg_begin(out, "Active and deleted node counts per round");
-  std::vector<std::uint64_t> ids;
-  for (const RoundRow& r : rows) ids.push_back(r.round);
-  draw_frame(out, f, ids);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const RoundRow& r = rows[i];
-    const double bw = std::max(2.0, f.slot() * 0.45);
-    const double bx = f.x(i) + (f.slot() - bw) / 2.0;
-    const double h = (static_cast<double>(r.deleted) / f.ymax) * f.ph();
-    if (h > 0.0) {
-      bar_path(out, "s2", bx, f.y(0) - h, bw, h,
-               "round " + std::to_string(r.round) + " — deleted " +
-                   std::to_string(r.deleted));
-    }
-  }
-  std::ostringstream pts;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (i != 0) pts << ' ';
-    pts << fnum(f.x(i) + f.slot() / 2.0, 2) << ','
-        << fnum(f.y(static_cast<double>(rows[i].active)), 2);
-  }
-  out << "<polyline class=\"line1\" points=\"" << pts.str() << "\"/>\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    out << "<circle class=\"dot1\" cx=\"" << fnum(f.x(i) + f.slot() / 2.0, 2)
-        << "\" cy=\"" << fnum(f.y(static_cast<double>(rows[i].active)), 2)
-        << "\" r=\"2.5\"><title>round " << rows[i].round << " — active "
-        << rows[i].active << "</title></circle>\n";
-  }
-  out << "</svg>\n";
+  spec.bars.push_back(std::move(deleted));
+  spec.lines.push_back(std::move(active));
+  charts::line_chart(out, spec);
 }
 
 /// Section: per-round radio traffic as grouped bars (messages sent,
 /// retransmissions, transmissions lost).
 void chart_traffic(std::ostringstream& out, const std::vector<RoundRow>& rows) {
-  double maxv = 0.0;
+  std::vector<charts::BarSlot> slots;
   for (const RoundRow& r : rows) {
-    maxv = std::max({maxv, static_cast<double>(r.messages),
-                     static_cast<double>(r.retransmissions),
-                     static_cast<double>(r.messages_lost)});
-  }
-  Frame f;
-  f.n = rows.size();
-  f.ymax = nice_ceil(maxv);
-  legend(out, {{"c1", "messages"},
-               {"c2", "retransmissions"},
-               {"c3", "lost on the air"}});
-  svg_begin(out, "Per-round message, retransmission, and loss counts");
-  std::vector<std::uint64_t> ids;
-  for (const RoundRow& r : rows) ids.push_back(r.round);
-  draw_frame(out, f, ids);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const RoundRow& r = rows[i];
-    const double gw = f.slot() * 0.78;
-    const double gap = 2.0;
-    const double bw = std::max(1.0, (gw - 2 * gap) / 3.0);
-    const double gx = f.x(i) + (f.slot() - gw) / 2.0;
-    struct Bar {
-      const char* cls;
-      const char* name;
-      std::uint64_t v;
-    };
-    const Bar bars[] = {
+    charts::BarSlot slot;
+    slot.id = r.round;
+    const std::tuple<const char*, const char*, std::uint64_t> bars[] = {
         {"s1", "messages", r.messages},
         {"s2", "retransmissions", r.retransmissions},
         {"s3", "lost", r.messages_lost},
     };
-    for (int b = 0; b < 3; ++b) {
-      const double h = (static_cast<double>(bars[b].v) / f.ymax) * f.ph();
-      if (h <= 0.0) continue;
-      bar_path(out, bars[b].cls, gx + b * (bw + gap), f.y(0) - h, bw, h,
-               "round " + std::to_string(r.round) + " — " + bars[b].name +
-                   " " + std::to_string(bars[b].v));
+    for (const auto& [cls, name, v] : bars) {
+      slot.segs.push_back({cls, static_cast<double>(v),
+                           "round " + std::to_string(r.round) + " — " + name +
+                               " " + std::to_string(v)});
     }
+    slots.push_back(std::move(slot));
   }
-  out << "</svg>\n";
+  charts::grouped_bars(out, "Per-round message, retransmission, and loss counts",
+                       {{"c1", "messages"},
+                        {"c2", "retransmissions"},
+                        {"c3", "lost on the air"}},
+                       slots);
 }
 
 // --------------------------------------------------------------- sections

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "tgcover/geom/cell_grid.hpp"
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/util/check.hpp"
 
@@ -11,93 +12,11 @@ namespace tgc::gen {
 
 namespace {
 
+using geom::CellGrid;
 using geom::Point;
 using geom::Rect;
 using graph::GraphBuilder;
 using graph::VertexId;
-
-/// Uniform grid of rc-sized cells over the deployment's bounding box: every
-/// neighbour of a point at range ≤ rc lies in its 3×3 cell block, so range
-/// queries touch O(local density) points instead of all n. This takes the
-/// generators from O(n²) pair scans to near-linear — the difference between
-/// minutes and milliseconds at the 10⁵-node scale the incremental scheduler
-/// targets.
-class CellGrid {
- public:
-  CellGrid(const geom::Embedding& positions, double rc)
-      : positions_(positions), inv_cell_(1.0 / rc), rc2_(rc * rc) {
-    TGC_CHECK(!positions.empty() && rc > 0.0);
-    minx_ = positions[0].x;
-    miny_ = positions[0].y;
-    double maxx = minx_;
-    double maxy = miny_;
-    for (const Point& p : positions) {
-      minx_ = std::min(minx_, p.x);
-      maxx = std::max(maxx, p.x);
-      miny_ = std::min(miny_, p.y);
-      maxy = std::max(maxy, p.y);
-    }
-    nx_ = static_cast<std::size_t>((maxx - minx_) * inv_cell_) + 1;
-    ny_ = static_cast<std::size_t>((maxy - miny_) * inv_cell_) + 1;
-    // CSR-style buckets via counting sort; members end up id-ascending
-    // within each cell because the fill pass walks ids in order.
-    offsets_.assign(nx_ * ny_ + 1, 0);
-    for (const Point& p : positions) ++offsets_[cell_of(p) + 1];
-    for (std::size_t c = 1; c < offsets_.size(); ++c) {
-      offsets_[c] += offsets_[c - 1];
-    }
-    members_.resize(positions.size());
-    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (VertexId v = 0; v < positions.size(); ++v) {
-      members_[cursor[cell_of(positions[v])]++] = v;
-    }
-  }
-
-  /// Appends every v > u with dist(u, v) ≤ rc to `out`, ascending — the
-  /// exact (u, v) enumeration the all-pairs scan produced, so callers' edge
-  /// insertion order and rng consultation sequence are byte-identical to
-  /// the old implementation.
-  void neighbors_above(VertexId u, std::vector<VertexId>& out) const {
-    out.clear();
-    const Point p = positions_[u];
-    const std::size_t cx =
-        static_cast<std::size_t>((p.x - minx_) * inv_cell_);
-    const std::size_t cy =
-        static_cast<std::size_t>((p.y - miny_) * inv_cell_);
-    const std::size_t x0 = cx == 0 ? 0 : cx - 1;
-    const std::size_t x1 = std::min(cx + 1, nx_ - 1);
-    const std::size_t y0 = cy == 0 ? 0 : cy - 1;
-    const std::size_t y1 = std::min(cy + 1, ny_ - 1);
-    for (std::size_t gy = y0; gy <= y1; ++gy) {
-      for (std::size_t gx = x0; gx <= x1; ++gx) {
-        const std::size_t c = gy * nx_ + gx;
-        for (std::size_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
-          const VertexId v = members_[i];
-          if (v > u && geom::dist2(p, positions_[v]) <= rc2_) {
-            out.push_back(v);
-          }
-        }
-      }
-    }
-    std::sort(out.begin(), out.end());
-  }
-
- private:
-  std::size_t cell_of(const Point& p) const {
-    return static_cast<std::size_t>((p.y - miny_) * inv_cell_) * nx_ +
-           static_cast<std::size_t>((p.x - minx_) * inv_cell_);
-  }
-
-  const geom::Embedding& positions_;
-  double inv_cell_;
-  double rc2_;
-  double minx_ = 0.0;
-  double miny_ = 0.0;
-  std::size_t nx_ = 0;
-  std::size_t ny_ = 0;
-  std::vector<std::size_t> offsets_;
-  std::vector<VertexId> members_;
-};
 
 /// Builds unit-disk edges among `positions` at range `rc`.
 graph::Graph udg_edges(const geom::Embedding& positions, double rc) {

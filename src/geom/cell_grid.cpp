@@ -1,0 +1,97 @@
+#include "tgcover/geom/cell_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tgcover/util/check.hpp"
+
+namespace tgc::geom {
+
+CellGrid::CellGrid(const Embedding& positions, double cell)
+    : positions_(positions), inv_cell_(1.0 / cell), cell2_(cell * cell) {
+  TGC_CHECK(!positions.empty() && cell > 0.0);
+  minx_ = positions[0].x;
+  miny_ = positions[0].y;
+  double maxx = minx_;
+  double maxy = miny_;
+  for (const Point& p : positions) {
+    minx_ = std::min(minx_, p.x);
+    maxx = std::max(maxx, p.x);
+    miny_ = std::min(miny_, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  nx_ = static_cast<std::size_t>((maxx - minx_) * inv_cell_) + 1;
+  ny_ = static_cast<std::size_t>((maxy - miny_) * inv_cell_) + 1;
+  // CSR-style buckets via counting sort; members end up id-ascending
+  // within each cell because the fill pass walks ids in order.
+  offsets_.assign(nx_ * ny_ + 1, 0);
+  for (const Point& p : positions) ++offsets_[cell_of(p) + 1];
+  for (std::size_t c = 1; c < offsets_.size(); ++c) {
+    offsets_[c] += offsets_[c - 1];
+  }
+  members_.resize(positions.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (graph::VertexId v = 0; v < positions.size(); ++v) {
+    members_[cursor[cell_of(positions[v])]++] = v;
+  }
+}
+
+std::size_t CellGrid::cell_of(const Point& p) const {
+  return static_cast<std::size_t>((p.y - miny_) * inv_cell_) * nx_ +
+         static_cast<std::size_t>((p.x - minx_) * inv_cell_);
+}
+
+void CellGrid::neighbors_above(graph::VertexId u,
+                               std::vector<graph::VertexId>& out) const {
+  out.clear();
+  const Point p = positions_[u];
+  const std::size_t cx = static_cast<std::size_t>((p.x - minx_) * inv_cell_);
+  const std::size_t cy = static_cast<std::size_t>((p.y - miny_) * inv_cell_);
+  const std::size_t x0 = cx == 0 ? 0 : cx - 1;
+  const std::size_t x1 = std::min(cx + 1, nx_ - 1);
+  const std::size_t y0 = cy == 0 ? 0 : cy - 1;
+  const std::size_t y1 = std::min(cy + 1, ny_ - 1);
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      const std::size_t c = gy * nx_ + gx;
+      for (std::size_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+        const graph::VertexId v = members_[i];
+        if (v > u && dist2(p, positions_[v]) <= cell2_) {
+          out.push_back(v);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+bool CellGrid::any_within(const Point& q, double r) const {
+  TGC_CHECK(r * r <= cell2_ * (1.0 + 1e-12));
+  const double r2 = r * r;
+  // Signed cell coordinates (q may fall outside the bounding box), clamped
+  // to the grid after widening by one — any point within r ≤ cell of q lies
+  // in that block.
+  const auto fx = static_cast<std::int64_t>(
+      std::floor((q.x - minx_) * inv_cell_));
+  const auto fy = static_cast<std::int64_t>(
+      std::floor((q.y - miny_) * inv_cell_));
+  const auto clamp = [](std::int64_t v, std::size_t hi) {
+    return static_cast<std::size_t>(
+        std::clamp<std::int64_t>(v, 0, static_cast<std::int64_t>(hi) - 1));
+  };
+  const std::size_t x0 = clamp(fx - 1, nx_);
+  const std::size_t x1 = clamp(fx + 1, nx_);
+  const std::size_t y0 = clamp(fy - 1, ny_);
+  const std::size_t y1 = clamp(fy + 1, ny_);
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      const std::size_t c = gy * nx_ + gx;
+      for (std::size_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+        if (dist2(q, positions_[members_[i]]) <= r2) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace tgc::geom

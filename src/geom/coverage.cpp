@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <numbers>
 
+#include "tgcover/geom/cell_grid.hpp"
 #include "tgcover/geom/min_circle.hpp"
 #include "tgcover/util/check.hpp"
 
@@ -31,34 +32,23 @@ CoverageAnalysis analyze_coverage(const Embedding& nodes,
                  target.ymin + (static_cast<double>(iy) + 0.5) * cell};
   };
 
-  // Mark covered cells by rasterizing each active sensing disk.
+  // Mark covered cells by candidate-disk lookup: a CellGrid over the active
+  // positions (grid cell = rs) answers "is any active disk center within rs
+  // of this cell center?" with a 3×3-block scan and an early exit on the
+  // first hit, instead of rasterizing every disk over O((rs/cell)²) cells.
+  // The predicate — covered iff ∃ active p with dist²(center, p) ≤ rs² — is
+  // unchanged, so the covered set is identical to the brute-force scan.
   std::vector<char> covered(nx * ny, 0);
-  const double rs2 = rs * rs;
+  Embedding active_pos;
   for (std::size_t v = 0; v < nodes.size(); ++v) {
-    if (!active[v]) continue;
-    const Point& p = nodes[v];
-    const auto ix_lo = static_cast<std::int64_t>(
-        std::floor((p.x - rs - target.xmin) / cell));
-    const auto ix_hi = static_cast<std::int64_t>(
-        std::ceil((p.x + rs - target.xmin) / cell));
-    const auto iy_lo = static_cast<std::int64_t>(
-        std::floor((p.y - rs - target.ymin) / cell));
-    const auto iy_hi = static_cast<std::int64_t>(
-        std::ceil((p.y + rs - target.ymin) / cell));
-    for (std::int64_t iy = std::max<std::int64_t>(0, iy_lo);
-         iy < std::min<std::int64_t>(static_cast<std::int64_t>(ny), iy_hi + 1);
-         ++iy) {
-      for (std::int64_t ix = std::max<std::int64_t>(0, ix_lo);
-           ix <
-           std::min<std::int64_t>(static_cast<std::int64_t>(nx), ix_hi + 1);
-           ++ix) {
-        const std::size_t idx =
-            static_cast<std::size_t>(iy) * nx + static_cast<std::size_t>(ix);
-        if (covered[idx]) continue;
-        if (dist2(center_of(static_cast<std::size_t>(ix),
-                            static_cast<std::size_t>(iy)),
-                  p) <= rs2) {
-          covered[idx] = 1;
+    if (active[v]) active_pos.push_back(nodes[v]);
+  }
+  if (!active_pos.empty()) {
+    const CellGrid grid(active_pos, rs);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        if (grid.any_within(center_of(ix, iy), rs)) {
+          covered[iy * nx + ix] = 1;
         }
       }
     }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -36,6 +37,12 @@ void save_mask(const std::vector<bool>& mask, const std::string& path);
 
 std::vector<bool> load_mask(std::istream& in);
 std::vector<bool> load_mask(const std::string& path);
+
+/// FNV-1a 64 digest of the mask's serialized form (the exact bytes
+/// `save_mask` writes). `tgcover schedule` prints it and `tgcover fleet`
+/// records it per run, so a fleet cell and an individually-run schedule can
+/// be compared for byte-identity without keeping the mask files around.
+std::uint64_t mask_digest(const std::vector<bool>& mask);
 
 /// Per-node role dump (x, y, role) for external plotting — the format the
 /// figure benches' --dump option writes.

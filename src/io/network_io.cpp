@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "tgcover/util/check.hpp"
+#include "tgcover/util/digest.hpp"
 
 namespace tgc::io {
 
@@ -123,6 +124,12 @@ void save_mask(const std::vector<bool>& mask, std::ostream& out) {
 void save_mask(const std::vector<bool>& mask, const std::string& path) {
   auto out = open_out(path);
   save_mask(mask, out);
+}
+
+std::uint64_t mask_digest(const std::vector<bool>& mask) {
+  std::ostringstream serialized;
+  save_mask(mask, serialized);
+  return util::fnv1a64(serialized.str());
 }
 
 std::vector<bool> load_mask(std::istream& in) {

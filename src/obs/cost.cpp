@@ -97,6 +97,17 @@ CostSnapshot cost_snapshot() {
   return s;
 }
 
+CostVec local_cost_totals() {
+  const detail::CostShard& shard = detail::local_cost_shard();
+  CostVec t;
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      t.units[i] += shard.units[p][i].load(std::memory_order_relaxed);
+    }
+  }
+  return t;
+}
+
 CostPhase current_phase() {
   return static_cast<CostPhase>(
       detail::current_phase_slot().load(std::memory_order_relaxed));

@@ -177,6 +177,14 @@ inline void add(CounterId id, std::uint64_t delta) {
 /// (per-slot atomic reads).
 CostSnapshot cost_snapshot();
 
+/// The calling thread's shard only, summed over phases. Because shards are
+/// strictly thread-local, the delta of two calls brackets exactly the work
+/// this thread performed in between — no other thread can perturb it. This
+/// is how the fleet runner attributes counters to a run: each campaign run
+/// executes single-threaded on one pool worker, so the bracketing delta is
+/// that run's exact total even while sibling workers count concurrently.
+CostVec local_cost_totals();
+
 CostPhase current_phase();
 void set_current_phase(CostPhase phase);
 

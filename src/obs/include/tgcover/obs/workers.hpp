@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// Per-worker utilization accounting for fleet campaigns.
+///
+/// The ROADMAP's "real multicore speed" question has no data because nothing
+/// records what each pool worker actually did. The fleet runner closes that
+/// gap: after every campaign run it credits the executing worker lane with
+/// one run and the run's busy nanoseconds. `tgcover fleet` prints the
+/// resulting per-worker table to stderr at drain time, so utilization skew
+/// (idle lanes, one hot lane absorbing the big-n cells) is visible per
+/// campaign. Always compiled, like the cost counters; wall-clock here is
+/// advisory and never enters a deterministic sink.
+
+namespace tgc::obs {
+
+/// One worker lane's accumulated fleet activity.
+struct WorkerStat {
+  std::uint64_t runs = 0;     ///< campaign runs completed on this lane
+  std::uint64_t busy_ns = 0;  ///< wall time spent inside those runs
+};
+
+/// Credits worker lane `worker` with one completed run of `busy_ns`.
+/// Thread-safe; lanes are registered on first touch.
+void record_worker_run(unsigned worker, std::uint64_t busy_ns);
+
+/// Snapshot of every lane touched since the last reset, indexed by worker.
+std::vector<WorkerStat> worker_util_snapshot();
+
+/// Clears all lanes (tests and back-to-back campaigns in one process).
+void reset_worker_util();
+
+}  // namespace tgc::obs

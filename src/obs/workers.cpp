@@ -1,0 +1,44 @@
+#include "tgcover/obs/workers.hpp"
+
+#include <mutex>
+
+namespace tgc::obs {
+
+namespace {
+
+/// Worker lanes are few (pool size) and records are one-per-run (seconds
+/// apart), so a single mutex-guarded vector is simpler and no slower than
+/// sharding here.
+struct WorkerRegistry {
+  std::mutex mutex;
+  std::vector<WorkerStat> lanes;
+};
+
+WorkerRegistry& worker_registry() {
+  static WorkerRegistry r;
+  return r;
+}
+
+}  // namespace
+
+void record_worker_run(unsigned worker, std::uint64_t busy_ns) {
+  WorkerRegistry& r = worker_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.lanes.size() <= worker) r.lanes.resize(worker + 1);
+  r.lanes[worker].runs += 1;
+  r.lanes[worker].busy_ns += busy_ns;
+}
+
+std::vector<WorkerStat> worker_util_snapshot() {
+  WorkerRegistry& r = worker_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.lanes;
+}
+
+void reset_worker_util() {
+  WorkerRegistry& r = worker_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.lanes.clear();
+}
+
+}  // namespace tgc::obs

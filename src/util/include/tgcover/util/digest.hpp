@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tgc::util {
+
+/// FNV-1a 64-bit over a byte string. Used for content digests of serialized
+/// artifacts (e.g. schedule masks): cheap, dependency-free, and stable
+/// across platforms — good enough for equality fingerprints, not for
+/// adversarial collision resistance.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex rendering of a 64-bit digest (16 chars).
+inline std::string hex64(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+}  // namespace tgc::util

@@ -49,6 +49,15 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, unsigned)>& body);
 
+  /// Same contract, but with an explicit chunk size instead of the automatic
+  /// ~8-chunks-per-worker split. `chunk` = 1 is the right call for run-sized
+  /// jobs (each index is seconds of work, e.g. one fleet campaign run):
+  /// auto-chunking would batch several runs onto one worker and leave the
+  /// rest idle at the tail.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end, std::size_t chunk,
+      const std::function<void(std::size_t, unsigned)>& body);
+
  private:
   struct Job;
 

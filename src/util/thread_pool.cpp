@@ -87,6 +87,16 @@ void ThreadPool::worker_loop(unsigned worker) {
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, unsigned)>& body) {
+  // ~8 chunks per worker balances load without contending on the cursor.
+  const std::size_t chunk = begin < end
+      ? std::max<std::size_t>(1, (end - begin) / (num_workers() * 8))
+      : 1;
+  parallel_for_chunked(begin, end, chunk, body);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, unsigned)>& body) {
   if (begin >= end) return;
 
   if (threads_.empty()) {
@@ -107,8 +117,7 @@ void ThreadPool::parallel_for(
   Job job;
   job.begin = begin;
   job.end = end;
-  // ~8 chunks per worker balances load without contending on the cursor.
-  job.chunk = std::max<std::size_t>(1, (end - begin) / (num_workers() * 8));
+  job.chunk = std::max<std::size_t>(1, chunk);
   job.body = &body;
 
   {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tgcover/geom/cell_grid.hpp"
 #include "tgcover/geom/coverage.hpp"
 #include "tgcover/geom/embedding.hpp"
 #include "tgcover/geom/min_circle.hpp"
@@ -186,6 +187,90 @@ TEST(Coverage, CellSizeRefinementConverges) {
   const auto ac = analyze_coverage(nodes, active, 2.5, target, coarse);
   const auto af = analyze_coverage(nodes, active, 2.5, target, fine);
   EXPECT_NEAR(ac.max_hole_diameter, af.max_hole_diameter, 0.5);
+}
+
+// ---------------------------------------------------------------- CellGrid
+
+Embedding random_embedding(std::size_t n, double side, util::Rng& rng) {
+  Embedding nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return nodes;
+}
+
+TEST(CellGrid, NeighborsAboveMatchesBruteForce) {
+  util::Rng rng(7);
+  for (const std::size_t n : {1UL, 2UL, 37UL, 120UL}) {
+    const double r = 1.0;
+    const Embedding nodes = random_embedding(n, 6.0, rng);
+    const CellGrid grid(nodes, r);
+    std::vector<graph::VertexId> got;
+    for (graph::VertexId u = 0; u < n; ++u) {
+      grid.neighbors_above(u, got);
+      std::vector<graph::VertexId> want;
+      for (graph::VertexId v = u + 1; v < n; ++v) {
+        if (dist2(nodes[u], nodes[v]) <= r * r) want.push_back(v);
+      }
+      EXPECT_EQ(got, want) << "n=" << n << " u=" << u;
+    }
+  }
+}
+
+TEST(CellGrid, AnyWithinMatchesBruteForceForArbitraryQueries) {
+  util::Rng rng(11);
+  const Embedding nodes = random_embedding(80, 5.0, rng);
+  const CellGrid grid(nodes, 0.8);
+  for (int q = 0; q < 500; ++q) {
+    // Queries deliberately range outside the bounding box too.
+    const Point p{rng.uniform(-2.0, 7.0), rng.uniform(-2.0, 7.0)};
+    const double r = rng.uniform(0.05, 0.8);
+    bool want = false;
+    for (const Point& v : nodes) {
+      if (dist2(p, v) <= r * r) want = true;
+    }
+    EXPECT_EQ(grid.any_within(p, r), want)
+        << "q=(" << p.x << "," << p.y << ") r=" << r;
+  }
+}
+
+TEST(CellGrid, CoverageMatchesBruteForceRasterization) {
+  // analyze_coverage marks cells via the CellGrid fast path; the defining
+  // predicate (∃ active disk center within rs of the cell center) must give
+  // the identical covered set.
+  util::Rng rng(23);
+  const Embedding nodes = random_embedding(60, 4.0, rng);
+  std::vector<bool> active(nodes.size(), true);
+  for (std::size_t v = 0; v < active.size(); v += 3) active[v] = false;
+  const Rect target{0.3, 0.3, 3.7, 3.7};
+  const double rs = 0.6;
+  CoverageGridOptions opt;
+  opt.cell_size = 0.1;
+  const CoverageAnalysis a = analyze_coverage(nodes, active, rs, target, opt);
+
+  const auto nx = static_cast<std::size_t>(
+      std::ceil(target.width() / opt.cell_size));
+  const auto ny = static_cast<std::size_t>(
+      std::ceil(target.height() / opt.cell_size));
+  std::size_t covered = 0;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const Point c{
+          target.xmin + (static_cast<double>(ix) + 0.5) * opt.cell_size,
+          target.ymin + (static_cast<double>(iy) + 0.5) * opt.cell_size};
+      for (std::size_t v = 0; v < nodes.size(); ++v) {
+        if (active[v] && dist2(c, nodes[v]) <= rs * rs) {
+          ++covered;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(a.total_cells, nx * ny);
+  EXPECT_EQ(a.covered_cells, covered);
+  EXPECT_GT(a.covered_cells, 0u);
+  EXPECT_LT(a.covered_cells, a.total_cells);
 }
 
 }  // namespace

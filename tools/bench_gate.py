@@ -19,6 +19,12 @@ Compares a freshly produced bench JSON (e.g. from
     the exit code. Cross-machine performance conclusions belong to the
     logical columns.
 
+With --fleet, both inputs are `tgcover fleet` JSONL sinks instead of bench
+JSON: rows are keyed by the full grid cell (model, nodes, degree, tau,
+loss, seed), and the gated columns additionally include `status`,
+`survivors`, and `schedule_digest` — all machine-independent, so two sinks
+from the same build and grid must agree exactly. `wall_ms` stays advisory.
+
 Stdlib only. Exit codes: 0 ok, 1 logical regression, 2 usage/IO error.
 With --advisory, even logical regressions are reported but the exit code
 stays 0 (used on PR builds; pushes to main hard-fail).
@@ -37,6 +43,8 @@ LOGICAL_FIELDS = (
     "rounds",
 )
 
+FLEET_FIELDS = LOGICAL_FIELDS + ("status", "survivors", "schedule_digest")
+
 
 def load(path):
     try:
@@ -47,6 +55,33 @@ def load(path):
         sys.exit(2)
 
 
+def load_fleet(path):
+    """Reads a fleet JSONL sink into the bench-JSON shape the gate walks.
+
+    The sink header (the manifest line) and any truncated/partial lines are
+    skipped; wall_ms is folded into the advisory `seconds` column.
+    """
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError:
+                    continue  # truncated final line of a killed campaign
+                if not isinstance(obj, dict) or "run" not in obj:
+                    continue
+                obj["seconds"] = float(obj.get("wall_ms", 0.0)) / 1000.0
+                rows.append(obj)
+    except OSError as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {"bench": "fleet", "results": rows}
+
+
 def row_key(row):
     # Rows recorded before the multi-round DCC section carry no mode tag;
     # they are the single-round VPT sweep.
@@ -55,6 +90,23 @@ def row_key(row):
 
 def fmt_key(key):
     return f"{key[0]} nodes={key[1]} threads={key[2]}"
+
+
+def fleet_row_key(row):
+    return (
+        row.get("model"),
+        row.get("nodes"),
+        row.get("degree"),
+        row.get("tau"),
+        row.get("loss"),
+        row.get("seed"),
+    )
+
+
+def fmt_fleet_key(key):
+    model, nodes, degree, tau, loss, seed = key
+    return (f"{model} n={nodes} deg={degree} tau={tau} "
+            f"loss={loss} seed={seed}")
 
 
 def main():
@@ -72,10 +124,21 @@ def main():
         action="store_true",
         help="report regressions but always exit 0",
     )
+    ap.add_argument(
+        "--fleet",
+        action="store_true",
+        help="inputs are tgcover fleet JSONL sinks, keyed by grid cell",
+    )
     args = ap.parse_args()
 
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
+    if args.fleet:
+        baseline = load_fleet(args.baseline)
+        fresh = load_fleet(args.fresh)
+        key_of, fmt, gated = fleet_row_key, fmt_fleet_key, FLEET_FIELDS
+    else:
+        baseline = load(args.baseline)
+        fresh = load(args.fresh)
+        key_of, fmt, gated = row_key, fmt_key, LOGICAL_FIELDS
 
     if baseline.get("bench") != fresh.get("bench"):
         print(
@@ -85,8 +148,8 @@ def main():
         )
         sys.exit(2)
 
-    base_rows = {row_key(r): r for r in baseline.get("results", [])}
-    fresh_rows = {row_key(r): r for r in fresh.get("results", [])}
+    base_rows = {key_of(r): r for r in baseline.get("results", [])}
+    fresh_rows = {key_of(r): r for r in fresh.get("results", [])}
     if not base_rows:
         print("bench_gate: baseline has no result rows", file=sys.stderr)
         sys.exit(2)
@@ -106,12 +169,12 @@ def main():
     for key, base in sorted(base_rows.items()):
         fresh_row = fresh_rows.get(key)
         if fresh_row is None:
-            failures.append(f"{fmt_key(key)}: missing from fresh run")
-            print(f"{fmt_key(key):<40} {'-':>10} {'-':>10} {'-':>9} {'-':>9} "
+            failures.append(f"{fmt(key)}: missing from fresh run")
+            print(f"{fmt(key):<40} {'-':>10} {'-':>10} {'-':>9} {'-':>9} "
                   f"{'-':>7}  MISSING")
             continue
         verdicts = []
-        for field in LOGICAL_FIELDS:
+        for field in gated:
             if field not in base:
                 skipped_fields.add(field)
                 continue
@@ -127,7 +190,7 @@ def main():
         slow = ratio > args.tolerance
         if slow:
             advisories.append(
-                f"{fmt_key(key)}: {ratio:.2f}x slower than baseline "
+                f"{fmt(key)}: {ratio:.2f}x slower than baseline "
                 f"(advisory: wall-clock never gates)"
             )
         status = ("FAIL: " + "; ".join(verdicts)) if verdicts else (
@@ -135,15 +198,15 @@ def main():
         if (base_single_core and not verdicts
                 and "speedup_vs_1t" in base and base.get("threads", 1) > 1):
             status += " [speedup unverifiable: baseline captured on 1 core]"
-        print(f"{fmt_key(key):<40} {base.get('logical_cost', '-'):>10} "
+        print(f"{fmt(key):<40} {base.get('logical_cost', '-'):>10} "
               f"{fresh_row.get('logical_cost', '-'):>10} "
               f"{base_s:>9.4f} {fresh_s:>9.4f} {ratio:>6.2f}x  {status}")
         for v in verdicts:
-            failures.append(f"{fmt_key(key)}: {v}")
+            failures.append(f"{fmt(key)}: {v}")
 
     extra = sorted(set(fresh_rows) - set(base_rows))
     for key in extra:
-        print(f"{fmt_key(key):<40} (new row, not in baseline — ignored)")
+        print(f"{fmt(key):<40} (new row, not in baseline — ignored)")
     if skipped_fields:
         print("bench_gate: baseline predates logical column(s) "
               f"{sorted(skipped_fields)} — not gated this run")
