@@ -1,7 +1,10 @@
 #include "tgcover/app/cli.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <filesystem>
@@ -11,14 +14,17 @@
 #include <ostream>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "tgcover/app/compare.hpp"
 #include "tgcover/app/fleet.hpp"
+#include "tgcover/app/profile_report.hpp"
 #include "tgcover/app/report.hpp"
 #include "tgcover/app/rounds.hpp"
 #include "tgcover/app/run_bundle.hpp"
+#include "tgcover/app/scale.hpp"
 #include "tgcover/app/trace_analysis.hpp"
 #include "tgcover/core/confine.hpp"
 #include "tgcover/core/criterion.hpp"
@@ -35,6 +41,7 @@
 #include "tgcover/obs/log.hpp"
 #include "tgcover/obs/manifest.hpp"
 #include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
 #include "tgcover/obs/trace.hpp"
 #include "tgcover/obs/trace_export.hpp"
@@ -44,6 +51,7 @@
 #include "tgcover/util/digest.hpp"
 #include "tgcover/util/rng.hpp"
 #include "tgcover/util/table.hpp"
+#include "tgcover/util/thread_pool.hpp"
 #include "tgcover/version.hpp"
 
 namespace tgc::app {
@@ -118,6 +126,23 @@ obs::RunManifest make_manifest(const std::string& command,
   for (auto& [key, value] : args.resolved()) {
     (sem.count(key) != 0 ? m.config : m.execution).emplace_back(key, value);
   }
+  // Execution identity the sidecar should state outright: the *resolved*
+  // worker count ("0" means hardware concurrency at parse time — useless to
+  // a reader a year later) and the machine's concurrency, so every
+  // wall-clock or profile artifact sits next to the parallelism that
+  // produced it.
+  for (auto& [key, value] : m.execution) {
+    if (key != "threads") continue;
+    char* end = nullptr;
+    const unsigned long requested = std::strtoul(value.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') {
+      value = std::to_string(util::ThreadPool::resolve_num_threads(
+          static_cast<unsigned>(requested)));
+    }
+  }
+  m.execution.emplace_back(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
   return m;
 }
 
@@ -235,6 +260,52 @@ MetricsOptions declare_metrics_options(util::ArgParser& args) {
   return true;
 }
 
+// ------------------------------------------------------------- profiling
+
+/// Declares --profile-out on the scheduling commands. A non-empty path arms
+/// the execution profiler for the run (per-worker timelines, pool/memory
+/// telemetry — DESIGN.md §13).
+std::string declare_profile_option(util::ArgParser& args) {
+  return args.get_string(
+      "profile-out", "",
+      "write the parallel-execution profile JSONL here (per-worker task/"
+      "idle/barrier timelines, phase totals, memory telemetry; render with "
+      "`tgcover profile-report`)");
+}
+
+/// Opens the profiler session sized to the command's resolved worker count.
+/// No-op when --profile-out was not given, so unprofiled runs stay on the
+/// one-relaxed-load path.
+void begin_profile(const std::string& path, unsigned threads) {
+  if (path.empty()) return;
+  obs::profile_begin(util::ThreadPool::resolve_num_threads(threads));
+}
+
+/// Drains the profiler and writes the JSONL sink (embedded manifest line
+/// first, sidecar after). Call immediately after the profiled run returns,
+/// before other sinks, so their I/O never pollutes the wall clock.
+[[nodiscard]] bool emit_profile(const std::string& path,
+                                const obs::RunManifest& manifest,
+                                std::ostream& out) {
+  if (path.empty()) return true;
+  const obs::ProfileData data = obs::profile_end();
+  std::size_t events = 0;
+  for (const obs::WorkerProfile& w : data.workers) events += w.events.size();
+  obs::JsonlWriter w(path);
+  if (w.ok()) {
+    w.stream() << obs::manifest_header_line(manifest) << "\n";
+    obs::write_profile_jsonl(data, w.stream());
+  }
+  if (!w.close()) {
+    TGC_LOG(kError) << "profile sink failed" << obs::kv("error", w.error());
+    return false;
+  }
+  if (!write_manifest_sidecar(manifest, path)) return false;
+  out << "wrote execution profile (" << data.workers.size() << " workers, "
+      << events << " events) to " << path << "\n";
+  return true;
+}
+
 int cmd_generate(util::ArgParser& args, std::ostream& out) {
   const std::string type =
       args.get_string("type", "udg", "workload type: udg | quasi | strip");
@@ -291,6 +362,7 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   const auto threads = static_cast<unsigned>(threads_arg);
   const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
+  const std::string profile_path = declare_profile_option(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest =
@@ -304,7 +376,9 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   config.incremental = incremental;
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
+  begin_profile(profile_path, threads);
   const core::ScheduleSummary s = core::run_dcc(net, config);
+  if (!emit_profile(profile_path, manifest, out)) return 1;
   collector.finalize(s.result.survivors);
   if (!emit_metrics(metrics, collector, manifest, out)) return 1;
   io::save_mask(s.result.active, out_path);
@@ -482,6 +556,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
       "retransmit", 4.0, "retransmission interval for unacked messages");
   const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
+  const std::string profile_path = declare_profile_option(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest = make_manifest(
@@ -508,6 +583,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   if (metrics.requested()) config.collector = &collector;
 
   if (tracing) obs::trace_begin();
+  begin_profile(profile_path, threads);
   core::DccDistributedResult result;
   if (async) {
     core::DccAsyncOptions options;
@@ -522,6 +598,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
     result = core::dcc_schedule_distributed(net.dep.graph, net.internal,
                                             config);
   }
+  if (!emit_profile(profile_path, manifest, out)) return 1;
   const std::vector<obs::TraceEvent> events =
       tracing ? obs::trace_end() : std::vector<obs::TraceEvent>{};
 
@@ -593,6 +670,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   const auto threads = static_cast<unsigned>(threads_arg);
   const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
+  const std::string profile_path = declare_profile_option(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest = make_manifest(
@@ -610,8 +688,10 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   config.incremental = incremental;
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
+  begin_profile(profile_path, threads);
   const core::RepairResult result = core::dcc_repair(
       net.dep.graph, net.internal, active, failed, net.cb, config);
+  if (!emit_profile(profile_path, manifest, out)) return 1;
   collector.finalize(static_cast<std::uint64_t>(
       std::count(result.active.begin(), result.active.end(), true)));
   if (!emit_metrics(metrics, collector, manifest, out)) return 1;
@@ -882,8 +962,18 @@ int cmd_fleet(util::ArgParser& args, std::ostream& out) {
   TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
                 "--threads must be in [0, 1024], got " << threads_arg);
   opts.threads = static_cast<unsigned>(threads_arg);
-  opts.progress = !args.get_flag(
+  const bool no_progress = args.get_flag(
       "no-progress", "suppress the live done/failed/ETA line on stderr");
+  // A piped stderr (CI log, `2>file`) gets one full line per update instead
+  // of \r rewrites, which render as an unreadable mega-line off a terminal.
+  opts.progress = no_progress ? FleetProgress::kOff
+                  : isatty(fileno(stderr)) != 0 ? FleetProgress::kTty
+                                                : FleetProgress::kPlain;
+  opts.resume = args.get_flag(
+      "resume",
+      "skip grid cells already recorded ok in the sink and append only the "
+      "missing or failed ones (refuses a sink from a different grid)");
+  const std::string profile_path = declare_profile_option(args);
   configure_logging(args);
   args.finish();
 
@@ -903,8 +993,108 @@ int cmd_fleet(util::ArgParser& args, std::ostream& out) {
     manifest.config.push_back(std::move(kv));
   }
 
+  begin_profile(profile_path, opts.threads);
   const int rc = run_fleet(opts, manifest, out);
+  if (!emit_profile(profile_path, manifest, out)) return 1;
   if (!write_manifest_sidecar(manifest, opts.sink_path)) return 1;
+  return rc;
+}
+
+int cmd_profile_report(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path = args.get_string(
+      "in", "profile.jsonl", "profile JSONL sink (from --profile-out)");
+  const std::string out_path =
+      args.get_string("out", "profile.html", "output HTML dashboard");
+  const std::string chrome_out = args.get_string(
+      "chrome-out", "",
+      "also re-export the profile as Chrome trace-event JSON (Perfetto)");
+  const std::string title =
+      args.get_string("title", "tgcover execution profile", "report headline");
+  configure_logging(args);
+  args.finish();
+
+  const ProfileLoad load = load_profile(in_path);
+  if (!load.error.empty()) {
+    out << "error: " << load.error << "\n";
+    return 1;
+  }
+  if (load.skipped > 0) {
+    TGC_LOG(kWarn) << "profile sink has unreadable lines"
+                   << obs::kv("skipped", load.skipped);
+  }
+
+  const std::string html = render_profile_report_html(load, title);
+  std::ofstream f(out_path, std::ios::binary);
+  f << html;
+  f.flush();
+  if (!f.good()) {
+    TGC_LOG(kError) << "report sink failed" << obs::kv("path", out_path);
+    out << "error: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  std::size_t events = 0;
+  for (const obs::WorkerProfile& w : load.data.workers) {
+    events += w.events.size();
+  }
+  out << "wrote profile report (" << load.data.workers.size() << " workers, "
+      << events << " events) to " << out_path << "\n";
+
+  if (!chrome_out.empty()) {
+    obs::JsonlWriter w(chrome_out);
+    if (w.ok()) obs::write_profile_chrome_trace(load.data, w.stream());
+    if (!w.close()) {
+      TGC_LOG(kError) << "trace sink failed" << obs::kv("error", w.error());
+      return 1;
+    }
+    out << "wrote Chrome trace to " << chrome_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_scale(util::ArgParser& args, std::ostream& out) {
+  ScaleOptions opts;
+  opts.in_path = args.get_string("in", "network.tgc", "input network file");
+  opts.tau =
+      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+  opts.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
+  opts.band = args.get_double("band", 1.0, "periphery band width");
+  const std::string ladder = args.get_string(
+      "threads", "1,2,4",
+      "comma-separated thread ladder, must start at 1 (the serial baseline)");
+  opts.repeat = static_cast<unsigned>(args.get_int(
+      "repeat", 3, "repeats per rung; wall time is the minimum"));
+  opts.json_path = args.get_string("json", "speedup.json",
+                                   "speedup-curve JSON sink (empty = none)");
+  opts.html_path = args.get_string("out", "scale.html",
+                                   "speedup-curve HTML chart (empty = none)");
+  opts.incremental = declare_incremental(args);
+  configure_logging(args);
+  args.finish();
+  const obs::RunManifest manifest =
+      make_manifest("scale", args, {"in", "tau", "seed", "band"});
+
+  opts.threads.clear();
+  for (std::size_t start = 0; start <= ladder.size();) {
+    const std::size_t comma = ladder.find(',', start);
+    const std::size_t end = comma == std::string::npos ? ladder.size() : comma;
+    if (end > start) {
+      const std::string item = ladder.substr(start, end - start);
+      char* stop = nullptr;
+      const unsigned long v = std::strtoul(item.c_str(), &stop, 10);
+      TGC_CHECK_MSG(stop != nullptr && *stop == '\0' && v >= 1 && v <= 1024,
+                    "bad --threads rung '" << item
+                                           << "' (want integers in [1, 1024])");
+      opts.threads.push_back(static_cast<unsigned>(v));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+
+  const int rc = run_scale(opts, manifest, out);
+  if (rc == 0 && !opts.json_path.empty()) {
+    if (!write_manifest_sidecar(manifest, opts.json_path)) return 1;
+  }
   return rc;
 }
 
@@ -1096,7 +1286,9 @@ void print_help(std::ostream& out) {
          "                 one summary record per run to --out FILE (JSONL;"
          " failed cells\n"
          "                 become status:\"failed\" rows and the campaign"
-         " keeps going)\n"
+         " keeps going;\n"
+         "                 --resume skips cells already recorded ok and"
+         " appends the rest)\n"
          "  fleet-report   render a fleet sink as an aggregate HTML"
          " dashboard: per-facet\n"
          "                 heatmaps of awake-set ratio and logical cost over"
@@ -1104,6 +1296,24 @@ void print_help(std::ostream& out) {
          "                 across-seed sparklines, failure table\n"
          "                 (fleet-report [SINK] [--in FILE] [--out"
          " fleet.html])\n"
+         "  profile-report render a --profile-out sink as a per-worker"
+         " timeline HTML\n"
+         "                 dashboard: utilization heatmap, phase breakdown,"
+         " barrier\n"
+         "                 stalls, Amdahl summary, memory telemetry\n"
+         "                 (profile-report [SINK] [--in FILE] [--out"
+         " profile.html]\n"
+         "                 [--chrome-out FILE] re-exports for Perfetto)\n"
+         "  scale          honest scaling harness: re-run one config at"
+         " --threads 1,2,..\n"
+         "                 (ladder starts at 1), hard-fail unless every rung"
+         " yields the\n"
+         "                 bit-identical schedule digest, write the speedup"
+         " curve to\n"
+         "                 --json FILE and --out HTML; rungs beyond the"
+         " machine's cores\n"
+         "                 are flagged oversubscribed and make no speedup"
+         " claim\n"
          "  compare        diff two or more runs by machine-independent"
          " logical cost\n"
          "                 (compare RUN1 RUN2 [RUN...] [--allow-diff"
@@ -1129,6 +1339,11 @@ void print_help(std::ostream& out) {
          "thread counts, and log levels; a manifest.json run-provenance"
          " sidecar lands\n"
          "next to every sink).\n"
+         "schedule / distributed / repair / fleet accept --profile-out FILE"
+         " (per-worker\n"
+         "task/idle/barrier timelines, phase totals, and memory telemetry;"
+         " render with\n"
+         "`tgcover profile-report`).\n"
          "every command accepts --log-level debug|info|warn|error|off,"
          " --log-out FILE,\n"
          "and --flight N (keep the last N log lines per thread for crash"
@@ -1161,7 +1376,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   rest.push_back(program.c_str());
   int first = 2;
   if ((command == "stats" || command == "trace-analyze" ||
-       command == "report" || command == "fleet-report") &&
+       command == "report" || command == "fleet-report" ||
+       command == "profile-report") &&
       argc > 2 && argv[2][0] != '-') {
     rest.push_back(command == "report" ? "--rounds" : "--in");
     rest.push_back(argv[2]);
@@ -1191,6 +1407,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "report") return cmd_report(args, out);
   if (command == "fleet") return cmd_fleet(args, out);
   if (command == "fleet-report") return cmd_fleet_report(args, out);
+  if (command == "profile-report") return cmd_profile_report(args, out);
+  if (command == "scale") return cmd_scale(args, out);
   if (command == "compare") {
     return cmd_compare(std::move(compare_paths), args, out);
   }

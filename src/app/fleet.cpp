@@ -1,12 +1,15 @@
 #include "tgcover/app/fleet.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -427,26 +430,101 @@ RunOutcome execute_cell(const FleetCell& cell, const FleetSpec& spec) {
 
 }  // namespace
 
+namespace {
+
+/// The semantic (cfg_-prefixed) slice of a manifest header record — the part
+/// that identifies the grid, independent of timestamps and execution keys.
+std::map<std::string, std::string> semantic_config(
+    const obs::JsonRecord& rec) {
+  std::map<std::string, std::string> cfg;
+  for (const auto& [key, value] : rec.fields()) {
+    if (key.rfind("cfg_", 0) == 0) cfg.emplace(key, value);
+  }
+  return cfg;
+}
+
+}  // namespace
+
 int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
               std::ostream& out) {
-  const std::vector<FleetCell> cells = expand_grid(opts.spec);
+  std::vector<FleetCell> cells = expand_grid(opts.spec);
   TGC_CHECK_MSG(!cells.empty(), "fleet grid is empty");
   TGC_CHECK_MSG(opts.spec.min_delay > 0.0 &&
                     opts.spec.max_delay >= opts.spec.min_delay,
                 "fleet delays must satisfy 0 < min-delay <= max-delay");
+
+  // --resume: drop every cell the existing sink already records ok, then
+  // append the remainder. Run ids are grid positions, so they stay stable
+  // across passes and a re-run cell's fresh record supersedes on load
+  // (load_fleet_sink keeps the last record per run id).
+  const std::size_t grid_size = cells.size();
+  bool append = false;
+  std::size_t resumed = 0;
+  if (opts.resume) {
+    const FleetSink prior = load_fleet_sink(opts.sink_path);
+    if (prior.error.empty()) {
+      if (!prior.manifest.has_value()) {
+        out << "error: cannot resume '" << opts.sink_path
+            << "': no manifest header to verify the grid against\n";
+        return 1;
+      }
+      const std::optional<obs::JsonRecord> current =
+          obs::parse_jsonl_line(obs::manifest_header_line(manifest));
+      TGC_CHECK_MSG(current.has_value(), "manifest header line must parse");
+      const std::map<std::string, std::string> prior_cfg =
+          semantic_config(*prior.manifest);
+      const std::map<std::string, std::string> current_cfg =
+          semantic_config(*current);
+      if (prior_cfg != current_cfg) {
+        std::string key = "cfg_ key set";
+        for (const auto& [k, v] : current_cfg) {
+          const auto it = prior_cfg.find(k);
+          if (it == prior_cfg.end() || it->second != v) {
+            key = k;
+            break;
+          }
+        }
+        out << "error: cannot resume '" << opts.sink_path
+            << "': the sink records a different campaign (first mismatch: "
+            << key << ")\n";
+        return 1;
+      }
+      std::set<std::size_t> ok_runs;
+      for (const obs::JsonRecord& rec : prior.runs) {
+        if (rec.text("status") == "ok") {
+          ok_runs.insert(static_cast<std::size_t>(rec.u64("run")));
+        }
+      }
+      cells.erase(std::remove_if(cells.begin(), cells.end(),
+                                 [&](const FleetCell& c) {
+                                   return ok_runs.count(c.run) != 0;
+                                 }),
+                  cells.end());
+      resumed = grid_size - cells.size();
+      append = true;
+      out << "fleet: resuming '" << opts.sink_path << "' — " << resumed
+          << " of " << grid_size << " cells already ok, " << cells.size()
+          << " to run\n";
+      if (cells.empty()) return 0;
+    }
+    // An absent or unreadable sink means there is nothing to resume; fall
+    // through to a fresh campaign that creates it.
+  }
 
   // The logical-cost counters are the payload of every record; campaigns
   // always run metered.
   obs::set_enabled(true);
   obs::reset_worker_util();
 
-  obs::JsonlWriter sink(opts.sink_path);
+  obs::JsonlWriter sink(opts.sink_path, append);
   if (!sink.ok()) {
     TGC_LOG(kError) << "fleet sink failed" << obs::kv("error", sink.error());
     out << "error: cannot write '" << opts.sink_path << "'\n";
     return 1;
   }
-  sink.stream() << obs::manifest_header_line(manifest) << "\n";
+  // A resumed sink keeps its original manifest header; the grids were just
+  // verified identical.
+  if (!append) sink.stream() << obs::manifest_header_line(manifest) << "\n";
 
   std::mutex mu;  // sink stream + progress counters
   std::size_t done = 0;
@@ -478,25 +556,34 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
           TGC_LOG(kWarn) << "fleet run failed" << obs::kv("run", cell.run)
                          << obs::kv("error", r.error);
         }
-        if (opts.progress) {
+        if (opts.progress != FleetProgress::kOff) {
           const double elapsed =
               static_cast<double>(obs::now_ns() - t0) / 1e9;
           const double eta =
               elapsed / static_cast<double>(done) *
               static_cast<double>(cells.size() - done);
-          std::cerr << "\rfleet: " << done << "/" << cells.size() << " done";
-          if (failed > 0) std::cerr << ", " << failed << " failed";
-          std::cerr << ", ETA " << f1(eta) << "s   " << std::flush;
+          if (opts.progress == FleetProgress::kTty) {
+            std::cerr << "\rfleet: " << done << "/" << cells.size()
+                      << " done";
+            if (failed > 0) std::cerr << ", " << failed << " failed";
+            std::cerr << ", ETA " << f1(eta) << "s   " << std::flush;
+          } else {
+            // Piped stderr (CI logs): one full line per update — a \r
+            // rewrite renders as one unreadable mega-line there.
+            std::cerr << "fleet: " << done << "/" << cells.size() << " done";
+            if (failed > 0) std::cerr << ", " << failed << " failed";
+            std::cerr << ", ETA " << f1(eta) << "s\n";
+          }
         }
       });
-  if (opts.progress) std::cerr << "\n";
+  if (opts.progress == FleetProgress::kTty) std::cerr << "\n";
 
   const bool sink_ok = sink.close();
   if (!sink_ok) {
     TGC_LOG(kError) << "fleet sink failed" << obs::kv("error", sink.error());
   }
 
-  if (opts.progress) {
+  if (opts.progress != FleetProgress::kOff) {
     // Worker utilization lands on stderr next to the progress line: skew
     // (one lane absorbing the big-n cells) is an operator concern, not part
     // of the deterministic artifact.
@@ -509,6 +596,7 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
   }
 
   out << "fleet: " << cells.size() << " runs";
+  if (resumed > 0) out << " (+" << resumed << " resumed)";
   if (failed > 0) out << " (" << failed << " FAILED)";
   out << " over " << pool.num_workers() << " workers; wrote "
       << opts.sink_path << "\n";

@@ -44,6 +44,19 @@ FleetSink load_fleet_sink(const std::string& path) {
                    [](const obs::JsonRecord& a, const obs::JsonRecord& b) {
                      return a.u64("run") < b.u64("run");
                    });
+  // A --resume pass appends fresh records for re-run cells; the last record
+  // in file order supersedes. stable_sort kept file order within each run id,
+  // so the group's last element is the authoritative one.
+  std::vector<obs::JsonRecord> unique;
+  unique.reserve(sink.runs.size());
+  for (std::size_t i = 0; i < sink.runs.size(); ++i) {
+    if (i + 1 < sink.runs.size() &&
+        sink.runs[i].u64("run") == sink.runs[i + 1].u64("run")) {
+      continue;
+    }
+    unique.push_back(std::move(sink.runs[i]));
+  }
+  sink.runs = std::move(unique);
   return sink;
 }
 

@@ -84,11 +84,21 @@ bool load_fleet_spec(const std::string& path, FleetSpec& spec,
 std::vector<std::pair<std::string, std::string>> fleet_spec_config(
     const FleetSpec& spec);
 
+/// How campaign progress reaches stderr. kTty rewrites one line in place
+/// (\r); kPlain appends a full line per update — the honest form when
+/// stderr is a pipe or CI log, where carriage returns render as garbage.
+enum class FleetProgress { kOff, kPlain, kTty };
+
 struct FleetOptions {
   FleetSpec spec;
   std::string sink_path = "fleet.jsonl";
   unsigned threads = 0;    ///< pool size (0 = hardware concurrency)
-  bool progress = true;    ///< live done/failed/ETA line on stderr
+  FleetProgress progress = FleetProgress::kTty;
+  /// Resume an interrupted campaign: load the existing sink, skip every grid
+  /// cell already recorded with status "ok", and append only the missing or
+  /// previously-failed cells. Refuses a sink whose embedded manifest
+  /// describes a different grid.
+  bool resume = false;
 };
 
 /// Runs the campaign: expands the grid in deterministic row-major order
@@ -104,8 +114,10 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
 
 /// A loaded fleet sink: the embedded manifest (when present) plus per-run
 /// records sorted by run id — sink order is completion order and varies
-/// with the thread count, so consumers must not depend on it. Malformed or
-/// truncated lines (a killed campaign) are counted, not fatal.
+/// with the thread count, so consumers must not depend on it. A run id
+/// appearing more than once (a --resume pass re-ran a failed cell) keeps
+/// only its last record in file order. Malformed or truncated lines (a
+/// killed campaign) are counted, not fatal.
 struct FleetSink {
   std::optional<obs::JsonRecord> manifest;
   std::vector<obs::JsonRecord> runs;

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tgcover/obs/jsonl.hpp"
+#include "tgcover/obs/profile.hpp"
+
+namespace tgc::app {
+
+/// A --profile-out JSONL stream read back into memory: the embedded manifest
+/// line plus the ProfileData reconstructed from the header, event, summary,
+/// and memory lines. `error` non-empty means the file was unusable; a few
+/// malformed lines only bump `skipped` (a killed run truncates its tail).
+struct ProfileLoad {
+  std::optional<obs::JsonRecord> manifest;
+  obs::ProfileData data;
+  std::size_t skipped = 0;
+  std::string error;
+};
+
+ProfileLoad load_profile(const std::string& path);
+
+/// The execution dashboard: summary tiles (utilization, serial fraction,
+/// Amdahl bound, peak RSS), a per-worker busy-fraction timeline heatmap, the
+/// phase breakdown per worker, the barrier-stall table, and the memory
+/// channel. Byte-deterministic for a given input file.
+std::string render_profile_report_html(const ProfileLoad& load,
+                                       const std::string& title);
+
+}  // namespace tgc::app

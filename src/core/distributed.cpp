@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
 #include "tgcover/obs/trace.hpp"
 #include "tgcover/sim/khop.hpp"
@@ -236,6 +237,10 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     num_active -= num_selected;
     if (config.collector != nullptr) {
       config.collector->end_round(num_active, num_candidates, num_selected);
+    }
+    if (obs::profile_active()) {
+      obs::profile_round(out.schedule.rounds);
+      obs::profile_mem_sample();
     }
     if (traced) {
       // type 1: a completed deletion round. `trace-analyze` counts these and

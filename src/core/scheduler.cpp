@@ -5,6 +5,7 @@
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/obs/log.hpp"
 #include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
 #include "tgcover/sim/mis.hpp"
 #include "tgcover/util/check.hpp"
@@ -112,6 +113,7 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
             // their own shard and publish distinct per-node slots.
             obs::add(obs::CounterId::kBallViewBytes,
                      balls.capture(worker, g, result.active, v, ws.members));
+            obs::profile_count_allocations(1);
           }
         }
         fresh[v] = verdict ? 1 : 0;
@@ -175,6 +177,17 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     num_active -= num_selected;
     if (config.collector != nullptr) {
       config.collector->end_round(num_active, num_candidates, num_selected);
+    }
+    if (obs::profile_active()) {
+      obs::profile_round(result.rounds);
+      if (config.incremental) {
+        // Ball-arena high-water mark, read at round quiescence (workers'
+        // shard appends have drained) and charged to the verdict phase that
+        // grew it — the verdict scope itself already closed above.
+        obs::profile_note_arena(balls.resident_bytes(),
+                                obs::CostPhase::kVerdicts);
+      }
+      obs::profile_mem_sample();
     }
     TGC_LOG(kDebug) << "dcc round" << obs::kv("round", result.rounds)
                     << obs::kv("active", num_active)

@@ -3,6 +3,8 @@
 #include <deque>
 #include <mutex>
 
+#include "tgcover/obs/profile.hpp"
+
 namespace tgc::obs {
 
 namespace {
@@ -116,6 +118,10 @@ CostPhase current_phase() {
 void set_current_phase(CostPhase phase) {
   detail::current_phase_slot().store(static_cast<unsigned>(phase),
                                      std::memory_order_relaxed);
+  // Phase transitions are timeline landmarks: the execution profiler drops
+  // an instant event on the calling thread's lane (no-op when profiling is
+  // off — phase scopes flip twice per round, far off any hot loop).
+  detail::profile_on_phase_change(phase);
 }
 
 CostModel::CostModel()

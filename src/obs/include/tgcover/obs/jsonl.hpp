@@ -16,7 +16,9 @@ namespace tgc::obs {
 /// CLI turns a failed close() into a non-zero exit code.
 class JsonlWriter {
  public:
-  explicit JsonlWriter(const std::string& path);
+  /// `append` opens in append mode (fleet --resume extends an existing
+  /// sink in place) instead of truncating.
+  explicit JsonlWriter(const std::string& path, bool append = false);
   /// Closes without error reporting; call close() first to learn the fate
   /// of buffered data.
   ~JsonlWriter();

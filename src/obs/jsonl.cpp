@@ -7,9 +7,10 @@
 
 namespace tgc::obs {
 
-JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
+JsonlWriter::JsonlWriter(const std::string& path, bool append)
+    : path_(path) {
   errno = 0;
-  out_.open(path);
+  out_.open(path, append ? std::ios::out | std::ios::app : std::ios::out);
   if (!out_.is_open()) capture_error("cannot open");
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "tgcover/obs/obs.hpp"
+#include "tgcover/obs/profile.hpp"
+
 namespace tgc::util {
 
 /// Shared state of one parallel_for call. Lives on the caller's stack; the
@@ -45,11 +48,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_job(Job& job, unsigned worker) {
+  // One profiling gate per job, not per chunk: an unprofiled run pays a
+  // single relaxed load here and nothing inside the chunk loop.
+  const bool profiled = obs::profile_active();
   for (;;) {
     const std::size_t start =
         job.begin + job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
     if (start >= job.end) break;
     const std::size_t stop = std::min(start + job.chunk, job.end);
+    const std::uint64_t t0 = profiled ? obs::now_ns() : 0;
     for (std::size_t i = start; i < stop; ++i) {
       try {
         (*job.body)(i, worker);
@@ -60,13 +67,20 @@ void ThreadPool::run_job(Job& job, unsigned worker) {
         // caller expects the pool quiescent when parallel_for returns.
       }
     }
+    if (profiled) obs::profile_task(t0, obs::now_ns() - t0, stop - start);
   }
 }
 
 void ThreadPool::worker_loop(unsigned worker) {
+  // This thread IS pool lane `worker` for the execution profiler: one
+  // thread-local store, after which every profiled chunk lands in this
+  // worker's single-writer ring.
+  obs::profile_set_lane(worker);
   std::uint64_t seen_generation = 0;
   for (;;) {
     Job* job = nullptr;
+    const bool profiled = obs::profile_active();
+    const std::uint64_t wait_start = profiled ? obs::now_ns() : 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [&] {
@@ -75,6 +89,11 @@ void ThreadPool::worker_loop(unsigned worker) {
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
+    }
+    if (profiled) {
+      // The dequeue wait that just ended: ramp-up before the first job, or
+      // the gap between fork-join generations.
+      obs::profile_idle(wait_start, obs::now_ns() - wait_start);
     }
     run_job(*job, worker);
     {
@@ -101,7 +120,12 @@ void ThreadPool::parallel_for_chunked(
 
   if (threads_.empty()) {
     // Serial pool: no handshake, no chunking — but the same drain-then-throw
-    // contract as the threaded path, so callers see one behaviour.
+    // contract as the threaded path, so callers see one behaviour. Profiled,
+    // the whole range is one task + one fork on the caller's lane (which is
+    // the fleet worker's own lane when a campaign cell runs its inner
+    // single-threaded pool), so serial profiles stay comparable.
+    const bool profiled = obs::profile_active();
+    const std::uint64_t t0 = profiled ? obs::now_ns() : 0;
     std::exception_ptr error;
     for (std::size_t i = begin; i < end; ++i) {
       try {
@@ -109,6 +133,11 @@ void ThreadPool::parallel_for_chunked(
       } catch (...) {
         if (!error) error = std::current_exception();
       }
+    }
+    if (profiled) {
+      const std::uint64_t t1 = obs::now_ns();
+      obs::profile_task(t0, t1 - t0, end - begin);
+      obs::profile_fork(t0, t1 - t0, end - begin);
     }
     if (error) std::rethrow_exception(error);
     return;
@@ -120,6 +149,8 @@ void ThreadPool::parallel_for_chunked(
   job.chunk = std::max<std::size_t>(1, chunk);
   job.body = &body;
 
+  const bool profiled = obs::profile_active();
+  const std::uint64_t fork_start = profiled ? obs::now_ns() : 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;
@@ -130,10 +161,18 @@ void ThreadPool::parallel_for_chunked(
 
   run_job(job, 0);  // the caller is worker 0
 
+  const std::uint64_t barrier_start = profiled ? obs::now_ns() : 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     work_done_.wait(lock, [&] { return busy_ == 0; });
     job_ = nullptr;
+  }
+  if (profiled) {
+    // Barrier stall: the caller ran out of chunks and waited for peers to
+    // drain theirs. Fork: the whole region, handshake to quiescence.
+    const std::uint64_t t1 = obs::now_ns();
+    obs::profile_barrier(barrier_start, t1 - barrier_start);
+    obs::profile_fork(fork_start, t1 - fork_start, end - begin);
   }
   if (job.error) std::rethrow_exception(job.error);
 }

@@ -274,5 +274,99 @@ TEST_F(FleetFixture, CompareSaveAndAgainstLastRoundTrip) {
   EXPECT_NE(out.find("saved baseline"), std::string::npos);
 }
 
+// ------------------------------------------------------------------ resume
+
+TEST_F(FleetFixture, ResumeSkipsOkCellsAndAppendsOnlyTheMissing) {
+  std::string out;
+  ASSERT_EQ(run({"fleet", "--models", "udg", "--nodes", "40,50", "--degrees",
+                 "10", "--taus", "3", "--seeds", "1,2", "--no-progress",
+                 "--out", sink_.c_str()},
+                &out),
+            0)
+      << out;
+  const FleetSink full = load_fleet_sink(sink_);
+  ASSERT_EQ(full.runs.size(), 4u);
+
+  // Simulate a killed campaign: drop the last two run records (keep the
+  // manifest header + two ok rows), then resume.
+  {
+    std::ifstream in(sink_);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 5u);  // manifest + 4 runs
+    std::ofstream trunc(sink_, std::ios::trunc);
+    for (std::size_t i = 0; i < 3; ++i) trunc << lines[i] << "\n";
+  }
+  ASSERT_EQ(run({"fleet", "--models", "udg", "--nodes", "40,50", "--degrees",
+                 "10", "--taus", "3", "--seeds", "1,2", "--no-progress",
+                 "--resume", "--out", sink_.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("2 of 4 cells already ok, 2 to run"), std::string::npos)
+      << out;
+
+  const FleetSink resumed = load_fleet_sink(sink_);
+  ASSERT_EQ(resumed.runs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(resumed.runs[i].u64("run"), i);
+    EXPECT_EQ(resumed.runs[i].text("status"), "ok");
+  }
+  // The original manifest header survives the append (exactly one header).
+  std::size_t manifests = 0;
+  std::ifstream in(sink_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"manifest\"") != std::string::npos) ++manifests;
+  }
+  EXPECT_EQ(manifests, 1u);
+
+  // Resuming a complete sink runs nothing and leaves it untouched.
+  const std::string before = read_file(sink_);
+  ASSERT_EQ(run({"fleet", "--models", "udg", "--nodes", "40,50", "--degrees",
+                 "10", "--taus", "3", "--seeds", "1,2", "--no-progress",
+                 "--resume", "--out", sink_.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("4 of 4 cells already ok, 0 to run"), std::string::npos)
+      << out;
+  EXPECT_EQ(read_file(sink_), before);
+}
+
+TEST_F(FleetFixture, ResumeRefusesASinkFromADifferentGrid) {
+  std::string out;
+  ASSERT_EQ(run({"fleet", "--models", "udg", "--nodes", "40", "--degrees",
+                 "10", "--taus", "3", "--seeds", "1", "--no-progress",
+                 "--out", sink_.c_str()},
+                &out),
+            0)
+      << out;
+  EXPECT_EQ(run({"fleet", "--models", "udg", "--nodes", "40", "--degrees",
+                 "10", "--taus", "3", "--seeds", "1,2", "--no-progress",
+                 "--resume", "--out", sink_.c_str()},
+                &out),
+            1);
+  EXPECT_NE(out.find("different campaign"), std::string::npos) << out;
+  EXPECT_NE(out.find("cfg_seeds"), std::string::npos) << out;
+}
+
+TEST_F(FleetFixture, LoadFleetSinkKeepsTheLastRecordPerRunId) {
+  {
+    std::ofstream f(sink_);
+    f << "{\"run\":1,\"status\":\"failed\",\"error\":\"boom\"}\n"
+      << "{\"run\":0,\"status\":\"ok\",\"survivors\":7}\n"
+      << "{\"run\":1,\"status\":\"ok\",\"survivors\":9}\n";
+  }
+  const FleetSink sink = load_fleet_sink(sink_);
+  ASSERT_EQ(sink.runs.size(), 2u);
+  EXPECT_EQ(sink.runs[0].u64("run"), 0u);
+  EXPECT_EQ(sink.runs[1].u64("run"), 1u);
+  // The re-run row (later in file order) supersedes the failed one.
+  EXPECT_EQ(sink.runs[1].text("status"), "ok");
+  EXPECT_EQ(sink.runs[1].u64("survivors"), 9u);
+}
+
 }  // namespace
 }  // namespace tgc::app

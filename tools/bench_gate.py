@@ -25,6 +25,13 @@ loss, seed), and the gated columns additionally include `status`,
 `survivors`, and `schedule_digest` — all machine-independent, so two sinks
 from the same build and grid must agree exactly. `wall_ms` stays advisory.
 
+With --profile, both inputs are `--profile-out` JSONL sinks: rows are the
+phase_summary lines keyed by phase, `items` (work units processed per
+phase) and the header's `rounds` gate exactly, and `tasks` (chunk count)
+gates only when both sinks report the same worker count — the serial
+inline path records one task per fork while pooled execution records one
+per chunk. Per-phase busy time folds into the advisory `seconds` column.
+
 Stdlib only. Exit codes: 0 ok, 1 logical regression, 2 usage/IO error.
 With --advisory, even logical regressions are reported but the exit code
 stays 0 (used on PR builds; pushes to main hard-fail).
@@ -44,6 +51,8 @@ LOGICAL_FIELDS = (
 )
 
 FLEET_FIELDS = LOGICAL_FIELDS + ("status", "survivors", "schedule_digest")
+
+PROFILE_FIELDS = ("items",)
 
 
 def load(path):
@@ -80,6 +89,56 @@ def load_fleet(path):
         print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
     return {"bench": "fleet", "results": rows}
+
+
+def load_profile(path):
+    """Reads a --profile-out JSONL sink into the bench-JSON shape.
+
+    The per-phase summaries become the result rows (busy time folded into
+    the advisory `seconds` column); the profile_header contributes the
+    worker count and the exactly-gated round count.
+    """
+    header = None
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(obj, dict):
+                    continue
+                if obj.get("type") == "profile_header":
+                    header = obj
+                elif obj.get("type") == "phase_summary":
+                    obj["seconds"] = float(obj.get("busy_ns", 0)) / 1e9
+                    rows.append(obj)
+    except OSError as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if header is None:
+        print(f"bench_gate: {path} has no profile_header line "
+              "(produce one with --profile-out)", file=sys.stderr)
+        sys.exit(2)
+    return {
+        "bench": "profile",
+        "workers": header.get("workers"),
+        "rounds": header.get("rounds"),
+        "hardware_concurrency": header.get("hardware_concurrency"),
+        "results": rows,
+    }
+
+
+def profile_row_key(row):
+    return (row.get("phase"),)
+
+
+def fmt_profile_key(key):
+    return f"phase {key[0]}"
 
 
 def row_key(row):
@@ -129,12 +188,38 @@ def main():
         action="store_true",
         help="inputs are tgcover fleet JSONL sinks, keyed by grid cell",
     )
+    ap.add_argument(
+        "--profile",
+        action="store_true",
+        help="inputs are --profile-out JSONL sinks, keyed by phase",
+    )
     args = ap.parse_args()
+    if args.fleet and args.profile:
+        print("bench_gate: --fleet and --profile are mutually exclusive",
+              file=sys.stderr)
+        sys.exit(2)
 
+    pre_failures = []
     if args.fleet:
         baseline = load_fleet(args.baseline)
         fresh = load_fleet(args.fresh)
         key_of, fmt, gated = fleet_row_key, fmt_fleet_key, FLEET_FIELDS
+    elif args.profile:
+        baseline = load_profile(args.baseline)
+        fresh = load_profile(args.fresh)
+        key_of, fmt, gated = profile_row_key, fmt_profile_key, PROFILE_FIELDS
+        if baseline.get("rounds") != fresh.get("rounds"):
+            pre_failures.append(
+                f"rounds {fresh.get('rounds')} != baseline "
+                f"{baseline.get('rounds')} (machine-independent — this is a "
+                f"behaviour change, not noise)")
+        if baseline.get("workers") == fresh.get("workers"):
+            gated = gated + ("tasks",)
+        else:
+            print("bench_gate: worker counts differ "
+                  f"(baseline {baseline.get('workers')}, fresh "
+                  f"{fresh.get('workers')}) — per-phase task counts follow "
+                  "chunk scheduling and are not gated; items still are")
     else:
         baseline = load(args.baseline)
         fresh = load(args.fresh)
@@ -154,7 +239,7 @@ def main():
         print("bench_gate: baseline has no result rows", file=sys.stderr)
         sys.exit(2)
 
-    failures = []
+    failures = list(pre_failures)
     advisories = []
     skipped_fields = set()
     # Speedup columns recorded on a single-core host never exercised real
@@ -186,7 +271,12 @@ def main():
                 )
         base_s = float(base.get("seconds", 0.0))
         fresh_s = float(fresh_row.get("seconds", 0.0))
-        ratio = fresh_s / base_s if base_s > 0 else float("inf")
+        if base_s > 0:
+            ratio = fresh_s / base_s
+        else:
+            # Both zero (an idle profile phase) is a clean 1.0, not "inf
+            # slower"; work appearing where the baseline had none is inf.
+            ratio = 1.0 if fresh_s == 0 else float("inf")
         slow = ratio > args.tolerance
         if slow:
             advisories.append(
