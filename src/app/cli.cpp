@@ -10,9 +10,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <set>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -20,6 +22,7 @@
 
 #include "tgcover/app/compare.hpp"
 #include "tgcover/app/fleet.hpp"
+#include "tgcover/app/node_report.hpp"
 #include "tgcover/app/profile_report.hpp"
 #include "tgcover/app/report.hpp"
 #include "tgcover/app/rounds.hpp"
@@ -40,6 +43,7 @@
 #include "tgcover/obs/jsonl.hpp"
 #include "tgcover/obs/log.hpp"
 #include "tgcover/obs/manifest.hpp"
+#include "tgcover/obs/node_stats.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
@@ -306,6 +310,87 @@ void begin_profile(const std::string& path, unsigned threads) {
   return true;
 }
 
+// --------------------------------------------------------- node telemetry
+
+/// --node-telemetry-out plus the radio energy model knobs (DESIGN.md §14).
+/// The energy costs deliberately stay OUT of the manifest's semantic keys:
+/// they shape only the telemetry stream itself (recorded in its header
+/// line), so schedules, cost streams, and traces remain byte-identical
+/// whether telemetry is armed or not.
+struct NodeTelemetryOptions {
+  std::string path;
+  obs::EnergyModel energy;
+};
+
+NodeTelemetryOptions declare_node_telemetry_options(util::ArgParser& args) {
+  NodeTelemetryOptions opts;
+  opts.path = args.get_string(
+      "node-telemetry-out", "",
+      "write per-node network/energy telemetry JSONL here (per-round node "
+      "records, link matrix, per-node summaries, talkers, Gini; render with "
+      "`tgcover node-report`)");
+  opts.energy.tx_cost = args.get_double(
+      "energy-tx", opts.energy.tx_cost,
+      "energy charged per message transmitted (incl. lost/dropped)");
+  opts.energy.rx_cost = args.get_double(
+      "energy-rx", opts.energy.rx_cost, "energy charged per message received");
+  opts.energy.idle_cost = args.get_double(
+      "energy-idle", opts.energy.idle_cost,
+      "energy charged per round a node stays active");
+  return opts;
+}
+
+/// Creates the collector and binds it to this (the driving) thread. Returns
+/// nullptr and binds nothing when --node-telemetry-out was not given, so an
+/// unarmed run pays only the engines' thread_local null checks.
+std::unique_ptr<obs::NodeTelemetry> begin_node_telemetry(
+    const NodeTelemetryOptions& opts, std::size_t num_nodes) {
+  if (opts.path.empty()) return nullptr;
+  auto telemetry = std::make_unique<obs::NodeTelemetry>(num_nodes, opts.energy);
+  obs::set_node_telemetry(telemetry.get());
+  return telemetry;
+}
+
+/// Unbinds, finalizes, and writes the telemetry sink (embedded manifest
+/// line first, sidecar after). `positions` may be empty (no spatial overlay
+/// in the report then).
+[[nodiscard]] bool emit_node_telemetry(
+    const NodeTelemetryOptions& opts, obs::NodeTelemetry* telemetry,
+    std::span<const obs::NodePosition> positions,
+    const obs::RunManifest& manifest, std::ostream& out) {
+  if (telemetry == nullptr) return true;
+  obs::set_node_telemetry(nullptr);
+  telemetry->finalize();
+  obs::JsonlWriter w(opts.path);
+  if (w.ok()) {
+    w.stream() << obs::manifest_header_line(manifest) << "\n";
+    obs::write_node_telemetry_jsonl(*telemetry, positions, w.stream());
+  }
+  if (!w.close()) {
+    TGC_LOG(kError) << "node-telemetry sink failed"
+                    << obs::kv("error", w.error());
+    return false;
+  }
+  if (!write_manifest_sidecar(manifest, opts.path)) return false;
+  const obs::NodeTelemetrySummary& s = telemetry->summary();
+  out << "wrote node telemetry (" << telemetry->num_nodes() << " nodes, "
+      << s.rounds << " rounds, gini "
+      << util::Table::num(s.traffic_gini, 3) << ", max node energy "
+      << util::Table::num(s.max_node_energy, 2) << " at node "
+      << s.max_energy_node << ") to " << opts.path << "\n";
+  return true;
+}
+
+/// Positions of a loaded deployment in exporter form.
+std::vector<obs::NodePosition> node_positions_of(const gen::Deployment& dep) {
+  std::vector<obs::NodePosition> positions;
+  positions.reserve(dep.positions.size());
+  for (const geom::Point& p : dep.positions) {
+    positions.push_back(obs::NodePosition{p.x, p.y});
+  }
+  return positions;
+}
+
 int cmd_generate(util::ArgParser& args, std::ostream& out) {
   const std::string type =
       args.get_string("type", "udg", "workload type: udg | quasi | strip");
@@ -557,6 +642,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
   const std::string profile_path = declare_profile_option(args);
+  const NodeTelemetryOptions nt_opts = declare_node_telemetry_options(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest = make_manifest(
@@ -584,6 +670,8 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
 
   if (tracing) obs::trace_begin();
   begin_profile(profile_path, threads);
+  const std::unique_ptr<obs::NodeTelemetry> telemetry =
+      begin_node_telemetry(nt_opts, net.dep.graph.num_vertices());
   core::DccDistributedResult result;
   if (async) {
     core::DccAsyncOptions options;
@@ -599,6 +687,10 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
                                             config);
   }
   if (!emit_profile(profile_path, manifest, out)) return 1;
+  if (!emit_node_telemetry(nt_opts, telemetry.get(),
+                           node_positions_of(net.dep), manifest, out)) {
+    return 1;
+  }
   const std::vector<obs::TraceEvent> events =
       tracing ? obs::trace_end() : std::vector<obs::TraceEvent>{};
 
@@ -671,6 +763,7 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
   const std::string profile_path = declare_profile_option(args);
+  const NodeTelemetryOptions nt_opts = declare_node_telemetry_options(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest = make_manifest(
@@ -689,9 +782,15 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
   begin_profile(profile_path, threads);
+  const std::unique_ptr<obs::NodeTelemetry> telemetry =
+      begin_node_telemetry(nt_opts, net.dep.graph.num_vertices());
   const core::RepairResult result = core::dcc_repair(
       net.dep.graph, net.internal, active, failed, net.cb, config);
   if (!emit_profile(profile_path, manifest, out)) return 1;
+  if (!emit_node_telemetry(nt_opts, telemetry.get(),
+                           node_positions_of(net.dep), manifest, out)) {
+    return 1;
+  }
   collector.finalize(static_cast<std::uint64_t>(
       std::count(result.active.begin(), result.active.end(), true)));
   if (!emit_metrics(metrics, collector, manifest, out)) return 1;
@@ -974,6 +1073,9 @@ int cmd_fleet(util::ArgParser& args, std::ostream& out) {
       "skip grid cells already recorded ok in the sink and append only the "
       "missing or failed ones (refuses a sink from a different grid)");
   const std::string profile_path = declare_profile_option(args);
+  const NodeTelemetryOptions nt_opts = declare_node_telemetry_options(args);
+  opts.node_telemetry_out = nt_opts.path;
+  opts.energy = nt_opts.energy;
   configure_logging(args);
   args.finish();
 
@@ -997,6 +1099,10 @@ int cmd_fleet(util::ArgParser& args, std::ostream& out) {
   const int rc = run_fleet(opts, manifest, out);
   if (!emit_profile(profile_path, manifest, out)) return 1;
   if (!write_manifest_sidecar(manifest, opts.sink_path)) return 1;
+  if (!opts.node_telemetry_out.empty() &&
+      !write_manifest_sidecar(manifest, opts.node_telemetry_out)) {
+    return 1;
+  }
   return rc;
 }
 
@@ -1048,6 +1154,42 @@ int cmd_profile_report(util::ArgParser& args, std::ostream& out) {
     }
     out << "wrote Chrome trace to " << chrome_out << "\n";
   }
+  return 0;
+}
+
+int cmd_node_report(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path =
+      args.get_string("in", "node_telemetry.jsonl",
+                      "node telemetry JSONL sink (from --node-telemetry-out)");
+  const std::string out_path =
+      args.get_string("out", "nodes.html", "output HTML dashboard");
+  const std::string title = args.get_string(
+      "title", "tgcover node telemetry", "report headline");
+  configure_logging(args);
+  args.finish();
+
+  const NodeTelemetryLoad load = load_node_telemetry(in_path);
+  if (!load.error.empty()) {
+    out << "error: " << load.error << "\n";
+    return 1;
+  }
+  if (load.skipped > 0) {
+    TGC_LOG(kWarn) << "node telemetry sink has unreadable lines"
+                   << obs::kv("skipped", load.skipped);
+  }
+
+  const std::string html = render_node_report_html(load, title);
+  std::ofstream f(out_path, std::ios::binary);
+  f << html;
+  f.flush();
+  if (!f.good()) {
+    TGC_LOG(kError) << "report sink failed" << obs::kv("path", out_path);
+    out << "error: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  out << "wrote node report (" << load.nodes << " nodes, " << load.rounds
+      << " rounds, " << load.round_records.size() << " round records) to "
+      << out_path << "\n";
   return 0;
 }
 
@@ -1304,6 +1446,14 @@ void print_help(std::ostream& out) {
          "                 (profile-report [SINK] [--in FILE] [--out"
          " profile.html]\n"
          "                 [--chrome-out FILE] re-exports for Perfetto)\n"
+         "  node-report    render a --node-telemetry-out sink as a spatial"
+         " hotspot HTML\n"
+         "                 dashboard: deployment overlays shaded by traffic"
+         " and energy,\n"
+         "                 link-matrix heatmap, per-round convergence"
+         " timelines, top\n"
+         "                 talkers (node-report [SINK] [--in FILE]"
+         " [--out nodes.html])\n"
          "  scale          honest scaling harness: re-run one config at"
          " --threads 1,2,..\n"
          "                 (ladder starts at 1), hard-fail unless every rung"
@@ -1344,6 +1494,13 @@ void print_help(std::ostream& out) {
          "task/idle/barrier timelines, phase totals, and memory telemetry;"
          " render with\n"
          "`tgcover profile-report`).\n"
+         "distributed / repair / fleet accept --node-telemetry-out FILE"
+         " (per-node\n"
+         "traffic, synchronizer backlog, and radio-energy telemetry;"
+         " --energy-tx /\n"
+         "--energy-rx / --energy-idle set the radio model; render with"
+         " `tgcover\n"
+         "node-report`).\n"
          "every command accepts --log-level debug|info|warn|error|off,"
          " --log-out FILE,\n"
          "and --flight N (keep the last N log lines per thread for crash"
@@ -1377,7 +1534,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   int first = 2;
   if ((command == "stats" || command == "trace-analyze" ||
        command == "report" || command == "fleet-report" ||
-       command == "profile-report") &&
+       command == "profile-report" || command == "node-report") &&
       argc > 2 && argv[2][0] != '-') {
     rest.push_back(command == "report" ? "--rounds" : "--in");
     rest.push_back(argv[2]);
@@ -1408,6 +1565,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "fleet") return cmd_fleet(args, out);
   if (command == "fleet-report") return cmd_fleet_report(args, out);
   if (command == "profile-report") return cmd_profile_report(args, out);
+  if (command == "node-report") return cmd_node_report(args, out);
   if (command == "scale") return cmd_scale(args, out);
   if (command == "compare") {
     return cmd_compare(std::move(compare_paths), args, out);

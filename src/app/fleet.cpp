@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <set>
@@ -349,6 +350,12 @@ struct RunOutcome {
   obs::CostVec cost;
   std::uint64_t wall_ns = 0;
   unsigned worker = 0;
+  /// Set when the campaign armed --node-telemetry-out: the hotspot columns
+  /// for this record plus the compact per-run lines for the telemetry sink.
+  bool has_telemetry = false;
+  double max_node_energy = 0.0;
+  double traffic_gini = 0.0;
+  std::string telemetry_block;
 };
 
 std::string record_line(const FleetCell& cell, const RunOutcome& r,
@@ -374,17 +381,38 @@ std::string record_line(const FleetCell& cell, const RunOutcome& r,
     os << ",\"" << obs::counter_name(static_cast<obs::CounterId>(i))
        << "\":" << r.cost.units[i];
   }
-  os << ",\"logical_cost\":" << obs::logical_cost(r.cost)
-     << ",\"wall_ms\":" << f6(static_cast<double>(r.wall_ns) / 1e6)
+  os << ",\"logical_cost\":" << obs::logical_cost(r.cost);
+  if (r.has_telemetry) {
+    // Hotspot columns exist only on telemetry-armed campaigns, so unarmed
+    // sinks stay byte-identical to pre-telemetry builds and the fleet gate's
+    // column set is unchanged.
+    os << ",\"max_node_energy\":" << f6(r.max_node_energy)
+       << ",\"traffic_gini\":" << f6(r.traffic_gini);
+  }
+  os << ",\"wall_ms\":" << f6(static_cast<double>(r.wall_ns) / 1e6)
      << ",\"worker\":" << r.worker << "}";
   return os.str();
 }
+
+/// RAII thread-local collector binding: a throwing cell must never leave a
+/// dangling NodeTelemetry bound to its pool worker, where the next cell on
+/// that lane would record into freed memory.
+class ScopedNodeTelemetry {
+ public:
+  explicit ScopedNodeTelemetry(obs::NodeTelemetry* telemetry) {
+    obs::set_node_telemetry(telemetry);
+  }
+  ~ScopedNodeTelemetry() { obs::set_node_telemetry(nullptr); }
+  ScopedNodeTelemetry(const ScopedNodeTelemetry&) = delete;
+  ScopedNodeTelemetry& operator=(const ScopedNodeTelemetry&) = delete;
+};
 
 /// Executes one cell on the calling pool worker. Single-threaded by design:
 /// the cross-run parallelism lives in the fleet pool, and a single-threaded
 /// run means the calling thread's cost-shard delta captures exactly this
 /// run's work (obs::local_cost_totals).
-RunOutcome execute_cell(const FleetCell& cell, const FleetSpec& spec) {
+RunOutcome execute_cell(const FleetCell& cell, const FleetSpec& spec,
+                        const FleetOptions& opts) {
   RunOutcome r;
   const obs::CostVec before = obs::local_cost_totals();
   GenSpec g;
@@ -399,6 +427,16 @@ RunOutcome execute_cell(const FleetCell& cell, const FleetSpec& spec) {
       core::prepare_network(generate_deployment(g), spec.band);
   r.graph_nodes = net.dep.graph.num_vertices();
   r.graph_edges = net.dep.graph.num_edges();
+
+  // Per-cell collector on this worker's thread_local binding: cells run
+  // whole on one pool lane with num_threads=1, so concurrent cells never
+  // share a collector.
+  std::unique_ptr<obs::NodeTelemetry> telemetry;
+  if (!opts.node_telemetry_out.empty()) {
+    telemetry = std::make_unique<obs::NodeTelemetry>(r.graph_nodes,
+                                                     opts.energy);
+  }
+  const ScopedNodeTelemetry binding(telemetry.get());
 
   core::DccConfig config;
   config.tau = cell.tau;
@@ -422,6 +460,15 @@ RunOutcome execute_cell(const FleetCell& cell, const FleetSpec& spec) {
     r.survivors = s.result.survivors;
     r.rounds = s.result.rounds;
     r.schedule_digest = io::mask_digest(s.result.active);
+  }
+  if (telemetry != nullptr) {
+    telemetry->finalize();
+    r.has_telemetry = true;
+    r.max_node_energy = telemetry->summary().max_node_energy;
+    r.traffic_gini = telemetry->summary().traffic_gini;
+    std::ostringstream block;
+    obs::write_node_summary_jsonl(*telemetry, cell.run, block);
+    r.telemetry_block = block.str();
   }
   r.cost = obs::local_cost_totals() - before;
   r.ok = true;
@@ -502,10 +549,17 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
                   cells.end());
       resumed = grid_size - cells.size();
       append = true;
+      if (cells.empty()) {
+        // Every cell is already recorded ok: say so plainly and stop before
+        // the progress machinery — a 0-cell campaign has no ETA to print
+        // and nothing to append.
+        out << "fleet: nothing to do — all " << grid_size << " cells in '"
+            << opts.sink_path << "' are already ok\n";
+        return 0;
+      }
       out << "fleet: resuming '" << opts.sink_path << "' — " << resumed
           << " of " << grid_size << " cells already ok, " << cells.size()
           << " to run\n";
-      if (cells.empty()) return 0;
     }
     // An absent or unreadable sink means there is nothing to resume; fall
     // through to a fresh campaign that creates it.
@@ -526,6 +580,23 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
   // verified identical.
   if (!append) sink.stream() << obs::manifest_header_line(manifest) << "\n";
 
+  // The optional shared per-node telemetry sink rides the same append /
+  // header discipline as the main sink.
+  std::unique_ptr<obs::JsonlWriter> telemetry_sink;
+  if (!opts.node_telemetry_out.empty()) {
+    telemetry_sink =
+        std::make_unique<obs::JsonlWriter>(opts.node_telemetry_out, append);
+    if (!telemetry_sink->ok()) {
+      TGC_LOG(kError) << "fleet telemetry sink failed"
+                      << obs::kv("error", telemetry_sink->error());
+      out << "error: cannot write '" << opts.node_telemetry_out << "'\n";
+      return 1;
+    }
+    if (!append) {
+      telemetry_sink->stream() << obs::manifest_header_line(manifest) << "\n";
+    }
+  }
+
   std::mutex mu;  // sink stream + progress counters
   std::size_t done = 0;
   std::size_t failed = 0;
@@ -538,7 +609,7 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
         RunOutcome r;
         const std::uint64_t start = obs::now_ns();
         try {
-          r = execute_cell(cell, opts.spec);
+          r = execute_cell(cell, opts.spec, opts);
         } catch (const std::exception& e) {
           r.ok = false;
           r.error = e.what();
@@ -550,6 +621,9 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
 
         std::lock_guard<std::mutex> lock(mu);
         sink.stream() << line << "\n";
+        if (telemetry_sink != nullptr && !r.telemetry_block.empty()) {
+          telemetry_sink->stream() << r.telemetry_block;
+        }
         ++done;
         if (!r.ok) {
           ++failed;
@@ -578,9 +652,16 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
       });
   if (opts.progress == FleetProgress::kTty) std::cerr << "\n";
 
-  const bool sink_ok = sink.close();
+  bool sink_ok = sink.close();
   if (!sink_ok) {
     TGC_LOG(kError) << "fleet sink failed" << obs::kv("error", sink.error());
+  }
+  if (telemetry_sink != nullptr && !telemetry_sink->close()) {
+    TGC_LOG(kError) << "fleet telemetry sink failed"
+                    << obs::kv("error", telemetry_sink->error());
+    out << "error: sink '" << opts.node_telemetry_out
+        << "' failed: " << telemetry_sink->error() << "\n";
+    sink_ok = false;
   }
 
   if (opts.progress != FleetProgress::kOff) {
@@ -599,7 +680,11 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
   if (resumed > 0) out << " (+" << resumed << " resumed)";
   if (failed > 0) out << " (" << failed << " FAILED)";
   out << " over " << pool.num_workers() << " workers; wrote "
-      << opts.sink_path << "\n";
+      << opts.sink_path;
+  if (!opts.node_telemetry_out.empty()) {
+    out << " (+node telemetry " << opts.node_telemetry_out << ")";
+  }
+  out << "\n";
   if (!sink_ok) {
     out << "error: sink '" << opts.sink_path << "' failed: " << sink.error()
         << "\n";

@@ -10,6 +10,7 @@
 #include "tgcover/gen/deployments.hpp"
 #include "tgcover/obs/jsonl.hpp"
 #include "tgcover/obs/manifest.hpp"
+#include "tgcover/obs/node_stats.hpp"
 
 /// `tgcover fleet`: one process, many networks. Expands a parameter grid
 /// (model × n × degree × τ × loss × seed) into individual scheduling runs,
@@ -99,6 +100,13 @@ struct FleetOptions {
   /// previously-failed cells. Refuses a sink whose embedded manifest
   /// describes a different grid.
   bool resume = false;
+  /// Non-empty arms per-node telemetry for every cell: each run's compact
+  /// node_summary/telemetry_summary lines (tagged with the run id) stream
+  /// into this shared manifest-headed JSONL sink, and the main sink records
+  /// gain max_node_energy / traffic_gini columns. Empty keeps cells on the
+  /// unarmed zero-cost path.
+  std::string node_telemetry_out;
+  obs::EnergyModel energy;  ///< radio model for armed cells
 };
 
 /// Runs the campaign: expands the grid in deterministic row-major order

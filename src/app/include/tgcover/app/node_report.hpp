@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tgcover/obs/jsonl.hpp"
+#include "tgcover/obs/node_stats.hpp"
+
+namespace tgc::app {
+
+/// A --node-telemetry-out JSONL stream read back into memory: the embedded
+/// manifest line, the telemetry header, optional node positions, per-round
+/// node records, link rows, per-node summaries, the talker ranking, and the
+/// closing summary. `error` non-empty means the file was unusable (missing
+/// header, unreadable); malformed lines only bump `skipped` (a killed run
+/// truncates its tail).
+struct NodeTelemetryLoad {
+  std::optional<obs::JsonRecord> manifest;
+  std::size_t nodes = 0;
+  std::uint64_t rounds = 0;
+  obs::EnergyModel energy;
+  /// Node positions, index = node id; empty when the stream carried none.
+  std::vector<obs::NodePosition> positions;
+  bool has_positions = false;
+  std::vector<obs::JsonRecord> round_records;  ///< type node_round
+  std::vector<obs::JsonRecord> links;          ///< type link
+  std::vector<obs::JsonRecord> node_summaries; ///< type node_summary, id asc
+  std::vector<obs::JsonRecord> talkers;        ///< type talker, rank asc
+  std::optional<obs::JsonRecord> summary;      ///< type telemetry_summary
+  std::size_t skipped = 0;
+  std::string error;
+};
+
+NodeTelemetryLoad load_node_telemetry(const std::string& path);
+
+/// The spatial hotspot dashboard: summary tiles (traffic totals, Gini, max
+/// node energy), deployment overlays with nodes shaded by traffic and by
+/// energy (when positions are present), the bucketed link-matrix heatmap,
+/// per-round traffic/backlog/energy timelines, and the hottest-node table.
+/// Byte-deterministic for a given input file (fixed precision, no clocks,
+/// no unordered iteration).
+std::string render_node_report_html(const NodeTelemetryLoad& load,
+                                    const std::string& title);
+
+}  // namespace tgc::app

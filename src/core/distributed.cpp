@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "tgcover/obs/node_stats.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
@@ -114,6 +115,12 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     const obs::CostPhaseScope cost_phase(obs::CostPhase::kKhop);
     TracedPhase traced(runner, obs::TracePhase::kKhop);
     views = sim::collect_k_hop_views(runner, k);
+  }
+  if (obs::NodeTelemetry* const nt = obs::node_telemetry()) {
+    // Telemetry round 0 is the setup phase: the k-hop collection floods
+    // dominate a run's traffic and deserve their own bucket in the
+    // per-round stream rather than being folded into deletion round 1.
+    nt->end_round(runner.active());
   }
   std::size_t num_active = g.num_vertices();
 
@@ -237,6 +244,9 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     num_active -= num_selected;
     if (config.collector != nullptr) {
       config.collector->end_round(num_active, num_candidates, num_selected);
+    }
+    if (obs::NodeTelemetry* const nt = obs::node_telemetry()) {
+      nt->end_round(runner.active());
     }
     if (obs::profile_active()) {
       obs::profile_round(out.schedule.rounds);

@@ -4,6 +4,7 @@
 #include "tgcover/core/verdict_cache.hpp"
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/obs/log.hpp"
+#include "tgcover/obs/node_stats.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
@@ -177,6 +178,12 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
     num_active -= num_selected;
     if (config.collector != nullptr) {
       config.collector->end_round(num_active, num_candidates, num_selected);
+    }
+    if (obs::NodeTelemetry* const nt = obs::node_telemetry()) {
+      // The oracle sends no messages, so these rounds record idle-energy
+      // charges only — the lifetime baseline a distributed run is judged
+      // against.
+      nt->end_round(result.active);
     }
     if (obs::profile_active()) {
       obs::profile_round(result.rounds);

@@ -1,6 +1,7 @@
 #include "tgcover/sim/async.hpp"
 
 #include "tgcover/obs/log.hpp"
+#include "tgcover/obs/node_stats.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/trace.hpp"
 #include "tgcover/util/check.hpp"
@@ -34,6 +35,8 @@ void AsyncEngine::send(graph::VertexId from, graph::VertexId to,
   stats_.payload_words += payload.size();
   obs::add(obs::CounterId::kMessages, 1);
   obs::add(obs::CounterId::kPayloadWords, payload.size());
+  obs::NodeTelemetry* const nt = obs::node_telemetry();
+  if (nt != nullptr) nt->on_send(from, to, payload.size());
   const bool traced = obs::trace_active();
   std::uint64_t trace_id = 0;
   if (traced) {
@@ -42,6 +45,7 @@ void AsyncEngine::send(graph::VertexId from, graph::VertexId to,
                                now_);
   }
   if (!active_[to]) {
+    if (nt != nullptr) nt->on_drop(from, to);
     if (traced) {
       obs::trace_emit(obs::TraceKind::kDrop, to, from, type, 0, now_,
                       trace_id);
@@ -52,6 +56,7 @@ void AsyncEngine::send(graph::VertexId from, graph::VertexId to,
       rng_.bernoulli(options_.loss_probability)) {
     ++messages_lost_;  // transmitted into the noise
     obs::add(obs::CounterId::kMessagesLost, 1);
+    if (nt != nullptr) nt->on_loss(from, to);
     if (traced) {
       obs::trace_emit(obs::TraceKind::kLoss, from, to, type, 0, now_,
                       trace_id);
@@ -94,12 +99,17 @@ double AsyncEngine::run(const OnDeliver& handler) {
       ev.timer();
       continue;
     }
+    obs::NodeTelemetry* const nt = obs::node_telemetry();
     if (!active_[ev.msg.to]) {  // deactivated while in flight
+      if (nt != nullptr) nt->on_drop(ev.msg.from, ev.msg.to);
       if (traced) {
         obs::trace_emit(obs::TraceKind::kDrop, ev.msg.to, ev.msg.from,
                         ev.msg.type, 0, now_, ev.msg.trace_id);
       }
       continue;
+    }
+    if (nt != nullptr) {
+      nt->on_deliver(ev.msg.to, ev.msg.from, ev.msg.payload.size());
     }
     if (traced) {
       obs::trace_emit(obs::TraceKind::kDeliver, ev.msg.to, ev.msg.from,
@@ -238,6 +248,9 @@ void AlphaSynchronizer::transmit(std::uint64_t link, std::uint32_t round) {
     if (it == link_it->second.end() || it->second.acked) return;
     ++retransmissions_;
     obs::add(obs::CounterId::kRetransmissions, 1);
+    if (obs::NodeTelemetry* const nt = obs::node_telemetry()) {
+      nt->on_retransmit(it->second.from, it->second.to);
+    }
     if (obs::trace_active()) {
       obs::trace_emit(obs::TraceKind::kRetransmit, it->second.from,
                       it->second.to, 0, round, engine_->now());
@@ -352,6 +365,17 @@ void AlphaSynchronizer::run_rounds(std::size_t rounds,
     auto& bucket = pending_[msg.to][round];
     for (auto& m : msgs) bucket.push_back(std::move(m));
     ++got_[msg.to][round];
+    if (obs::NodeTelemetry* const nt = obs::node_telemetry()) {
+      // Synchronizer backlog: protocol messages buffered at the receiver
+      // waiting for its round frontier to advance. The map is bounded by
+      // the round slack (a few buckets), so summing here is cheap and only
+      // happens when telemetry is armed.
+      std::size_t depth = 0;
+      for (const auto& [r, buffered] : pending_[msg.to]) {
+        depth += buffered.size();
+      }
+      nt->on_backlog(msg.to, depth);
+    }
     try_advance(msg.to, handler);
   });
 

@@ -1,5 +1,6 @@
 #include "tgcover/sim/engine.hpp"
 
+#include "tgcover/obs/node_stats.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/trace.hpp"
 #include "tgcover/util/check.hpp"
@@ -28,6 +29,8 @@ class EngineMailer final : public Mailer {
     stats_->payload_words += payload.size();
     obs::add(obs::CounterId::kMessages, 1);
     obs::add(obs::CounterId::kPayloadWords, payload.size());
+    obs::NodeTelemetry* const nt = obs::node_telemetry();
+    if (nt != nullptr) nt->on_send(from_, to, payload.size());
     std::uint64_t trace_id = 0;
     if (obs::trace_active()) {
       // The logical clock of the synchronous engine is the round counter
@@ -41,7 +44,10 @@ class EngineMailer final : public Mailer {
                         trace_id);
       }
     }
-    if (!(*active_)[to]) return;  // transmitted into the void
+    if (!(*active_)[to]) {  // transmitted into the void
+      if (nt != nullptr) nt->on_drop(from_, to);
+      return;
+    }
     Message msg{from_, to, type, std::move(payload)};
     msg.trace_id = trace_id;
     (*next_inbox_)[to].push_back(std::move(msg));
@@ -73,6 +79,13 @@ RoundEngine::RoundEngine(const graph::Graph& g)
 void RoundEngine::deactivate(graph::VertexId v) {
   TGC_CHECK(v < active_.size());
   active_[v] = false;
+  if (obs::NodeTelemetry* const nt = obs::node_telemetry()) {
+    // Queued deliveries die with the radio: charge them to their senders as
+    // drops so the conservation ledger (sent = received + lost + dropped +
+    // undelivered) stays exact across mid-protocol deactivation.
+    for (const Message& m : inbox_[v]) nt->on_drop(m.from, v);
+    for (const Message& m : next_inbox_[v]) nt->on_drop(m.from, v);
+  }
   inbox_[v].clear();
   next_inbox_[v].clear();
   if (obs::trace_active()) {
@@ -90,9 +103,15 @@ void RoundEngine::run_round(const Handler& handler) {
     obs::trace_emit(obs::TraceKind::kEngineRound, obs::kTraceNoNode,
                     obs::kTraceNoNode, 0, round32, round);
   }
+  obs::NodeTelemetry* const nt = obs::node_telemetry();
   for (graph::VertexId v = 0; v < g_->num_vertices(); ++v) {
     if (!active_[v]) continue;
     EngineMailer mailer(*g_, active_, next_inbox_, stats_, v);
+    if (nt != nullptr) {
+      for (const Message& m : inbox_[v]) {
+        nt->on_deliver(v, m.from, m.payload.size());
+      }
+    }
     if (traced) {
       obs::trace_emit(obs::TraceKind::kHandlerBegin, v, obs::kTraceNoNode, 0,
                       round32, round);

@@ -142,6 +142,66 @@ TEST(Charts, HeatmapRendersMissingCellsHollow) {
   EXPECT_FALSE(contains(out.str(), "nan"));
 }
 
+// ------------------------------------------------------ degenerate inputs
+
+TEST(Charts, HeatmapEmptyMatrixRendersNothing) {
+  // Zero columns or rows (a telemetry stream with no link rows, a sink with
+  // no completed runs) must not divide by the axis size — the builder emits
+  // nothing rather than a 0-wide grid.
+  charts::HeatmapSpec spec;
+  spec.aria_label = "empty";
+  std::ostringstream out;
+  charts::heatmap(out, spec);
+  EXPECT_TRUE(out.str().empty());
+  spec.col_labels = {"3"};  // columns but no rows
+  charts::heatmap(out, spec);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Charts, HeatmapSingleRowFlatRangeIsFinite) {
+  // One row whose present cells all hold the same value: the color ramp has
+  // zero span, which must render mid-scale, never NaN/inf opacity.
+  charts::HeatmapSpec spec;
+  spec.aria_label = "flat";
+  spec.corner_label = "tau";
+  spec.col_labels = {"3", "4", "5"};
+  spec.row_labels = {"200"};
+  spec.values = {7.0, 7.0, 7.0};
+  spec.present = {1, 1, 1};
+  spec.cell_text = {"7", "7", "7"};
+  spec.titles = {"a", "b", "c"};
+  std::ostringstream out;
+  charts::heatmap(out, spec);
+  const std::string svg = out.str();
+  EXPECT_TRUE(contains(svg, "<svg"));
+  EXPECT_FALSE(contains(svg, "nan"));
+  EXPECT_FALSE(contains(svg, "inf"));
+  // Byte-deterministic on the degenerate path too.
+  std::ostringstream again;
+  charts::heatmap(again, spec);
+  EXPECT_EQ(svg, again.str());
+}
+
+TEST(Charts, SparklineDegenerateSeries) {
+  // Empty: a bare labeled svg, no polyline, no dot. One point: a dot at the
+  // chart center (no division by size-1). Flat: a mid-height line, no NaN.
+  const std::string empty = charts::sparkline({}, "no seeds");
+  EXPECT_TRUE(contains(empty, "<svg"));
+  EXPECT_FALSE(contains(empty, "polyline"));
+  EXPECT_FALSE(contains(empty, "circle"));
+
+  const std::string single = charts::sparkline({0.42}, "one seed");
+  EXPECT_FALSE(contains(single, "polyline"));
+  EXPECT_TRUE(contains(single, "circle"));
+  EXPECT_FALSE(contains(single, "nan"));
+
+  const std::string flat = charts::sparkline({1.0, 1.0, 1.0}, "flat");
+  EXPECT_TRUE(contains(flat, "polyline"));
+  EXPECT_FALSE(contains(flat, "nan"));
+  EXPECT_EQ(flat, charts::sparkline({1.0, 1.0, 1.0}, "flat"));
+  EXPECT_EQ(single, charts::sparkline({0.42}, "one seed"));
+}
+
 // ------------------------------------------------------ fleet sink loader
 
 class SinkFixture : public ::testing::Test {

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -322,7 +323,9 @@ TEST_F(FleetFixture, ResumeSkipsOkCellsAndAppendsOnlyTheMissing) {
   }
   EXPECT_EQ(manifests, 1u);
 
-  // Resuming a complete sink runs nothing and leaves it untouched.
+  // Resuming a complete sink runs nothing: one clean "nothing to do" line
+  // (no 0-cell resuming banner, no degenerate ETA), exit 0, and the sink is
+  // left byte-identical — not even reopened for append.
   const std::string before = read_file(sink_);
   ASSERT_EQ(run({"fleet", "--models", "udg", "--nodes", "40,50", "--degrees",
                  "10", "--taus", "3", "--seeds", "1,2", "--no-progress",
@@ -330,9 +333,71 @@ TEST_F(FleetFixture, ResumeSkipsOkCellsAndAppendsOnlyTheMissing) {
                 &out),
             0)
       << out;
-  EXPECT_NE(out.find("4 of 4 cells already ok, 0 to run"), std::string::npos)
-      << out;
+  EXPECT_NE(out.find("nothing to do"), std::string::npos) << out;
+  EXPECT_NE(out.find("all 4 cells"), std::string::npos) << out;
+  EXPECT_EQ(out.find("to run"), std::string::npos) << out;
+  EXPECT_EQ(out.find("eta"), std::string::npos) << out;
   EXPECT_EQ(read_file(sink_), before);
+}
+
+TEST_F(FleetFixture, NodeTelemetryStreamsIntoSharedSinkAndRecordColumns) {
+  const std::string nt = (dir_ / "nodes.jsonl").string();
+  std::string out;
+  ASSERT_EQ(run({"fleet", "--models", "udg", "--nodes", "40", "--degrees",
+                 "10", "--taus", "3", "--seeds", "1,2", "--no-progress",
+                 "--node-telemetry-out", nt.c_str(), "--out", sink_.c_str()},
+                &out),
+            0)
+      << out;
+  // Armed records carry the telemetry roll-up columns.
+  const FleetSink sink = load_fleet_sink(sink_);
+  ASSERT_EQ(sink.runs.size(), 2u);
+  for (const obs::JsonRecord& rec : sink.runs) {
+    EXPECT_TRUE(rec.has("max_node_energy"));
+    EXPECT_TRUE(rec.has("traffic_gini"));
+    EXPECT_GT(rec.number("max_node_energy"), 0.0);
+  }
+  // The shared telemetry sink: one manifest header, per-run node_summary
+  // rows tagged with the run id, one telemetry_summary per run.
+  std::ifstream in(nt);
+  std::string line;
+  std::size_t manifests = 0, summaries = 0, node_rows = 0;
+  std::set<std::uint64_t> runs_seen;
+  while (std::getline(in, line)) {
+    const auto rec = obs::parse_jsonl_line(line);
+    ASSERT_TRUE(rec.has_value()) << line;
+    if (rec->text("type") == "manifest") ++manifests;
+    if (rec->text("type") == "node_summary") {
+      ++node_rows;
+      runs_seen.insert(rec->u64("run"));
+    }
+    if (rec->text("type") == "telemetry_summary") ++summaries;
+  }
+  EXPECT_EQ(manifests, 1u);
+  EXPECT_EQ(summaries, 2u);
+  EXPECT_EQ(node_rows, 2u * 40u);
+  EXPECT_EQ(runs_seen.size(), 2u);
+
+  // An unarmed campaign writes records without the telemetry columns — the
+  // sink schema (and the bench gate's field set) is unchanged when off.
+  const std::string plain = (dir_ / "plain.jsonl").string();
+  ASSERT_EQ(run({"fleet", "--models", "udg", "--nodes", "40", "--degrees",
+                 "10", "--taus", "3", "--seeds", "1,2", "--no-progress",
+                 "--out", plain.c_str()},
+                &out),
+            0)
+      << out;
+  const FleetSink off = load_fleet_sink(plain);
+  ASSERT_EQ(off.runs.size(), 2u);
+  for (const obs::JsonRecord& rec : off.runs) {
+    EXPECT_FALSE(rec.has("max_node_energy"));
+    EXPECT_FALSE(rec.has("traffic_gini"));
+    // Telemetry never perturbs the schedule: digests match the armed run.
+  }
+  EXPECT_EQ(off.runs[0].text("schedule_digest"),
+            sink.runs[0].text("schedule_digest"));
+  EXPECT_EQ(off.runs[1].text("schedule_digest"),
+            sink.runs[1].text("schedule_digest"));
 }
 
 TEST_F(FleetFixture, ResumeRefusesASinkFromADifferentGrid) {

@@ -32,6 +32,16 @@ gates only when both sinks report the same worker count — the serial
 inline path records one task per fork while pooled execution records one
 per chunk. Per-phase busy time folds into the advisory `seconds` column.
 
+With --node, both inputs are `--node-telemetry-out` JSONL sinks (either
+the per-run stream from `distributed`/`repair` or the shared fleet
+telemetry sink, whose rows carry a run tag): rows are the node_summary
+lines keyed by (run, node), and every per-node message counter — sent,
+received, lost, dropped, retransmits, both word totals, backlog peak,
+rounds active — gates exactly. The writer emits a row for every node,
+silent ones included, so a node missing from the fresh run is a failure,
+not an omission. Energy is derived (counters × the configured model) and
+is not gated; there is no wall-clock column.
+
 Stdlib only. Exit codes: 0 ok, 1 logical regression, 2 usage/IO error.
 With --advisory, even logical regressions are reported but the exit code
 stays 0 (used on PR builds; pushes to main hard-fail).
@@ -53,6 +63,18 @@ LOGICAL_FIELDS = (
 FLEET_FIELDS = LOGICAL_FIELDS + ("status", "survivors", "schedule_digest")
 
 PROFILE_FIELDS = ("items",)
+
+NODE_FIELDS = (
+    "sent",
+    "received",
+    "lost",
+    "dropped",
+    "retransmits",
+    "sent_words",
+    "recv_words",
+    "backlog_peak",
+    "rounds_active",
+)
 
 
 def load(path):
@@ -133,6 +155,49 @@ def load_profile(path):
     }
 
 
+def load_node(path):
+    """Reads a --node-telemetry-out JSONL sink into the bench-JSON shape.
+
+    The node_summary lines become the result rows. The single-run stream
+    carries no run tags (key half defaults to 0); the shared fleet sink
+    tags every row with its run id, so both forms key by (run, node).
+    There is no wall-clock column: rows get seconds=0 and the advisory
+    ratio is always a clean 1.0.
+    """
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError:
+                    continue  # truncated final line of a killed run
+                if not isinstance(obj, dict):
+                    continue
+                if obj.get("type") == "node_summary":
+                    obj["seconds"] = 0.0
+                    rows.append(obj)
+    except OSError as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not rows:
+        print(f"bench_gate: {path} has no node_summary lines "
+              "(produce one with --node-telemetry-out)", file=sys.stderr)
+        sys.exit(2)
+    return {"bench": "node", "results": rows}
+
+
+def node_row_key(row):
+    return (row.get("run", 0), row.get("node"))
+
+
+def fmt_node_key(key):
+    return f"run {key[0]} node {key[1]}"
+
+
 def profile_row_key(row):
     return (row.get("phase"),)
 
@@ -193,14 +258,24 @@ def main():
         action="store_true",
         help="inputs are --profile-out JSONL sinks, keyed by phase",
     )
+    ap.add_argument(
+        "--node",
+        action="store_true",
+        help="inputs are --node-telemetry-out JSONL sinks, keyed by "
+             "(run, node)",
+    )
     args = ap.parse_args()
-    if args.fleet and args.profile:
-        print("bench_gate: --fleet and --profile are mutually exclusive",
-              file=sys.stderr)
+    if sum((args.fleet, args.profile, args.node)) > 1:
+        print("bench_gate: --fleet, --profile, and --node are mutually "
+              "exclusive", file=sys.stderr)
         sys.exit(2)
 
     pre_failures = []
-    if args.fleet:
+    if args.node:
+        baseline = load_node(args.baseline)
+        fresh = load_node(args.fresh)
+        key_of, fmt, gated = node_row_key, fmt_node_key, NODE_FIELDS
+    elif args.fleet:
         baseline = load_fleet(args.baseline)
         fresh = load_fleet(args.fresh)
         key_of, fmt, gated = fleet_row_key, fmt_fleet_key, FLEET_FIELDS
