@@ -24,6 +24,8 @@
 #include "tgcover/app/fleet.hpp"
 #include "tgcover/app/node_report.hpp"
 #include "tgcover/app/profile_report.hpp"
+#include "tgcover/app/quality_audit.hpp"
+#include "tgcover/app/quality_report.hpp"
 #include "tgcover/app/report.hpp"
 #include "tgcover/app/rounds.hpp"
 #include "tgcover/app/run_bundle.hpp"
@@ -46,6 +48,7 @@
 #include "tgcover/obs/node_stats.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/profile.hpp"
+#include "tgcover/obs/quality.hpp"
 #include "tgcover/obs/round_log.hpp"
 #include "tgcover/obs/trace.hpp"
 #include "tgcover/obs/trace_export.hpp"
@@ -67,6 +70,36 @@ namespace {
 /// so saved files stay small and tool-agnostic.
 core::Network network_of(gen::Deployment dep, double band) {
   return core::prepare_network(std::move(dep), band);
+}
+
+// ----------------------------------------------------------- shared flags
+
+/// The repeated per-command flag parsing, hoisted so a help-text or default
+/// tweak happens in exactly one place.
+
+/// Confine size τ — the paper's single protocol parameter.
+unsigned declare_tau(util::ArgParser& args) {
+  return static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
+}
+
+/// MIS election seed shared by the scheduling commands.
+std::uint64_t declare_mis_seed(util::ArgParser& args) {
+  return static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
+}
+
+/// Periphery band width — prepare_network's only knob.
+double declare_band(util::ArgParser& args) {
+  return args.get_double("band", 1.0, "periphery band width");
+}
+
+/// Worker-count flag with the shared [0, 1024] validation. The help text
+/// stays per-command (VPT workers vs campaign workers).
+unsigned declare_threads(util::ArgParser& args, std::int64_t def,
+                         const char* help) {
+  const std::int64_t threads_arg = args.get_int("threads", def, help);
+  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
+                "--threads must be in [0, 1024], got " << threads_arg);
+  return static_cast<unsigned>(threads_arg);
 }
 
 // --------------------------------------------------------------- logging
@@ -381,6 +414,73 @@ std::unique_ptr<obs::NodeTelemetry> begin_node_telemetry(
   return true;
 }
 
+// ------------------------------------------------------- quality auditing
+
+/// --quality-out plus the geometric probe knobs (DESIGN.md §15). Like the
+/// energy model, these deliberately stay OUT of the manifest's semantic
+/// keys: they shape only the quality stream itself (recorded in its header
+/// line), so schedules, cost streams, and traces remain byte-identical
+/// whether the auditor is armed or not.
+QualityKnobs declare_quality_options(util::ArgParser& args) {
+  QualityKnobs knobs;
+  knobs.path = args.get_string(
+      "quality-out", "",
+      "write per-round coverage-quality JSONL here (coverage fraction, "
+      "k-coverage histogram, hole diameters vs the Proposition 1 bound, "
+      "awake-set connectivity, certifiable tau; render with `tgcover "
+      "quality-report`)");
+  knobs.rs = args.get_double(
+      "rs", 1.0, "sensing radius for the coverage rasterizer (gamma = Rc/rs)");
+  const std::int64_t every = args.get_int(
+      "quality-every", 1, "sample the quality probe every Nth round");
+  TGC_CHECK_MSG(every >= 1, "--quality-every must be >= 1, got " << every);
+  knobs.every = static_cast<std::uint64_t>(every);
+  knobs.cell = args.get_double(
+      "quality-cell", 0.05, "coverage rasterizer cell side");
+  return knobs;
+}
+
+/// Builds the auditor over `net` and binds it to this (the driving) thread.
+/// Returns nullptr and binds nothing when --quality-out was not given, so an
+/// unarmed run pays only the scheduler's thread_local null checks.
+std::unique_ptr<obs::QualityAuditor> begin_quality(const QualityKnobs& knobs,
+                                                   const core::Network& net,
+                                                   unsigned tau) {
+  std::unique_ptr<obs::QualityAuditor> auditor =
+      make_quality_auditor(net, tau, knobs);
+  if (auditor != nullptr) obs::set_quality_auditor(auditor.get());
+  return auditor;
+}
+
+/// Unbinds, samples the final awake set, and writes the quality sink
+/// (embedded manifest line first, sidecar after).
+[[nodiscard]] bool emit_quality(const QualityKnobs& knobs,
+                                obs::QualityAuditor* auditor,
+                                const std::vector<bool>& active,
+                                const obs::RunManifest& manifest,
+                                std::ostream& out) {
+  if (auditor == nullptr) return true;
+  obs::set_quality_auditor(nullptr);
+  auditor->finalize(active);
+  obs::JsonlWriter w(knobs.path);
+  if (w.ok()) {
+    w.stream() << obs::manifest_header_line(manifest) << "\n";
+    obs::write_quality_jsonl(*auditor, w.stream());
+  }
+  if (!w.close()) {
+    TGC_LOG(kError) << "quality sink failed" << obs::kv("error", w.error());
+    return false;
+  }
+  if (!write_manifest_sidecar(manifest, knobs.path)) return false;
+  const obs::QualitySummary& s = auditor->summary();
+  out << "wrote quality audit (" << s.rounds_sampled
+      << " sampled rounds, min coverage "
+      << util::Table::num(s.min_coverage_fraction, 4) << ", worst hole "
+      << util::Table::num(s.max_hole_diameter, 3) << ", " << s.violations
+      << " bound violation(s)) to " << knobs.path << "\n";
+  return true;
+}
+
 /// Positions of a loaded deployment in exporter form.
 std::vector<obs::NodePosition> node_positions_of(const gen::Deployment& dep) {
   std::vector<obs::NodePosition> positions;
@@ -435,19 +535,15 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
       args.get_string("in", "network.tgc", "input network file");
   const std::string out_path =
       args.get_string("out", "schedule.tgc", "output awake-set mask");
-  const auto tau =
-      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
-  const auto seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
-  const double band = args.get_double("band", 1.0, "periphery band width");
-  const std::int64_t threads_arg = args.get_int(
-      "threads", 1, "VPT worker threads (0 = hardware concurrency)");
-  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
-                "--threads must be in [0, 1024], got " << threads_arg);
-  const auto threads = static_cast<unsigned>(threads_arg);
+  const unsigned tau = declare_tau(args);
+  const std::uint64_t seed = declare_mis_seed(args);
+  const double band = declare_band(args);
+  const unsigned threads = declare_threads(
+      args, 1, "VPT worker threads (0 = hardware concurrency)");
   const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
   const std::string profile_path = declare_profile_option(args);
+  const QualityKnobs q_opts = declare_quality_options(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest =
@@ -462,8 +558,13 @@ int cmd_schedule(util::ArgParser& args, std::ostream& out) {
   obs::RoundCollector collector;
   if (metrics.requested()) config.collector = &collector;
   begin_profile(profile_path, threads);
+  const std::unique_ptr<obs::QualityAuditor> quality =
+      begin_quality(q_opts, net, tau);
   const core::ScheduleSummary s = core::run_dcc(net, config);
   if (!emit_profile(profile_path, manifest, out)) return 1;
+  if (!emit_quality(q_opts, quality.get(), s.result.active, manifest, out)) {
+    return 1;
+  }
   collector.finalize(s.result.survivors);
   if (!emit_metrics(metrics, collector, manifest, out)) return 1;
   io::save_mask(s.result.active, out_path);
@@ -479,9 +580,8 @@ int cmd_verify(util::ArgParser& args, std::ostream& out) {
       args.get_string("in", "network.tgc", "input network file");
   const std::string schedule_path =
       args.get_string("schedule", "", "awake-set mask (empty = all awake)");
-  const auto tau =
-      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
-  const double band = args.get_double("band", 1.0, "periphery band width");
+  const unsigned tau = declare_tau(args);
+  const double band = declare_band(args);
   const std::string cert_path = args.get_string(
       "certificate", "", "write the explicit cycle partition here");
   configure_logging(args);
@@ -527,7 +627,7 @@ int cmd_quality(util::ArgParser& args, std::ostream& out) {
       args.get_string("schedule", "", "awake-set mask (empty = all awake)");
   const auto cap =
       static_cast<unsigned>(args.get_int("tau-cap", 16, "certificate search cap"));
-  const double band = args.get_double("band", 1.0, "periphery band width");
+  const double band = declare_band(args);
   const double gamma =
       args.get_double("gamma", 0.0, "sensing ratio for the Dmax bound (0 = skip)");
   configure_logging(args);
@@ -562,7 +662,7 @@ int cmd_render(util::ArgParser& args, std::ostream& out) {
       args.get_string("schedule", "", "awake-set mask (empty = all awake)");
   const std::string out_path =
       args.get_string("out", "network.svg", "output SVG file");
-  const double band = args.get_double("band", 1.0, "periphery band width");
+  const double band = declare_band(args);
   configure_logging(args);
   args.finish();
 
@@ -611,16 +711,11 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
       args.get_string("in", "network.tgc", "input network file");
   const std::string out_path =
       args.get_string("out", "schedule.tgc", "output awake-set mask");
-  const auto tau =
-      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
-  const auto seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
-  const double band = args.get_double("band", 1.0, "periphery band width");
-  const std::int64_t threads_arg = args.get_int(
-      "threads", 1, "VPT worker threads (0 = hardware concurrency)");
-  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
-                "--threads must be in [0, 1024], got " << threads_arg);
-  const auto threads = static_cast<unsigned>(threads_arg);
+  const unsigned tau = declare_tau(args);
+  const std::uint64_t seed = declare_mis_seed(args);
+  const double band = declare_band(args);
+  const unsigned threads = declare_threads(
+      args, 1, "VPT worker threads (0 = hardware concurrency)");
   const std::string trace_out = args.get_string(
       "trace-out", "", "write Chrome trace-event JSON here (open in Perfetto)");
   const std::string trace_jsonl = args.get_string(
@@ -643,6 +738,7 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   const MetricsOptions metrics = declare_metrics_options(args);
   const std::string profile_path = declare_profile_option(args);
   const NodeTelemetryOptions nt_opts = declare_node_telemetry_options(args);
+  const QualityKnobs q_opts = declare_quality_options(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest = make_manifest(
@@ -672,6 +768,8 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   begin_profile(profile_path, threads);
   const std::unique_ptr<obs::NodeTelemetry> telemetry =
       begin_node_telemetry(nt_opts, net.dep.graph.num_vertices());
+  const std::unique_ptr<obs::QualityAuditor> quality =
+      begin_quality(q_opts, net, tau);
   core::DccDistributedResult result;
   if (async) {
     core::DccAsyncOptions options;
@@ -689,6 +787,10 @@ int cmd_distributed(util::ArgParser& args, std::ostream& out) {
   if (!emit_profile(profile_path, manifest, out)) return 1;
   if (!emit_node_telemetry(nt_opts, telemetry.get(),
                            node_positions_of(net.dep), manifest, out)) {
+    return 1;
+  }
+  if (!emit_quality(q_opts, quality.get(), result.schedule.active, manifest,
+                    out)) {
     return 1;
   }
   const std::vector<obs::TraceEvent> events =
@@ -752,18 +854,15 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
       args.get_string("failed", "failed.tgc", "mask of crashed nodes");
   const std::string out_path =
       args.get_string("out", "repaired.tgc", "output awake-set mask");
-  const auto tau =
-      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
-  const double band = args.get_double("band", 1.0, "periphery band width");
-  const std::int64_t threads_arg = args.get_int(
-      "threads", 1, "VPT worker threads (0 = hardware concurrency)");
-  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
-                "--threads must be in [0, 1024], got " << threads_arg);
-  const auto threads = static_cast<unsigned>(threads_arg);
+  const unsigned tau = declare_tau(args);
+  const double band = declare_band(args);
+  const unsigned threads = declare_threads(
+      args, 1, "VPT worker threads (0 = hardware concurrency)");
   const bool incremental = declare_incremental(args);
   const MetricsOptions metrics = declare_metrics_options(args);
   const std::string profile_path = declare_profile_option(args);
   const NodeTelemetryOptions nt_opts = declare_node_telemetry_options(args);
+  const QualityKnobs q_opts = declare_quality_options(args);
   configure_logging(args);
   args.finish();
   const obs::RunManifest manifest = make_manifest(
@@ -784,11 +883,16 @@ int cmd_repair(util::ArgParser& args, std::ostream& out) {
   begin_profile(profile_path, threads);
   const std::unique_ptr<obs::NodeTelemetry> telemetry =
       begin_node_telemetry(nt_opts, net.dep.graph.num_vertices());
+  const std::unique_ptr<obs::QualityAuditor> quality =
+      begin_quality(q_opts, net, tau);
   const core::RepairResult result = core::dcc_repair(
       net.dep.graph, net.internal, active, failed, net.cb, config);
   if (!emit_profile(profile_path, manifest, out)) return 1;
   if (!emit_node_telemetry(nt_opts, telemetry.get(),
                            node_positions_of(net.dep), manifest, out)) {
+    return 1;
+  }
+  if (!emit_quality(q_opts, quality.get(), result.active, manifest, out)) {
     return 1;
   }
   collector.finalize(static_cast<std::uint64_t>(
@@ -1010,6 +1114,25 @@ int cmd_report(util::ArgParser& args, std::ostream& out) {
     inputs.trace = &trace;
   }
 
+  // A quality sink sitting next to the metrics sink joins the dashboard as
+  // its own section — same convention the cost sections follow.
+  QualityLoad quality;
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(bundle.rounds_path).parent_path();
+    const fs::path candidate =
+        dir.empty() ? fs::path("quality.jsonl") : dir / "quality.jsonl";
+    if (fs::exists(candidate)) {
+      quality = load_quality(candidate.string());
+      if (quality.error.empty()) {
+        inputs.quality = &quality;
+      } else {
+        TGC_LOG(kWarn) << "quality sink unusable"
+                       << obs::kv("error", quality.error);
+      }
+    }
+  }
+
   const std::string html = render_report_html(inputs);
   std::ofstream f(out_path, std::ios::binary);
   f << html;
@@ -1020,7 +1143,8 @@ int cmd_report(util::ArgParser& args, std::ostream& out) {
     return 1;
   }
   out << "wrote report (" << inputs.rounds.size() << " rounds"
-      << (inputs.trace != nullptr ? ", trace fused" : "") << ") to "
+      << (inputs.trace != nullptr ? ", trace fused" : "")
+      << (inputs.quality != nullptr ? ", quality fused" : "") << ") to "
       << out_path << "\n";
   return 0;
 }
@@ -1056,11 +1180,8 @@ int cmd_fleet(util::ArgParser& args, std::ostream& out) {
   }
   opts.sink_path =
       args.get_string("out", "fleet.jsonl", "streaming JSONL summary sink");
-  const std::int64_t threads_arg = args.get_int(
-      "threads", 0, "campaign workers (0 = hardware concurrency)");
-  TGC_CHECK_MSG(threads_arg >= 0 && threads_arg <= 1024,
-                "--threads must be in [0, 1024], got " << threads_arg);
-  opts.threads = static_cast<unsigned>(threads_arg);
+  opts.threads = declare_threads(
+      args, 0, "campaign workers (0 = hardware concurrency)");
   const bool no_progress = args.get_flag(
       "no-progress", "suppress the live done/failed/ETA line on stderr");
   // A piped stderr (CI log, `2>file`) gets one full line per update instead
@@ -1076,6 +1197,7 @@ int cmd_fleet(util::ArgParser& args, std::ostream& out) {
   const NodeTelemetryOptions nt_opts = declare_node_telemetry_options(args);
   opts.node_telemetry_out = nt_opts.path;
   opts.energy = nt_opts.energy;
+  opts.quality = declare_quality_options(args);
   configure_logging(args);
   args.finish();
 
@@ -1101,6 +1223,10 @@ int cmd_fleet(util::ArgParser& args, std::ostream& out) {
   if (!write_manifest_sidecar(manifest, opts.sink_path)) return 1;
   if (!opts.node_telemetry_out.empty() &&
       !write_manifest_sidecar(manifest, opts.node_telemetry_out)) {
+    return 1;
+  }
+  if (!opts.quality.path.empty() &&
+      !write_manifest_sidecar(manifest, opts.quality.path)) {
     return 1;
   }
   return rc;
@@ -1193,14 +1319,47 @@ int cmd_node_report(util::ArgParser& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_quality_report(util::ArgParser& args, std::ostream& out) {
+  const std::string in_path = args.get_string(
+      "in", "quality.jsonl", "quality JSONL sink (from --quality-out)");
+  const std::string out_path =
+      args.get_string("out", "quality.html", "output HTML dashboard");
+  const std::string title = args.get_string(
+      "title", "tgcover coverage quality", "report headline");
+  configure_logging(args);
+  args.finish();
+
+  const QualityLoad load = load_quality(in_path);
+  if (!load.error.empty()) {
+    out << "error: " << load.error << "\n";
+    return 1;
+  }
+  if (load.skipped > 0) {
+    TGC_LOG(kWarn) << "quality sink has unreadable lines"
+                   << obs::kv("skipped", load.skipped);
+  }
+
+  const std::string html = render_quality_report_html(load, title);
+  std::ofstream f(out_path, std::ios::binary);
+  f << html;
+  f.flush();
+  if (!f.good()) {
+    TGC_LOG(kError) << "report sink failed" << obs::kv("path", out_path);
+    out << "error: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  out << "wrote quality report (" << load.rounds.size()
+      << " sampled rounds, " << load.violations.size()
+      << " violation(s)) to " << out_path << "\n";
+  return 0;
+}
+
 int cmd_scale(util::ArgParser& args, std::ostream& out) {
   ScaleOptions opts;
   opts.in_path = args.get_string("in", "network.tgc", "input network file");
-  opts.tau =
-      static_cast<unsigned>(args.get_int("tau", 4, "confine size"));
-  opts.seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 1, "MIS seed"));
-  opts.band = args.get_double("band", 1.0, "periphery band width");
+  opts.tau = declare_tau(args);
+  opts.seed = declare_mis_seed(args);
+  opts.band = declare_band(args);
   const std::string ladder = args.get_string(
       "threads", "1,2,4",
       "comma-separated thread ladder, must start at 1 (the serial baseline)");
@@ -1446,6 +1605,13 @@ void print_help(std::ostream& out) {
          "                 (profile-report [SINK] [--in FILE] [--out"
          " profile.html]\n"
          "                 [--chrome-out FILE] re-exports for Perfetto)\n"
+         "  quality-report render a --quality-out sink as a coverage-quality"
+         " HTML\n"
+         "                 dashboard: coverage/hole/connectivity timelines,"
+         " k-coverage\n"
+         "                 heatmap, bound-margin chart, violation table\n"
+         "                 (quality-report [SINK] [--in FILE]"
+         " [--out quality.html])\n"
          "  node-report    render a --node-telemetry-out sink as a spatial"
          " hotspot HTML\n"
          "                 dashboard: deployment overlays shaded by traffic"
@@ -1501,6 +1667,14 @@ void print_help(std::ostream& out) {
          "--energy-rx / --energy-idle set the radio model; render with"
          " `tgcover\n"
          "node-report`).\n"
+         "schedule / distributed / repair / fleet accept --quality-out FILE"
+         " (per-round\n"
+         "geometric coverage audit: coverage fraction, k-coverage, hole"
+         " diameters vs\n"
+         "the Proposition 1 bound, connectivity, certifiable tau; --rs /"
+         " --quality-every\n"
+         "/ --quality-cell shape the probe; render with `tgcover"
+         " quality-report`).\n"
          "every command accepts --log-level debug|info|warn|error|off,"
          " --log-out FILE,\n"
          "and --flight N (keep the last N log lines per thread for crash"
@@ -1534,7 +1708,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   int first = 2;
   if ((command == "stats" || command == "trace-analyze" ||
        command == "report" || command == "fleet-report" ||
-       command == "profile-report" || command == "node-report") &&
+       command == "profile-report" || command == "node-report" ||
+       command == "quality-report") &&
       argc > 2 && argv[2][0] != '-') {
     rest.push_back(command == "report" ? "--rounds" : "--in");
     rest.push_back(argv[2]);
@@ -1566,6 +1741,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out) {
   if (command == "fleet-report") return cmd_fleet_report(args, out);
   if (command == "profile-report") return cmd_profile_report(args, out);
   if (command == "node-report") return cmd_node_report(args, out);
+  if (command == "quality-report") return cmd_quality_report(args, out);
   if (command == "scale") return cmd_scale(args, out);
   if (command == "compare") {
     return cmd_compare(std::move(compare_paths), args, out);

@@ -356,6 +356,14 @@ struct RunOutcome {
   double max_node_energy = 0.0;
   double traffic_gini = 0.0;
   std::string telemetry_block;
+  /// Set when the campaign armed --quality-out: the SLO columns for this
+  /// record plus the run-tagged quality_summary line for the quality sink.
+  bool has_quality = false;
+  bool quality_bound_finite = false;
+  double min_coverage_fraction = 0.0;
+  double max_hole_diameter = 0.0;
+  double bound_margin = 0.0;
+  std::string quality_block;
 };
 
 std::string record_line(const FleetCell& cell, const RunOutcome& r,
@@ -389,6 +397,16 @@ std::string record_line(const FleetCell& cell, const RunOutcome& r,
     os << ",\"max_node_energy\":" << f6(r.max_node_energy)
        << ",\"traffic_gini\":" << f6(r.traffic_gini);
   }
+  if (r.has_quality) {
+    // Same contract for the SLO columns: only quality-armed campaigns carry
+    // them, and bound_margin appears only under a finite Proposition 1 bound
+    // (γ ≤ 2) — constant within a campaign since rs is a campaign scalar.
+    os << ",\"min_coverage_fraction\":" << f6(r.min_coverage_fraction)
+       << ",\"max_hole_diameter\":" << f6(r.max_hole_diameter);
+    if (r.quality_bound_finite) {
+      os << ",\"bound_margin\":" << f6(r.bound_margin);
+    }
+  }
   os << ",\"wall_ms\":" << f6(static_cast<double>(r.wall_ns) / 1e6)
      << ",\"worker\":" << r.worker << "}";
   return os.str();
@@ -405,6 +423,19 @@ class ScopedNodeTelemetry {
   ~ScopedNodeTelemetry() { obs::set_node_telemetry(nullptr); }
   ScopedNodeTelemetry(const ScopedNodeTelemetry&) = delete;
   ScopedNodeTelemetry& operator=(const ScopedNodeTelemetry&) = delete;
+};
+
+/// Same dangling-binding guard for the per-cell quality auditor. The auditor
+/// captures its cell's Network by reference, so outliving the cell would be
+/// a use-after-free on top of cross-cell contamination.
+class ScopedQualityAuditor {
+ public:
+  explicit ScopedQualityAuditor(obs::QualityAuditor* auditor) {
+    obs::set_quality_auditor(auditor);
+  }
+  ~ScopedQualityAuditor() { obs::set_quality_auditor(nullptr); }
+  ScopedQualityAuditor(const ScopedQualityAuditor&) = delete;
+  ScopedQualityAuditor& operator=(const ScopedQualityAuditor&) = delete;
 };
 
 /// Executes one cell on the calling pool worker. Single-threaded by design:
@@ -437,6 +468,9 @@ RunOutcome execute_cell(const FleetCell& cell, const FleetSpec& spec,
                                                      opts.energy);
   }
   const ScopedNodeTelemetry binding(telemetry.get());
+  std::unique_ptr<obs::QualityAuditor> quality =
+      make_quality_auditor(net, cell.tau, opts.quality);
+  const ScopedQualityAuditor quality_binding(quality.get());
 
   core::DccConfig config;
   config.tau = cell.tau;
@@ -455,11 +489,25 @@ RunOutcome execute_cell(const FleetCell& cell, const FleetSpec& spec,
     r.survivors = result.schedule.survivors;
     r.rounds = result.schedule.rounds;
     r.schedule_digest = io::mask_digest(result.schedule.active);
+    if (quality != nullptr) quality->finalize(result.schedule.active);
   } else {
     const core::ScheduleSummary s = core::run_dcc(net, config);
     r.survivors = s.result.survivors;
     r.rounds = s.result.rounds;
     r.schedule_digest = io::mask_digest(s.result.active);
+    if (quality != nullptr) quality->finalize(s.result.active);
+  }
+  if (quality != nullptr) {
+    const obs::QualitySummary& qs = quality->summary();
+    r.has_quality = true;
+    r.quality_bound_finite =
+        std::isfinite(quality->config().hole_diameter_bound);
+    r.min_coverage_fraction = qs.min_coverage_fraction;
+    r.max_hole_diameter = qs.max_hole_diameter;
+    r.bound_margin = qs.min_bound_margin;
+    std::ostringstream block;
+    obs::write_quality_summary_jsonl(*quality, cell.run, block);
+    r.quality_block = block.str();
   }
   if (telemetry != nullptr) {
     telemetry->finalize();
@@ -536,6 +584,28 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
             << key << ")\n";
         return 1;
       }
+      // Arming is part of the campaign's shape: resuming an armed grid into
+      // an unarmed sink (or vice versa) would mix rows with different column
+      // sets and leave the shared quality sink with silent run-id gaps, so
+      // refuse the mismatch instead of producing a half-audited artifact.
+      bool prior_armed = false;
+      for (const obs::JsonRecord& rec : prior.runs) {
+        if (rec.text("status") == "ok" &&
+            rec.has("min_coverage_fraction")) {
+          prior_armed = true;
+          break;
+        }
+      }
+      const bool now_armed = !opts.quality.path.empty();
+      if (prior_armed != now_armed) {
+        out << "error: cannot resume '" << opts.sink_path << "': the sink's "
+            << (prior_armed ? "ok records carry quality columns but this "
+                              "pass runs without --quality-out"
+                            : "ok records have no quality columns but this "
+                              "pass arms --quality-out")
+            << " — rerun with matching quality arming or a fresh sink\n";
+        return 1;
+      }
       std::set<std::size_t> ok_runs;
       for (const obs::JsonRecord& rec : prior.runs) {
         if (rec.text("status") == "ok") {
@@ -597,6 +667,23 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
     }
   }
 
+  // The optional shared quality sink collects one run-tagged quality_summary
+  // line per armed cell, same append / header discipline again.
+  std::unique_ptr<obs::JsonlWriter> quality_sink;
+  if (!opts.quality.path.empty()) {
+    quality_sink =
+        std::make_unique<obs::JsonlWriter>(opts.quality.path, append);
+    if (!quality_sink->ok()) {
+      TGC_LOG(kError) << "fleet quality sink failed"
+                      << obs::kv("error", quality_sink->error());
+      out << "error: cannot write '" << opts.quality.path << "'\n";
+      return 1;
+    }
+    if (!append) {
+      quality_sink->stream() << obs::manifest_header_line(manifest) << "\n";
+    }
+  }
+
   std::mutex mu;  // sink stream + progress counters
   std::size_t done = 0;
   std::size_t failed = 0;
@@ -623,6 +710,9 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
         sink.stream() << line << "\n";
         if (telemetry_sink != nullptr && !r.telemetry_block.empty()) {
           telemetry_sink->stream() << r.telemetry_block;
+        }
+        if (quality_sink != nullptr && !r.quality_block.empty()) {
+          quality_sink->stream() << r.quality_block;
         }
         ++done;
         if (!r.ok) {
@@ -663,6 +753,13 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
         << "' failed: " << telemetry_sink->error() << "\n";
     sink_ok = false;
   }
+  if (quality_sink != nullptr && !quality_sink->close()) {
+    TGC_LOG(kError) << "fleet quality sink failed"
+                    << obs::kv("error", quality_sink->error());
+    out << "error: sink '" << opts.quality.path
+        << "' failed: " << quality_sink->error() << "\n";
+    sink_ok = false;
+  }
 
   if (opts.progress != FleetProgress::kOff) {
     // Worker utilization lands on stderr next to the progress line: skew
@@ -683,6 +780,9 @@ int run_fleet(const FleetOptions& opts, const obs::RunManifest& manifest,
       << opts.sink_path;
   if (!opts.node_telemetry_out.empty()) {
     out << " (+node telemetry " << opts.node_telemetry_out << ")";
+  }
+  if (!opts.quality.path.empty()) {
+    out << " (+quality " << opts.quality.path << ")";
   }
   out << "\n";
   if (!sink_ok) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "tgcover/app/quality_audit.hpp"
 #include "tgcover/gen/deployments.hpp"
 #include "tgcover/obs/jsonl.hpp"
 #include "tgcover/obs/manifest.hpp"
@@ -107,6 +108,12 @@ struct FleetOptions {
   /// unarmed zero-cost path.
   std::string node_telemetry_out;
   obs::EnergyModel energy;  ///< radio model for armed cells
+  /// quality.path non-empty arms the coverage-quality auditor for every
+  /// cell: each run's compact quality_summary line (tagged with the run id)
+  /// streams into this shared manifest-headed JSONL sink, and the main sink
+  /// records gain min_coverage_fraction / max_hole_diameter / bound_margin
+  /// columns. Empty keeps cells on the unarmed zero-cost path.
+  QualityKnobs quality;
 };
 
 /// Runs the campaign: expands the grid in deterministic row-major order

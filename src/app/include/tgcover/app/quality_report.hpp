@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tgcover/obs/jsonl.hpp"
+
+namespace tgc::app {
+
+/// A --quality-out JSONL stream read back into memory: the embedded manifest
+/// line, the quality header (geometry echoes + the Proposition 1 bound),
+/// per-round quality records, any bound_violation events, and the closing
+/// summary. `error` non-empty means the file was unusable (missing header,
+/// unreadable); malformed lines only bump `skipped` (a killed run truncates
+/// its tail).
+struct QualityLoad {
+  std::optional<obs::JsonRecord> manifest;
+  std::optional<obs::JsonRecord> header;      ///< type quality_header
+  std::vector<obs::JsonRecord> rounds;        ///< type quality_round, asc
+  std::vector<obs::JsonRecord> violations;    ///< type bound_violation, asc
+  std::optional<obs::JsonRecord> summary;     ///< type quality_summary
+  std::size_t skipped = 0;
+  std::string error;
+
+  bool bound_finite() const {
+    return header.has_value() && header->u64("bound_finite") != 0;
+  }
+};
+
+QualityLoad load_quality(const std::string& path);
+
+/// Appends the quality chart sections (coverage/connectivity timelines, hole
+/// diameter vs the τ-confine bound, bound-margin chart, k-coverage heatmap,
+/// violation table) to an already-open page. `tgcover report` reuses this to
+/// graft a quality section next to its cost sections.
+void append_quality_sections(std::ostringstream& out, const QualityLoad& load);
+
+/// The full coverage-quality dashboard: summary tiles (min coverage, worst
+/// hole vs bound, violations, certifiable τ), the run's semantic config, and
+/// the chart sections above. Byte-deterministic for a given input file
+/// (fixed precision, no clocks, no unordered iteration).
+std::string render_quality_report_html(const QualityLoad& load,
+                                       const std::string& title);
+
+}  // namespace tgc::app

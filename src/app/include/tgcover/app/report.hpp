@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "tgcover/app/quality_report.hpp"
 #include "tgcover/app/rounds.hpp"
 #include "tgcover/app/trace_analysis.hpp"
 #include "tgcover/obs/jsonl.hpp"
@@ -22,6 +23,9 @@ struct ReportInputs {
   std::vector<CostRow> cost_totals;  ///< per-phase run totals
   std::optional<obs::JsonRecord> summary;
   const TraceStats* trace = nullptr;
+  /// Optional coverage-quality audit (a --quality-out sink found next to the
+  /// metrics sink); renders as its own chart sections when present.
+  const QualityLoad* quality = nullptr;
 };
 
 /// Renders the self-contained dashboard: one HTML file, inline CSS and SVG,

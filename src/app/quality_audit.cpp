@@ -1,0 +1,113 @@
+#include "tgcover/app/quality_audit.hpp"
+
+#include <algorithm>
+
+#include "tgcover/core/confine.hpp"
+#include "tgcover/core/quality.hpp"
+#include "tgcover/geom/coverage.hpp"
+#include "tgcover/obs/cost.hpp"
+#include "tgcover/util/check.hpp"
+
+namespace tgc::app {
+
+namespace {
+
+/// k-coverage histogram buckets: exactly 0..7 covering disks, then ≥ 8.
+constexpr std::size_t kQualityKMax = 8;
+
+/// Connected components of the awake-induced subgraph. The graph library's
+/// component helpers operate on whole graphs; the audit needs the masked
+/// count without materializing a filtered copy every sampled round.
+std::uint64_t awake_components(const graph::Graph& g,
+                               const std::vector<bool>& active) {
+  const std::size_t n = g.num_vertices();
+  std::vector<char> seen(n, 0);
+  std::vector<graph::VertexId> stack;
+  std::uint64_t components = 0;
+  for (graph::VertexId s = 0; s < n; ++s) {
+    if (!active[s] || seen[s]) continue;
+    ++components;
+    seen[s] = 1;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const graph::VertexId u = stack.back();
+      stack.pop_back();
+      for (const graph::VertexId w : g.neighbors(u)) {
+        if (active[w] && !seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+obs::QualityProbeResult probe_network_quality(const core::Network& net,
+                                              const std::vector<bool>& active,
+                                              double rs, double cell_size,
+                                              unsigned tau_cap) {
+  // Observation must not perturb the cost stream: the probe re-enters
+  // counted kernels (BFS, Horton, GF(2)) purely to measure, and the scope
+  // reverts the calling thread's tallies exactly.
+  const obs::CostAuditScope cost_audit;
+
+  obs::QualityProbeResult r;
+  geom::CoverageGridOptions grid;
+  grid.cell_size = cell_size;
+  grid.k_max = kQualityKMax;
+  const geom::CoverageAnalysis cov = geom::analyze_coverage(
+      net.dep.positions, active, rs, net.target, grid);
+  r.coverage_fraction = cov.covered_fraction;
+  r.covered_cells = cov.covered_cells;
+  r.total_cells = cov.total_cells;
+  r.holes = cov.holes.size();
+  // Proposition 1 bounds the diameter of holes *confined* by ≤τ-hop cycles;
+  // the open margin between the boundary cycle and the target rectangle is
+  // outside any cycle and is excluded from the SLO comparison (it still
+  // depresses coverage_fraction).
+  r.max_hole_diameter = cov.max_confined_hole_diameter;
+  r.k_histogram.assign(cov.k_histogram.begin(), cov.k_histogram.end());
+  r.redundancy = cov.redundancy();
+
+  r.components = awake_components(net.dep.graph, active);
+
+  // Crashes and over-deletion can take a boundary-cycle node down with them;
+  // the certificate machinery requires CB's edges in the active subgraph, so
+  // a broken boundary simply means no τ certifies (certifiable_tau = 0).
+  bool cb_intact = true;
+  net.cb.for_each_set_bit([&](std::size_t e) {
+    const auto [u, v] = net.dep.graph.edge(static_cast<graph::EdgeId>(e));
+    if (!active[u] || !active[v]) cb_intact = false;
+  });
+  if (cb_intact) {
+    const core::QualityReport q = core::assess_quality(
+        net.dep.graph, active, net.cb, std::max(tau_cap, 3u));
+    r.certifiable_tau = q.certifiable_tau;
+  }
+  return r;
+}
+
+std::unique_ptr<obs::QualityAuditor> make_quality_auditor(
+    const core::Network& net, unsigned tau, const QualityKnobs& knobs) {
+  if (knobs.path.empty()) return nullptr;
+  TGC_CHECK_MSG(knobs.rs > 0.0, "--rs must be > 0");
+  TGC_CHECK_MSG(knobs.cell > 0.0, "--quality-cell must be > 0");
+  obs::QualityConfig config;
+  config.tau = tau;
+  config.sample_every = knobs.every == 0 ? 1 : knobs.every;
+  config.rs = knobs.rs;
+  config.gamma = net.dep.rc / knobs.rs;
+  config.cell_size = knobs.cell;
+  config.hole_diameter_bound =
+      core::paper_hole_diameter_bound(tau, config.gamma, net.dep.rc);
+  auto probe = [&net, rs = knobs.rs, cell = knobs.cell,
+                tau](const std::vector<bool>& active) {
+    return probe_network_quality(net, active, rs, cell, tau);
+  };
+  return std::make_unique<obs::QualityAuditor>(config, std::move(probe));
+}
+
+}  // namespace tgc::app

@@ -406,6 +406,7 @@ std::string render_report_html(const ReportInputs& in) {
   section_round_table(out, in.rounds);
   section_cost_totals(out, in.cost_totals);
   section_critical_path(out, in.trace);
+  if (in.quality != nullptr) append_quality_sections(out, *in.quality);
 
   html::page_end(out);
   return out.str();

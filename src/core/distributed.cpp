@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "tgcover/obs/node_stats.hpp"
+#include "tgcover/obs/quality.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
@@ -121,6 +122,11 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     // dominate a run's traffic and deserve their own bucket in the
     // per-round stream rather than being folded into deletion round 1.
     nt->end_round(runner.active());
+  }
+  if (obs::QualityAuditor* const qa = obs::quality_auditor()) {
+    // Pre-deletion baseline: the full deployment's coverage, against which
+    // the per-round samples show what the sleep schedule gives up.
+    qa->end_round(runner.active());
   }
   std::size_t num_active = g.num_vertices();
 
@@ -247,6 +253,9 @@ DccDistributedResult run_distributed(sim::SyncRunner& runner,
     }
     if (obs::NodeTelemetry* const nt = obs::node_telemetry()) {
       nt->end_round(runner.active());
+    }
+    if (obs::QualityAuditor* const qa = obs::quality_auditor()) {
+      qa->end_round(runner.active());
     }
     if (obs::profile_active()) {
       obs::profile_round(out.schedule.rounds);

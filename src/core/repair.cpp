@@ -122,15 +122,16 @@ RepairResult dcc_repair(const Graph& g, const std::vector<bool>& internal,
     if (result.criterion_restored) return result;
 
     // Escalate until everything sleeping is awake; then give up (the
-    // survivors simply cannot certify τ any more).
+    // survivors simply cannot certify τ any more). With no failures at all
+    // `near` never grows, so escalation cannot help either — give up after
+    // the first wave instead of doubling the radius forever.
     bool everyone_near = true;
+    bool any_failed = false;
     for (VertexId v = 0; v < n; ++v) {
-      if (!failed[v] && !near[v]) {
-        everyone_near = false;
-        break;
-      }
+      if (failed[v]) any_failed = true;
+      if (!failed[v] && !near[v]) everyone_near = false;
     }
-    if (everyone_near) return result;
+    if (everyone_near || !any_failed) return result;
   }
 }
 

@@ -5,6 +5,7 @@
 #include "tgcover/graph/algorithms.hpp"
 #include "tgcover/obs/log.hpp"
 #include "tgcover/obs/node_stats.hpp"
+#include "tgcover/obs/quality.hpp"
 #include "tgcover/obs/obs.hpp"
 #include "tgcover/obs/profile.hpp"
 #include "tgcover/obs/round_log.hpp"
@@ -184,6 +185,9 @@ DccResult dcc_schedule_from(const Graph& g, const std::vector<bool>& internal,
       // charges only — the lifetime baseline a distributed run is judged
       // against.
       nt->end_round(result.active);
+    }
+    if (obs::QualityAuditor* const qa = obs::quality_auditor()) {
+      qa->end_round(result.active);
     }
     if (obs::profile_active()) {
       obs::profile_round(result.rounds);

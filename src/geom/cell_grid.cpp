@@ -94,4 +94,31 @@ bool CellGrid::any_within(const Point& q, double r) const {
   return false;
 }
 
+std::size_t CellGrid::count_within(const Point& q, double r) const {
+  TGC_CHECK(r * r <= cell2_ * (1.0 + 1e-12));
+  const double r2 = r * r;
+  const auto fx = static_cast<std::int64_t>(
+      std::floor((q.x - minx_) * inv_cell_));
+  const auto fy = static_cast<std::int64_t>(
+      std::floor((q.y - miny_) * inv_cell_));
+  const auto clamp = [](std::int64_t v, std::size_t hi) {
+    return static_cast<std::size_t>(
+        std::clamp<std::int64_t>(v, 0, static_cast<std::int64_t>(hi) - 1));
+  };
+  const std::size_t x0 = clamp(fx - 1, nx_);
+  const std::size_t x1 = clamp(fx + 1, nx_);
+  const std::size_t y0 = clamp(fy - 1, ny_);
+  const std::size_t y1 = clamp(fy + 1, ny_);
+  std::size_t count = 0;
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      const std::size_t c = gy * nx_ + gx;
+      for (std::size_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+        if (dist2(q, positions_[members_[i]]) <= r2) ++count;
+      }
+    }
+  }
+  return count;
+}
+
 }  // namespace tgc::geom

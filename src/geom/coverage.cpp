@@ -39,6 +39,7 @@ CoverageAnalysis analyze_coverage(const Embedding& nodes,
   // The predicate — covered iff ∃ active p with dist²(center, p) ≤ rs² — is
   // unchanged, so the covered set is identical to the brute-force scan.
   std::vector<char> covered(nx * ny, 0);
+  if (options.k_max > 0) out.k_histogram.assign(options.k_max + 1, 0);
   Embedding active_pos;
   for (std::size_t v = 0; v < nodes.size(); ++v) {
     if (active[v]) active_pos.push_back(nodes[v]);
@@ -47,11 +48,20 @@ CoverageAnalysis analyze_coverage(const Embedding& nodes,
     const CellGrid grid(active_pos, rs);
     for (std::size_t iy = 0; iy < ny; ++iy) {
       for (std::size_t ix = 0; ix < nx; ++ix) {
-        if (grid.any_within(center_of(ix, iy), rs)) {
+        if (options.k_max > 0) {
+          // Multiplicity path: same covered predicate (count > 0 iff
+          // any_within), plus the k-coverage histogram and redundancy mass.
+          const std::size_t k = grid.count_within(center_of(ix, iy), rs);
+          if (k > 0) covered[iy * nx + ix] = 1;
+          out.multiplicity_sum += k;
+          ++out.k_histogram[std::min(k, options.k_max)];
+        } else if (grid.any_within(center_of(ix, iy), rs)) {
           covered[iy * nx + ix] = 1;
         }
       }
     }
+  } else if (options.k_max > 0) {
+    out.k_histogram[0] = nx * ny;
   }
 
   out.covered_cells = static_cast<std::size_t>(
@@ -76,6 +86,7 @@ CoverageAnalysis analyze_coverage(const Embedding& nodes,
       const std::size_t ix = idx % nx;
       const std::size_t iy = idx / nx;
       hole.cells.push_back(center_of(ix, iy));
+      if (ix == 0 || iy == 0 || ix == nx - 1 || iy == ny - 1) hole.open = true;
       for (int dy = -1; dy <= 1; ++dy) {
         for (int dx = -1; dx <= 1; ++dx) {
           if (dx == 0 && dy == 0) continue;
@@ -98,6 +109,10 @@ CoverageAnalysis analyze_coverage(const Embedding& nodes,
     const Circle c = min_enclosing_circle(hole.cells);
     hole.diameter = 2.0 * c.radius + cell_diag;
     out.max_hole_diameter = std::max(out.max_hole_diameter, hole.diameter);
+    if (!hole.open) {
+      out.max_confined_hole_diameter =
+          std::max(out.max_confined_hole_diameter, hole.diameter);
+    }
     out.holes.push_back(std::move(hole));
   }
   return out;

@@ -40,6 +40,12 @@ class CellGrid {
   /// near-linear instead of rasterizing every disk.
   bool any_within(const Point& q, double r) const;
 
+  /// Number of indexed points within distance `r` (≤ cell) of `q` — the
+  /// multiplicity lookup behind k-coverage histograms. Same 3×3-block scan
+  /// as any_within without the early exit, so it stays exact and O(local
+  /// density) per query.
+  std::size_t count_within(const Point& q, double r) const;
+
  private:
   std::size_t cell_of(const Point& p) const;
 

@@ -15,6 +15,11 @@ struct CoverageHole {
   /// Diameter of the minimum circle circumscribing the hole (the paper's QoC
   /// metric, Section III-B), including the cells' own extent.
   double diameter = 0.0;
+  /// True when the hole touches the target border. An open hole is not
+  /// confined by any node cycle — it is the margin between the outer
+  /// boundary cycle and the target rectangle — so Proposition 1's diameter
+  /// bound says nothing about it.
+  bool open = false;
 };
 
 /// Ground-truth geometric coverage of a target area by sensing disks,
@@ -29,8 +34,24 @@ struct CoverageAnalysis {
   /// Worst-case quality of coverage: the maximum hole diameter (0 when fully
   /// covered — blanket coverage).
   double max_hole_diameter = 0.0;
+  /// Maximum diameter over confined holes only (CoverageHole::open == false)
+  /// — the quantity Proposition 1 actually bounds by (τ−2)·Rc.
+  double max_confined_hole_diameter = 0.0;
+  /// Cells covered by exactly k active disks for k = 0..k_max-1, with a final
+  /// bucket aggregating multiplicity ≥ k_max. Empty unless
+  /// CoverageGridOptions::k_max > 0 requested the histogram.
+  std::vector<std::size_t> k_histogram;
+  /// Total covering-disk multiplicity over all cells (0 unless k_max > 0).
+  /// redundancy() = multiplicity per covered cell, the over-provisioning
+  /// ratio a sleep schedule is supposed to drive toward 1.
+  std::uint64_t multiplicity_sum = 0;
 
   bool blanket() const { return holes.empty(); }
+  double redundancy() const {
+    return covered_cells == 0 ? 0.0
+                              : static_cast<double>(multiplicity_sum) /
+                                    static_cast<double>(covered_cells);
+  }
 };
 
 struct CoverageGridOptions {
@@ -40,6 +61,11 @@ struct CoverageGridOptions {
   /// Treat diagonal cell adjacency as connected when flooding holes
   /// (conservative: merges holes that touch only at corners).
   bool eight_connected = true;
+  /// When > 0, also count each cell's covering multiplicity and fill
+  /// CoverageAnalysis::k_histogram with k_max+1 buckets (exactly 0..k_max-1,
+  /// then ≥ k_max). 0 keeps the single-hit early-exit path for callers that
+  /// only need the covered set.
+  std::size_t k_max = 0;
 };
 
 /// Analyzes how well the active nodes (sensing radius `rs`) cover `target`.

@@ -110,6 +110,29 @@ CostVec local_cost_totals() {
   return t;
 }
 
+CostAuditScope::CostAuditScope() {
+  const detail::CostShard& shard = detail::local_cost_shard();
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      before_[p][i] = shard.units[p][i].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+CostAuditScope::~CostAuditScope() {
+  detail::CostShard& shard = detail::local_cost_shard();
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      const std::uint64_t now =
+          shard.units[p][i].load(std::memory_order_relaxed);
+      const std::uint64_t delta = now - before_[p][i];
+      if (delta != 0) {
+        shard.units[p][i].fetch_sub(delta, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
 CostPhase current_phase() {
   return static_cast<CostPhase>(
       detail::current_phase_slot().load(std::memory_order_relaxed));

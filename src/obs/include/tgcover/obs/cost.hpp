@@ -206,6 +206,27 @@ class CostPhaseScope {
   CostPhase prev_;
 };
 
+/// Exactly reverts whatever cost-counter activity the calling thread
+/// performs during the scope's lifetime. Shards are strictly thread-local
+/// (the same argument that makes `local_cost_totals` bracketing exact), so
+/// snapshotting every phase×counter slot at construction and subtracting the
+/// delta at destruction cancels the scope's contribution without touching
+/// any other thread's tallies. This is how observation probes may re-enter
+/// counted kernels (Horton search, GF(2) elimination) purely to *measure*
+/// solution quality: the measurement must not perturb the gated cost stream.
+/// Single-threaded scopes only — work the scope hands to other threads is
+/// not reverted.
+class CostAuditScope {
+ public:
+  CostAuditScope();
+  ~CostAuditScope();
+  CostAuditScope(const CostAuditScope&) = delete;
+  CostAuditScope& operator=(const CostAuditScope&) = delete;
+
+ private:
+  std::array<std::array<std::uint64_t, kNumCounters>, kNumPhases> before_{};
+};
+
 /// One round's per-phase logical-cost delta.
 struct CostProfile {
   std::uint64_t round = 0;  ///< 1-based, aligned with RoundEvent::round

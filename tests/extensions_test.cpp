@@ -310,5 +310,25 @@ TEST_F(RepairFixture, NoFailuresIsIdentity) {
   EXPECT_EQ(repair.active, schedule_.result.active);
 }
 
+TEST_F(RepairFixture, NoFailuresWithCertificateTerminates) {
+  // A non-certifying schedule (one awake internal node forced asleep) and an
+  // empty failure mask: waking near-failure sleepers can never help because
+  // there are no failures, so repair must give up after one wave instead of
+  // doubling the wake radius forever.
+  std::vector<bool> broken = schedule_.result.active;
+  for (VertexId v = 0; v < broken.size(); ++v) {
+    if (broken[v] && net_.internal[v]) {
+      broken[v] = false;
+      break;
+    }
+  }
+  const std::vector<bool> failed(net_.dep.graph.num_vertices(), false);
+  const RepairResult repair = dcc_repair(net_.dep.graph, net_.internal,
+                                         broken, failed, net_.cb, config_);
+  EXPECT_EQ(repair.woken, 0u);
+  EXPECT_EQ(repair.final_radius, config_.vpt().effective_k());
+  EXPECT_EQ(repair.active, broken);
+}
+
 }  // namespace
 }  // namespace tgc::core

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numbers>
 
 #include "tgcover/geom/cell_grid.hpp"
 #include "tgcover/geom/coverage.hpp"
@@ -189,6 +192,149 @@ TEST(Coverage, CellSizeRefinementConverges) {
   EXPECT_NEAR(ac.max_hole_diameter, af.max_hole_diameter, 0.5);
 }
 
+// A from-first-principles re-implementation of the hole analysis: brute
+// force rasterization, 8-connected flood fill, min circle + cell diagonal.
+// Mirrors the documented algorithm, not the CellGrid-accelerated code path.
+CoverageAnalysis brute_force_holes(const Embedding& nodes,
+                                   const std::vector<bool>& active, double rs,
+                                   const Rect& target, double cell) {
+  const auto nx = static_cast<std::size_t>(std::ceil(target.width() / cell));
+  const auto ny = static_cast<std::size_t>(std::ceil(target.height() / cell));
+  const auto center_of = [&](std::size_t ix, std::size_t iy) {
+    return Point{target.xmin + (static_cast<double>(ix) + 0.5) * cell,
+                 target.ymin + (static_cast<double>(iy) + 0.5) * cell};
+  };
+  std::vector<char> covered(nx * ny, 0);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      for (std::size_t v = 0; v < nodes.size(); ++v) {
+        if (active[v] && dist2(center_of(ix, iy), nodes[v]) <= rs * rs) {
+          covered[iy * nx + ix] = 1;
+          break;
+        }
+      }
+    }
+  }
+  CoverageAnalysis out;
+  out.total_cells = nx * ny;
+  std::vector<char> visited(nx * ny, 0);
+  for (std::size_t start = 0; start < nx * ny; ++start) {
+    if (covered[start] || visited[start]) continue;
+    CoverageHole hole;
+    std::vector<std::size_t> stack{start};
+    visited[start] = 1;
+    while (!stack.empty()) {
+      const std::size_t idx = stack.back();
+      stack.pop_back();
+      hole.cells.push_back(center_of(idx % nx, idx / nx));
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const std::int64_t jx =
+              static_cast<std::int64_t>(idx % nx) + dx;
+          const std::int64_t jy =
+              static_cast<std::int64_t>(idx / nx) + dy;
+          if ((dx == 0 && dy == 0) || jx < 0 || jy < 0 ||
+              jx >= static_cast<std::int64_t>(nx) ||
+              jy >= static_cast<std::int64_t>(ny)) {
+            continue;
+          }
+          const std::size_t jdx =
+              static_cast<std::size_t>(jy) * nx + static_cast<std::size_t>(jx);
+          if (!covered[jdx] && !visited[jdx]) {
+            visited[jdx] = 1;
+            stack.push_back(jdx);
+          }
+        }
+      }
+    }
+    hole.diameter = 2.0 * min_enclosing_circle(hole.cells).radius +
+                    cell * std::numbers::sqrt2;
+    out.max_hole_diameter = std::max(out.max_hole_diameter, hole.diameter);
+    out.holes.push_back(std::move(hole));
+  }
+  return out;
+}
+
+TEST(Coverage, HoleDiameterMatchesBruteForceAtSmallN) {
+  util::Rng rng(31);
+  const Rect target{0, 0, 3, 3};
+  for (int trial = 0; trial < 12; ++trial) {
+    Embedding nodes;
+    const std::size_t n = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back({rng.uniform(0.0, 3.0), rng.uniform(0.0, 3.0)});
+    }
+    std::vector<bool> active(n, true);
+    if (n > 2) active[rng.next_below(n)] = false;
+    const double rs = rng.uniform(0.5, 1.5);
+    CoverageGridOptions opt;
+    opt.cell_size = 0.1;
+    const CoverageAnalysis got =
+        analyze_coverage(nodes, active, rs, target, opt);
+    const CoverageAnalysis want =
+        brute_force_holes(nodes, active, rs, target, opt.cell_size);
+    ASSERT_EQ(got.holes.size(), want.holes.size()) << "trial=" << trial;
+    EXPECT_NEAR(got.max_hole_diameter, want.max_hole_diameter, 1e-9)
+        << "trial=" << trial;
+  }
+}
+
+TEST(Coverage, FullCoverageHasNoHoles) {
+  // One disk swallows the whole target: no holes, diameter exactly 0, and
+  // the k-histogram puts every cell at multiplicity ≥ 1.
+  const Embedding nodes{{2, 2}};
+  const std::vector<bool> active{true};
+  const Rect target{1.5, 1.5, 2.5, 2.5};
+  CoverageGridOptions opt;
+  opt.k_max = 3;
+  const CoverageAnalysis a = analyze_coverage(nodes, active, 5.0, target, opt);
+  EXPECT_TRUE(a.blanket());
+  EXPECT_DOUBLE_EQ(a.max_hole_diameter, 0.0);
+  EXPECT_DOUBLE_EQ(a.covered_fraction, 1.0);
+  ASSERT_EQ(a.k_histogram.size(), 4u);
+  EXPECT_EQ(a.k_histogram[0], 0u);
+  EXPECT_EQ(a.k_histogram[1], a.total_cells);
+  EXPECT_DOUBLE_EQ(a.redundancy(), 1.0);
+}
+
+TEST(Coverage, EmptyAwakeSetIsOneWholeAreaHole) {
+  const Embedding nodes{{1, 1}, {3, 3}};
+  const std::vector<bool> active{false, false};
+  const Rect target{0, 0, 4, 4};
+  CoverageGridOptions opt;
+  opt.cell_size = 0.1;
+  opt.k_max = 3;
+  const CoverageAnalysis a = analyze_coverage(nodes, active, 1.0, target, opt);
+  EXPECT_DOUBLE_EQ(a.covered_fraction, 0.0);
+  ASSERT_EQ(a.holes.size(), 1u);
+  // The single hole spans the whole target: its min circle circumscribes
+  // the outermost cell centers (target diagonal minus one cell diagonal),
+  // plus the reported cell-extent diagonal.
+  EXPECT_NEAR(a.max_hole_diameter, dist({0, 0}, {4, 4}), 0.01);
+  // The hole touches the target border, so it is open — not confined by any
+  // cycle — and contributes nothing to the Proposition 1 comparison.
+  EXPECT_TRUE(a.holes[0].open);
+  EXPECT_DOUBLE_EQ(a.max_confined_hole_diameter, 0.0);
+  ASSERT_EQ(a.k_histogram.size(), 4u);
+  EXPECT_EQ(a.k_histogram[0], a.total_cells);
+  EXPECT_EQ(a.multiplicity_sum, 0u);
+  EXPECT_DOUBLE_EQ(a.redundancy(), 0.0);
+}
+
+TEST(Coverage, InteriorPocketIsConfinedAndOpenMarginIsNot) {
+  // Four corner disks leave an uncovered lens strictly inside the target:
+  // that hole is confined (open == false) and drives the confined maximum,
+  // the quantity the Proposition 1 audit compares against (τ−2)·Rc.
+  const Embedding nodes{{0, 0}, {3, 0}, {0, 3}, {3, 3}};
+  const std::vector<bool> active{true, true, true, true};
+  const Rect target{0, 0, 3, 3};
+  const CoverageAnalysis a = analyze_coverage(nodes, active, 1.6, target);
+  ASSERT_EQ(a.holes.size(), 1u);
+  EXPECT_FALSE(a.holes[0].open);
+  EXPECT_GT(a.max_confined_hole_diameter, 0.0);
+  EXPECT_DOUBLE_EQ(a.max_confined_hole_diameter, a.max_hole_diameter);
+}
+
 // ---------------------------------------------------------------- CellGrid
 
 Embedding random_embedding(std::size_t n, double side, util::Rng& rng) {
@@ -233,6 +379,65 @@ TEST(CellGrid, AnyWithinMatchesBruteForceForArbitraryQueries) {
     EXPECT_EQ(grid.any_within(p, r), want)
         << "q=(" << p.x << "," << p.y << ") r=" << r;
   }
+}
+
+TEST(CellGrid, CountWithinMatchesBruteForceForArbitraryQueries) {
+  util::Rng rng(13);
+  const Embedding nodes = random_embedding(80, 5.0, rng);
+  const CellGrid grid(nodes, 0.8);
+  for (int q = 0; q < 500; ++q) {
+    const Point p{rng.uniform(-2.0, 7.0), rng.uniform(-2.0, 7.0)};
+    const double r = rng.uniform(0.05, 0.8);
+    std::size_t want = 0;
+    for (const Point& v : nodes) {
+      if (dist2(p, v) <= r * r) ++want;
+    }
+    EXPECT_EQ(grid.count_within(p, r), want)
+        << "q=(" << p.x << "," << p.y << ") r=" << r;
+  }
+}
+
+TEST(CellGrid, KHistogramMatchesBruteForceMultiplicity) {
+  // The multiplicity path must agree with a naive per-cell disk count, and
+  // requesting the histogram must not change the covered set.
+  util::Rng rng(29);
+  const Embedding nodes = random_embedding(50, 4.0, rng);
+  std::vector<bool> active(nodes.size(), true);
+  for (std::size_t v = 0; v < active.size(); v += 4) active[v] = false;
+  const Rect target{0.3, 0.3, 3.7, 3.7};
+  const double rs = 0.7;
+  CoverageGridOptions opt;
+  opt.cell_size = 0.1;
+  opt.k_max = 4;
+  const CoverageAnalysis a = analyze_coverage(nodes, active, rs, target, opt);
+  CoverageGridOptions plain = opt;
+  plain.k_max = 0;
+  const CoverageAnalysis p = analyze_coverage(nodes, active, rs, target, plain);
+  EXPECT_EQ(a.covered_cells, p.covered_cells);
+  EXPECT_EQ(a.holes.size(), p.holes.size());
+  EXPECT_DOUBLE_EQ(a.max_hole_diameter, p.max_hole_diameter);
+
+  const auto nx =
+      static_cast<std::size_t>(std::ceil(target.width() / opt.cell_size));
+  const auto ny =
+      static_cast<std::size_t>(std::ceil(target.height() / opt.cell_size));
+  std::vector<std::size_t> want(opt.k_max + 1, 0);
+  std::uint64_t mass = 0;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const Point c{
+          target.xmin + (static_cast<double>(ix) + 0.5) * opt.cell_size,
+          target.ymin + (static_cast<double>(iy) + 0.5) * opt.cell_size};
+      std::size_t k = 0;
+      for (std::size_t v = 0; v < nodes.size(); ++v) {
+        if (active[v] && dist2(c, nodes[v]) <= rs * rs) ++k;
+      }
+      mass += k;
+      ++want[std::min(k, opt.k_max)];
+    }
+  }
+  EXPECT_EQ(a.k_histogram, want);
+  EXPECT_EQ(a.multiplicity_sum, mass);
 }
 
 TEST(CellGrid, CoverageMatchesBruteForceRasterization) {

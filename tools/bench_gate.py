@@ -42,6 +42,16 @@ silent ones included, so a node missing from the fresh run is a failure,
 not an omission. Energy is derived (counters × the configured model) and
 is not gated; there is no wall-clock column.
 
+With --quality, both inputs are `--quality-out` JSONL sinks (either the
+per-run stream from `schedule`/`distributed`/`repair` or the shared fleet
+quality sink, whose summary rows carry a run tag): rows are the
+quality_summary lines keyed by run, and every rollup column — sampled
+round count, coverage fractions, worst hole diameter, bound margin and
+violation count (when the Proposition 1 bound is finite), component and
+awake counts, certifiable τ, redundancy — gates exactly at the writer's
+fixed six-decimal precision. This is how CI proves a 2-thread run audits
+to byte-identical quality as the serial one. No wall-clock column.
+
 Stdlib only. Exit codes: 0 ok, 1 logical regression, 2 usage/IO error.
 With --advisory, even logical regressions are reported but the exit code
 stays 0 (used on PR builds; pushes to main hard-fail).
@@ -74,6 +84,22 @@ NODE_FIELDS = (
     "recv_words",
     "backlog_peak",
     "rounds_active",
+)
+
+# quality_summary rollups: all %.6f-formatted or integral, so string/number
+# equality is exact. bound_margin / violations are absent when the bound is
+# infinite (γ > 2) — None == None keeps the comparison meaningful.
+QUALITY_FIELDS = (
+    "rounds_sampled",
+    "min_coverage_fraction",
+    "final_coverage_fraction",
+    "max_hole_diameter",
+    "bound_margin",
+    "violations",
+    "max_components",
+    "final_certifiable_tau",
+    "final_redundancy",
+    "final_awake",
 )
 
 
@@ -190,6 +216,49 @@ def load_node(path):
     return {"bench": "node", "results": rows}
 
 
+def load_quality(path):
+    """Reads a --quality-out JSONL sink into the bench-JSON shape.
+
+    The quality_summary lines become the result rows. The single-run stream
+    carries exactly one untagged summary (key defaults to run 0); the shared
+    fleet quality sink tags every summary with its run id. There is no
+    wall-clock column: rows get seconds=0 and the advisory ratio is always a
+    clean 1.0.
+    """
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError:
+                    continue  # truncated final line of a killed run
+                if not isinstance(obj, dict):
+                    continue
+                if obj.get("type") == "quality_summary":
+                    obj["seconds"] = 0.0
+                    rows.append(obj)
+    except OSError as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not rows:
+        print(f"bench_gate: {path} has no quality_summary lines "
+              "(produce one with --quality-out)", file=sys.stderr)
+        sys.exit(2)
+    return {"bench": "quality", "results": rows}
+
+
+def quality_row_key(row):
+    return (row.get("run", 0),)
+
+
+def fmt_quality_key(key):
+    return f"run {key[0]}"
+
+
 def node_row_key(row):
     return (row.get("run", 0), row.get("node"))
 
@@ -264,14 +333,23 @@ def main():
         help="inputs are --node-telemetry-out JSONL sinks, keyed by "
              "(run, node)",
     )
+    ap.add_argument(
+        "--quality",
+        action="store_true",
+        help="inputs are --quality-out JSONL sinks, keyed by run",
+    )
     args = ap.parse_args()
-    if sum((args.fleet, args.profile, args.node)) > 1:
-        print("bench_gate: --fleet, --profile, and --node are mutually "
-              "exclusive", file=sys.stderr)
+    if sum((args.fleet, args.profile, args.node, args.quality)) > 1:
+        print("bench_gate: --fleet, --profile, --node, and --quality are "
+              "mutually exclusive", file=sys.stderr)
         sys.exit(2)
 
     pre_failures = []
-    if args.node:
+    if args.quality:
+        baseline = load_quality(args.baseline)
+        fresh = load_quality(args.fresh)
+        key_of, fmt, gated = quality_row_key, fmt_quality_key, QUALITY_FIELDS
+    elif args.node:
         baseline = load_node(args.baseline)
         fresh = load_node(args.fresh)
         key_of, fmt, gated = node_row_key, fmt_node_key, NODE_FIELDS
